@@ -1,0 +1,46 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for E7: buffer throughput, circular vs infinite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mks_io::{CircularBuffer, InfiniteBuffer};
+
+fn bench_buffers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffers");
+    g.bench_function("circular/push_pop", |b| {
+        let mut buf: CircularBuffer<u64> = CircularBuffer::new(64);
+        b.iter(|| {
+            buf.push(black_box(1));
+            buf.pop()
+        })
+    });
+    g.bench_function("infinite/push_pop", |b| {
+        let mut buf: InfiniteBuffer<u64> = InfiniteBuffer::new();
+        b.iter(|| {
+            buf.push(black_box(1), 4);
+            buf.pop()
+        })
+    });
+    g.bench_function("circular/burst_overrun", |b| {
+        let mut buf: CircularBuffer<u64> = CircularBuffer::new(64);
+        b.iter(|| {
+            for i in 0..128 {
+                buf.push(i);
+            }
+            while buf.pop().is_some() {}
+        })
+    });
+    g.bench_function("infinite/burst_absorb", |b| {
+        let mut buf: InfiniteBuffer<u64> = InfiniteBuffer::new();
+        b.iter(|| {
+            for i in 0..128 {
+                buf.push(i, 4);
+            }
+            while buf.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_buffers);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for the kernel's hot paths: initiation (both naming
+//! styles), the reference monitor's read path, login (both arrangements),
+//! and the translation validator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mks_fs::{Acl, AclMode, DirMode, UserId};
+use mks_hw::{RingBrackets, Word};
+use mks_kernel::monitor::Monitor;
+use mks_kernel::subsystem::login;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::KernelConfig;
+use mks_mls::Label;
+
+fn jones() -> UserId {
+    UserId::new("Jones", "CSR", "a")
+}
+
+fn setup(cfg: KernelConfig) -> (System, mks_kernel::KProcId) {
+    let mut sys = System::new(cfg);
+    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+    let root = sys.world.bind_root(admin);
+    Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
+    sys.world
+        .fs
+        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .unwrap();
+    let pid = sys.world.create_process(jones(), Label::BOTTOM, 4);
+    let root_j = sys.world.bind_root(pid);
+    let udd = Monitor::initiate_dir(&mut sys.world, pid, root_j, "udd");
+    Monitor::create_segment(
+        &mut sys.world,
+        pid,
+        udd,
+        "hot",
+        Acl::of("Jones.CSR.a", AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    (sys, pid)
+}
+
+fn bench_initiate_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("initiate_path");
+    for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
+        let (mut sys, pid) = setup(cfg);
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| {
+                let seg =
+                    Monitor::initiate_path(&mut sys.world, pid, black_box(">udd>hot")).unwrap();
+                Monitor::terminate(&mut sys.world, pid, seg).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_monitor_read(c: &mut Criterion) {
+    let (mut sys, pid) = setup(KernelConfig::kernel());
+    let seg = Monitor::initiate_path(&mut sys.world, pid, ">udd>hot").unwrap();
+    Monitor::write(&mut sys.world, pid, seg, 0, Word::new(1)).unwrap();
+    c.bench_function("monitor_read_resident", |b| {
+        b.iter(|| Monitor::read(&mut sys.world, pid, seg, black_box(0)).unwrap())
+    });
+}
+
+fn bench_login(c: &mut Criterion) {
+    let mut g = c.benchmark_group("login");
+    g.sample_size(10);
+    for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
+        let mut sys = System::new(cfg);
+        sys.world.auth.register(&jones(), "pw", Label::BOTTOM);
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| {
+                let out = login(&mut sys.world, &jones(), "pw", Label::BOTTOM, 4).unwrap();
+                sys.world.destroy_process(out.pid);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_validator(c: &mut Criterion) {
+    let procs = mks_cert::parse_program(mks_cert::kernel_modules::KERNEL_SOURCES[0].1).unwrap();
+    let obj = mks_cert::compile(&procs[0]).unwrap();
+    c.bench_function("translation_validate_ring_check", |b| {
+        b.iter(|| mks_cert::validate(black_box(&procs[0]), black_box(&obj)))
+    });
+}
+
+fn bench_exec(c: &mut Criterion) {
+    use mks_kernel::exec::{install_module, ExecEnv};
+    let (mut sys, pid) = setup(KernelConfig::kernel());
+    let root = sys.world.bind_root(pid);
+    let udd = mks_kernel::monitor::Monitor::initiate_dir(&mut sys.world, pid, root, "udd");
+    let lib_seg = install_module(
+        &mut sys.world,
+        pid,
+        udd,
+        "mathlib_",
+        "proc square(x) { return x * x; }",
+        Acl::of("Jones.CSR.a", AclMode::REW),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    let app = install_module(
+        &mut sys.world,
+        pid,
+        udd,
+        "app_",
+        "proc main(n) { return mathlib_$square(n) + 1; }",
+        Acl::of("Jones.CSR.a", AclMode::REW),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    let _ = lib_seg;
+    c.bench_function("exec_cross_segment_call", |b| {
+        let mut env = ExecEnv::new(&mut sys.world, pid, vec![udd]);
+        b.iter(|| {
+            let mut fuel = 10_000;
+            env.call(app, "main", black_box(&[7]), &mut fuel).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_initiate_path,
+    bench_monitor_read,
+    bench_login,
+    bench_validator,
+    bench_exec
+);
+criterion_main!(benches);

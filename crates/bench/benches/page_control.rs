@@ -1,0 +1,32 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for E5: whole-trace page-control runs, both designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mks_bench::drivers::{run_parallel, run_sequential};
+use mks_vm::{RefTrace, TraceConfig};
+
+fn bench_designs(c: &mut Criterion) {
+    let trace = RefTrace::generate(&TraceConfig {
+        seed: 5,
+        nr_segments: 3,
+        pages_per_segment: 10,
+        length: 500,
+        theta: 0.9,
+        phase_len: 0,
+    });
+    let mut g = c.benchmark_group("page_control");
+    g.sample_size(20);
+    for frames in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("sequential", frames), &frames, |b, &f| {
+            b.iter(|| run_sequential(f, 32, &trace, 4))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", frames), &frames, |b, &f| {
+            b.iter(|| run_parallel(f, 32, &trace, 4, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for E4: the hardware call path on both machines.
+//!
+//! (The *simulated-cycle* comparison is printed by `exp_e4_ring_calls`;
+//! this bench exercises the host-time cost of the call-check machinery so
+//! regressions in the hot path are visible.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mks_hw::ast::PageState;
+use mks_hw::{
+    AccessMode, AddrSpace, CpuModel, FrameId, Machine, RingBrackets, Sdw, SegNo, SegUid,
+    PAGE_WORDS,
+};
+
+fn setup(model: CpuModel) -> (Machine, AddrSpace) {
+    let mut m = Machine::new(model, 4);
+    let astx = m.ast.activate(SegUid(1), PAGE_WORDS);
+    m.ast.entry_mut(astx).pt.ptw_mut(0).state = PageState::InCore(FrameId(0));
+    let mut sp = AddrSpace::new();
+    sp.set(SegNo(1), Sdw::plain(astx, AccessMode::RE, RingBrackets::new(4, 4, 4)));
+    sp.set(SegNo(2), Sdw::gate(astx, RingBrackets::gate(0, 5), 8));
+    (m, sp)
+}
+
+fn bench_calls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring_calls");
+    for model in [CpuModel::H645, CpuModel::H6180] {
+        let (mut m, sp) = setup(model);
+        g.bench_function(format!("{}/intra_ring", model.name()), |b| {
+            b.iter(|| m.call(black_box(&sp), 4, SegNo(1), 0).unwrap())
+        });
+        let (mut m, sp) = setup(model);
+        g.bench_function(format!("{}/gate_crossing", model.name()), |b| {
+            b.iter(|| m.call(black_box(&sp), 4, SegNo(2), 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_access(c: &mut Criterion) {
+    let (mut m, sp) = setup(CpuModel::H6180);
+    c.bench_function("read_word_checked", |b| {
+        b.iter(|| m.read(black_box(&sp), 4, SegNo(1), 5).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_calls, bench_access);
+criterion_main!(benches);

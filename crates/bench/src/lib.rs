@@ -1,0 +1,16 @@
+//! # mks-bench — the experiment harness
+//!
+//! One binary per claim in the paper (experiments E1–E14, see
+//! `DESIGN.md` §4 and `EXPERIMENTS.md`), plus shared workload drivers and
+//! report formatting. Run any experiment with
+//!
+//! ```text
+//! cargo run -p mks-bench --bin exp_e1_linker_gates
+//! ```
+//!
+//! and the Criterion benches with `cargo bench -p mks-bench`.
+
+pub mod drivers;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,98 @@
+//! Plain-text report tables for the experiment binaries.
+
+/// A fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                    && c.chars().all(|ch| {
+                        ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '%' || ch == 'x'
+                    });
+                if numeric {
+                    line.push_str(&format!("{c:>w$}", w = width[i]));
+                } else {
+                    line.push_str(&format!("{c:<w$}", w = width[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+        }
+        out
+    }
+}
+
+/// Prints a section banner naming the experiment and the paper's claim.
+pub fn banner(experiment: &str, claim: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{experiment}");
+    println!("paper: {claim}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_padded_columns() {
+        let mut t = Table::new(&["config", "entries"]);
+        t.row(&["legacy".into(), "100".into()]);
+        t.row(&["kernel".into(), "53".into()]);
+        let s = t.render();
+        assert!(s.contains("legacy"));
+        assert_eq!(s.lines().count(), 4);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[2].ends_with("100"));
+        assert!(lines[3].ends_with(" 53"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_are_bugs() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

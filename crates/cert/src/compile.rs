@@ -1,0 +1,390 @@
+//! The KPL compiler: AST → stack-machine object code.
+//!
+//! The unit of compilation is the *module*: a set of procedures that may
+//! call each other by name; a call to `seg$entry` compiles to an external
+//! reference through the module's link table, resolved at run time by the
+//! dynamic linker.
+
+use std::collections::HashMap;
+
+use crate::lang::{BinOp, Expr, Procedure, Stmt};
+use crate::vm::{Module, Op, Program};
+
+/// Compilation errors (the compiler rejects ill-scoped programs; it never
+/// emits code for them).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileErr {
+    /// Reference to an undeclared variable.
+    Undeclared(String),
+    /// `let` of a name that already exists in scope.
+    Redeclared(String),
+    /// More locals than the frame can hold.
+    FrameOverflow,
+    /// Call to a procedure the module does not define (and not external).
+    UnknownProcedure(String),
+    /// Local call with the wrong number of arguments.
+    ArityMismatch {
+        /// Called procedure.
+        name: String,
+        /// Its parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// Two procedures share a name.
+    DuplicateProcedure(String),
+}
+
+impl core::fmt::Display for CompileErr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileErr::Undeclared(v) => write!(f, "undeclared variable {v}"),
+            CompileErr::Redeclared(v) => write!(f, "redeclared variable {v}"),
+            CompileErr::FrameOverflow => write!(f, "too many locals"),
+            CompileErr::UnknownProcedure(p) => write!(f, "unknown procedure {p}"),
+            CompileErr::ArityMismatch { name, expected, got } => {
+                write!(f, "{name} takes {expected} arguments, got {got}")
+            }
+            CompileErr::DuplicateProcedure(p) => write!(f, "duplicate procedure {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileErr {}
+
+struct Cg<'m> {
+    code: Vec<Op>,
+    slots: HashMap<String, u16>,
+    next_slot: u16,
+    /// `(name, arity)` of every procedure in the module, by index.
+    proc_table: &'m [(String, usize)],
+    /// The module's link table, grown as externs are referenced.
+    links: &'m mut Vec<(String, String)>,
+}
+
+impl Cg<'_> {
+    fn slot(&self, name: &str) -> Result<u16, CompileErr> {
+        self.slots.get(name).copied().ok_or_else(|| CompileErr::Undeclared(name.into()))
+    }
+
+    fn declare(&mut self, name: &str) -> Result<u16, CompileErr> {
+        if self.slots.contains_key(name) {
+            return Err(CompileErr::Redeclared(name.into()));
+        }
+        if self.next_slot == u16::MAX {
+            return Err(CompileErr::FrameOverflow);
+        }
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.slots.insert(name.into(), s);
+        Ok(s)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileErr> {
+        match e {
+            Expr::Num(n) => self.code.push(Op::Push(*n)),
+            Expr::Var(v) => {
+                let s = self.slot(v)?;
+                self.code.push(Op::Load(s));
+            }
+            Expr::Bin(op, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                self.code.push(match op {
+                    BinOp::Add => Op::Add,
+                    BinOp::Sub => Op::Sub,
+                    BinOp::Mul => Op::Mul,
+                    BinOp::Lt => Op::Lt,
+                    BinOp::Gt => Op::Gt,
+                    BinOp::Eq => Op::Eq,
+                });
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                if let Some((seg, entry)) = name.split_once('$') {
+                    // External reference: intern in the link table.
+                    let pair = (seg.to_string(), entry.to_string());
+                    let idx = match self.links.iter().position(|l| *l == pair) {
+                        Some(i) => i,
+                        None => {
+                            self.links.push(pair);
+                            self.links.len() - 1
+                        }
+                    };
+                    self.code.push(Op::CallExt(idx as u16, args.len() as u8));
+                } else {
+                    let idx = self
+                        .proc_table
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .ok_or_else(|| CompileErr::UnknownProcedure(name.clone()))?;
+                    let expected = self.proc_table[idx].1;
+                    if expected != args.len() {
+                        return Err(CompileErr::ArityMismatch {
+                            name: name.clone(),
+                            expected,
+                            got: args.len(),
+                        });
+                    }
+                    self.code.push(Op::CallLoc(idx as u16, args.len() as u8));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), CompileErr> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileErr> {
+        match s {
+            Stmt::Let(name, e) => {
+                self.expr(e)?;
+                let slot = self.declare(name)?;
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::Assign(name, e) => {
+                self.expr(e)?;
+                let slot = self.slot(name)?;
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::Return(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Ret);
+            }
+            Stmt::If(cond, then, els) => {
+                self.expr(cond)?;
+                let jz_at = self.code.len();
+                self.code.push(Op::Jz(0)); // patched below
+                self.stmts(then)?;
+                if els.is_empty() {
+                    let end = self.code.len() as u32;
+                    self.code[jz_at] = Op::Jz(end);
+                } else {
+                    let jmp_at = self.code.len();
+                    self.code.push(Op::Jmp(0));
+                    let else_start = self.code.len() as u32;
+                    self.code[jz_at] = Op::Jz(else_start);
+                    self.stmts(els)?;
+                    let end = self.code.len() as u32;
+                    self.code[jmp_at] = Op::Jmp(end);
+                }
+            }
+            Stmt::While(cond, body) => {
+                let top = self.code.len() as u32;
+                self.expr(cond)?;
+                let jz_at = self.code.len();
+                self.code.push(Op::Jz(0));
+                self.stmts(body)?;
+                self.code.push(Op::Jmp(top));
+                let end = self.code.len() as u32;
+                self.code[jz_at] = Op::Jz(end);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compiles a whole module: the procedures may call each other (including
+/// recursively) by name and external entries as `seg$entry`.
+///
+/// Each procedure's emitted code ends with a defensive `Push 0; Ret` so
+/// that a body whose control flow can fall off the end still returns (KPL
+/// has no declared return type; PL/I procedures behaved similarly).
+pub fn compile_module(name: &str, procs: &[Procedure]) -> Result<Module, CompileErr> {
+    let mut proc_table: Vec<(String, usize)> = Vec::new();
+    for p in procs {
+        if proc_table.iter().any(|(n, _)| *n == p.name) {
+            return Err(CompileErr::DuplicateProcedure(p.name.clone()));
+        }
+        proc_table.push((p.name.clone(), p.params.len()));
+    }
+    let mut links: Vec<(String, String)> = Vec::new();
+    let mut out = Vec::with_capacity(procs.len());
+    for p in procs {
+        let mut cg = Cg {
+            code: Vec::new(),
+            slots: HashMap::new(),
+            next_slot: 0,
+            proc_table: &proc_table,
+            links: &mut links,
+        };
+        for param in &p.params {
+            cg.declare(param)?;
+        }
+        cg.stmts(&p.body)?;
+        cg.code.push(Op::Push(0));
+        cg.code.push(Op::Ret);
+        out.push(Program {
+            name: p.name.clone(),
+            nr_params: p.params.len() as u16,
+            nr_slots: cg.next_slot,
+            code: cg.code,
+        });
+    }
+    Ok(Module { name: name.to_string(), procs: out, links })
+}
+
+/// Compiles one self-contained procedure (it may call itself; calls to
+/// anything else are [`CompileErr::UnknownProcedure`]).
+pub fn compile(p: &Procedure) -> Result<Program, CompileErr> {
+    let mut m = compile_module(&p.name, std::slice::from_ref(p))?;
+    Ok(m.procs.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_program;
+    use crate::vm::run;
+
+    fn compile_src(src: &str) -> Program {
+        let procs = parse_program(src).unwrap();
+        compile(&procs[0]).unwrap()
+    }
+
+    #[test]
+    fn straight_line_code_computes() {
+        let p = compile_src("proc f(a, b) { let c = a * b + 1; return c; }");
+        assert_eq!(run(&p, &[3, 4], 1000), Ok(13));
+    }
+
+    #[test]
+    fn if_else_selects_branches() {
+        let p = compile_src("proc max(a, b) { if a > b { return a; } else { return b; } }");
+        assert_eq!(run(&p, &[9, 2], 1000), Ok(9));
+        assert_eq!(run(&p, &[2, 9], 1000), Ok(9));
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let p = compile_src("proc f(a) { if a > 0 { return 1; } return 0; }");
+        assert_eq!(run(&p, &[5], 1000), Ok(1));
+        assert_eq!(run(&p, &[-5], 1000), Ok(0));
+    }
+
+    #[test]
+    fn while_loops_iterate() {
+        let p = compile_src(
+            "proc tri(n) { let acc = 0; while 0 < n { acc := acc + n; n := n - 1; } return acc; }",
+        );
+        assert_eq!(run(&p, &[4], 1000), Ok(10));
+        assert_eq!(run(&p, &[0], 1000), Ok(0));
+    }
+
+    #[test]
+    fn missing_return_defaults_to_zero() {
+        let p = compile_src("proc f(a) { a := a + 1; }");
+        assert_eq!(run(&p, &[7], 1000), Ok(0));
+    }
+
+    #[test]
+    fn scoping_errors_are_compile_time() {
+        let procs = parse_program("proc f() { return x; }").unwrap();
+        assert_eq!(compile(&procs[0]).unwrap_err(), CompileErr::Undeclared("x".into()));
+        let procs = parse_program("proc f(a) { let a = 1; return a; }").unwrap();
+        assert_eq!(compile(&procs[0]).unwrap_err(), CompileErr::Redeclared("a".into()));
+    }
+
+    #[test]
+    fn local_calls_and_recursion_compile_and_run() {
+        let src = r"
+            proc double(x) { return x + x; }
+            proc quad(x) { return double(double(x)); }
+            proc fact(n) {
+                if n > 1 { return n * fact(n - 1); }
+                return 1;
+            }";
+        let procs = parse_program(src).unwrap();
+        let m = crate::compile_module("math_", &procs).unwrap();
+        assert!(m.links.is_empty());
+        let mut fuel = 100_000;
+        let quad = m.proc_named("quad").unwrap();
+        assert_eq!(
+            crate::run_module(&m, quad, &[3], &mut fuel, &mut crate::NoExterns),
+            Ok(12)
+        );
+        let fact = m.proc_named("fact").unwrap();
+        let mut fuel = 100_000;
+        assert_eq!(
+            crate::run_module(&m, fact, &[6], &mut fuel, &mut crate::NoExterns),
+            Ok(720)
+        );
+        // The interpreter agrees.
+        assert_eq!(crate::interpret_module(&procs, quad, &[3], 100_000), Ok(12));
+        assert_eq!(crate::interpret_module(&procs, fact, &[6], 100_000), Ok(720));
+    }
+
+    #[test]
+    fn mutual_recursion_works() {
+        let src = r"
+            proc is_even(n) { if n == 0 { return 1; } return is_odd(n - 1); }
+            proc is_odd(n) { if n == 0 { return 0; } return is_even(n - 1); }";
+        let procs = parse_program(src).unwrap();
+        let m = crate::compile_module("parity_", &procs).unwrap();
+        let mut fuel = 100_000;
+        assert_eq!(crate::run_module(&m, 0, &[10], &mut fuel, &mut crate::NoExterns), Ok(1));
+        let mut fuel = 100_000;
+        assert_eq!(crate::run_module(&m, 0, &[7], &mut fuel, &mut crate::NoExterns), Ok(0));
+        assert_eq!(crate::interpret_module(&procs, 0, &[10], 100_000), Ok(1));
+    }
+
+    #[test]
+    fn extern_references_populate_the_link_table() {
+        let src = "proc f(x) { return math_$sqrt(x) + ioa_$count(); }";
+        let procs = parse_program(src).unwrap();
+        let m = crate::compile_module("caller", &procs).unwrap();
+        assert_eq!(
+            m.links,
+            vec![
+                ("math_".to_string(), "sqrt".to_string()),
+                ("ioa_".to_string(), "count".to_string())
+            ]
+        );
+        // Repeated references reuse the same link.
+        let src2 = "proc f(x) { return lib_$g(x) + lib_$g(x); }";
+        let m2 = crate::compile_module("c2", &parse_program(src2).unwrap()).unwrap();
+        assert_eq!(m2.links.len(), 1);
+    }
+
+    #[test]
+    fn call_errors_are_compile_time() {
+        let procs = parse_program("proc f() { return ghost(1); }").unwrap();
+        assert_eq!(
+            crate::compile_module("m", &procs).unwrap_err(),
+            CompileErr::UnknownProcedure("ghost".into())
+        );
+        let procs = parse_program("proc g(a, b) { return a; } proc f() { return g(1); }").unwrap();
+        assert!(matches!(
+            crate::compile_module("m", &procs).unwrap_err(),
+            CompileErr::ArityMismatch { expected: 2, got: 1, .. }
+        ));
+        let procs = parse_program("proc f() { return 1; } proc f() { return 2; }").unwrap();
+        assert_eq!(
+            crate::compile_module("m", &procs).unwrap_err(),
+            CompileErr::DuplicateProcedure("f".into())
+        );
+    }
+
+    #[test]
+    fn nested_control_flow_compiles_correctly() {
+        let p = compile_src(
+            r"proc gcd(a, b) {
+                while 0 < b {
+                    let t = b;
+                    while b < a { a := a - b; }
+                    if a == b { b := 0; } else { b := a; a := t; }
+                }
+                return a;
+            }",
+        );
+        assert_eq!(run(&p, &[12, 8], 100_000), Ok(4));
+        assert_eq!(run(&p, &[7, 7], 100_000), Ok(7));
+    }
+}

@@ -1,0 +1,229 @@
+//! The source-model semantics: a direct AST interpreter.
+//!
+//! This is the "model" side of footnote 6's comparison: what the kernel
+//! module's *source* means, defined without reference to the compiler or
+//! the stack machine. The validator runs this against the object code.
+
+use std::collections::HashMap;
+
+use crate::lang::{BinOp, Expr, Procedure, Stmt};
+
+/// Interpretation failures (mirrors of the compile-time scope errors, plus
+/// fuel exhaustion; a well-compiled procedure can only differ from its
+/// source by a bug in the compiler — which is the point).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpErr {
+    /// Reference to an unbound variable.
+    Unbound(String),
+    /// Step budget exhausted.
+    OutOfFuel,
+    /// Wrong number of arguments.
+    BadArity,
+    /// Call to a procedure the module does not define.
+    UnknownProcedure(String),
+    /// External references need the full execution service.
+    ExternUnavailable(String),
+    /// Call nesting exceeded the bound.
+    CallDepth,
+}
+
+impl core::fmt::Display for InterpErr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InterpErr::Unbound(v) => write!(f, "unbound variable {v}"),
+            InterpErr::OutOfFuel => write!(f, "step budget exhausted"),
+            InterpErr::BadArity => write!(f, "wrong number of arguments"),
+            InterpErr::UnknownProcedure(p) => write!(f, "unknown procedure {p}"),
+            InterpErr::ExternUnavailable(s) => write!(f, "external {s} unavailable"),
+            InterpErr::CallDepth => write!(f, "call nesting too deep"),
+        }
+    }
+}
+
+impl std::error::Error for InterpErr {}
+
+struct Interp<'m> {
+    vars: HashMap<String, i64>,
+    fuel: u64,
+    procs: &'m [Procedure],
+    depth: usize,
+}
+
+enum Flow {
+    Normal,
+    Returned(i64),
+}
+
+impl Interp<'_> {
+    fn burn(&mut self) -> Result<(), InterpErr> {
+        if self.fuel == 0 {
+            return Err(InterpErr::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<i64, InterpErr> {
+        self.burn()?;
+        match e {
+            Expr::Num(n) => Ok(*n),
+            Expr::Var(v) => {
+                self.vars.get(v).copied().ok_or_else(|| InterpErr::Unbound(v.clone()))
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Lt => i64::from(a < b),
+                    BinOp::Gt => i64::from(a > b),
+                    BinOp::Eq => i64::from(a == b),
+                })
+            }
+            Expr::Call(name, args) => {
+                if name.contains('$') {
+                    return Err(InterpErr::ExternUnavailable(name.clone()));
+                }
+                let target = self
+                    .procs
+                    .iter()
+                    .find(|p| p.name == *name)
+                    .ok_or_else(|| InterpErr::UnknownProcedure(name.clone()))?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                if vals.len() != target.params.len() {
+                    return Err(InterpErr::BadArity);
+                }
+                if self.depth >= 128 {
+                    return Err(InterpErr::CallDepth);
+                }
+                // Fresh scope for the callee (KPL has no closures).
+                let mut callee = Interp {
+                    vars: target.params.iter().cloned().zip(vals).collect(),
+                    fuel: self.fuel,
+                    procs: self.procs,
+                    depth: self.depth + 1,
+                };
+                let result = match callee.exec(&target.body)? {
+                    Flow::Returned(v) => v,
+                    Flow::Normal => 0,
+                };
+                self.fuel = callee.fuel;
+                Ok(result)
+            }
+        }
+    }
+
+    fn exec(&mut self, body: &[Stmt]) -> Result<Flow, InterpErr> {
+        for s in body {
+            self.burn()?;
+            match s {
+                Stmt::Let(name, e) | Stmt::Assign(name, e) => {
+                    let v = self.eval(e)?;
+                    self.vars.insert(name.clone(), v);
+                }
+                Stmt::Return(e) => return Ok(Flow::Returned(self.eval(e)?)),
+                Stmt::If(cond, then, els) => {
+                    let c = self.eval(cond)?;
+                    let flow = if c != 0 { self.exec(then)? } else { self.exec(els)? };
+                    if let Flow::Returned(v) = flow {
+                        return Ok(Flow::Returned(v));
+                    }
+                }
+                Stmt::While(cond, body) => {
+                    while self.eval(cond)? != 0 {
+                        if let Flow::Returned(v) = self.exec(body)? {
+                            return Ok(Flow::Returned(v));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+/// Runs `proc` on `args` under the source semantics. A body that finishes
+/// without `return` yields 0, matching the object-code convention.
+pub fn interpret(proc: &Procedure, args: &[i64], fuel: u64) -> Result<i64, InterpErr> {
+    interpret_module(std::slice::from_ref(proc), 0, args, fuel)
+}
+
+/// Runs procedure `idx` of a module of procedures (locals may call each
+/// other, including recursively; external `seg$entry` calls are
+/// [`InterpErr::ExternUnavailable`] — the full execution service in
+/// `mks-kernel::exec` provides them).
+pub fn interpret_module(
+    procs: &[Procedure],
+    idx: usize,
+    args: &[i64],
+    fuel: u64,
+) -> Result<i64, InterpErr> {
+    let proc = procs.get(idx).ok_or_else(|| InterpErr::UnknownProcedure(format!("#{idx}")))?;
+    if args.len() != proc.params.len() {
+        return Err(InterpErr::BadArity);
+    }
+    let vars = proc.params.iter().cloned().zip(args.iter().copied()).collect();
+    let mut it = Interp { vars, fuel, procs, depth: 0 };
+    match it.exec(&proc.body)? {
+        Flow::Returned(v) => Ok(v),
+        Flow::Normal => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse_program;
+
+    fn interp_src(src: &str, args: &[i64]) -> i64 {
+        let procs = parse_program(src).unwrap();
+        interpret(&procs[0], args, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn evaluates_arithmetic() {
+        assert_eq!(interp_src("proc f(a, b) { return a * b - 1; }", &[3, 4]), 11);
+    }
+
+    #[test]
+    fn control_flow_matches_expectations() {
+        let src = "proc max(a, b) { if a > b { return a; } else { return b; } }";
+        assert_eq!(interp_src(src, &[5, 9]), 9);
+    }
+
+    #[test]
+    fn loops_and_early_return() {
+        let src = r"proc find(n) {
+            let i = 0;
+            while i < n {
+                if i * i == 25 { return i; }
+                i := i + 1;
+            }
+            return -1;
+        }";
+        assert_eq!(interp_src(src, &[10]), 5);
+        assert_eq!(interp_src(src, &[3]), -1);
+    }
+
+    #[test]
+    fn missing_return_is_zero() {
+        assert_eq!(interp_src("proc f(a) { a := a + 1; }", &[3]), 0);
+    }
+
+    #[test]
+    fn fuel_stops_runaway_loops() {
+        let procs = parse_program("proc f() { let x = 1; while x > 0 { x := x + 1; } }").unwrap();
+        assert_eq!(interpret(&procs[0], &[], 10_000), Err(InterpErr::OutOfFuel));
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let procs = parse_program("proc f(a) { return a; }").unwrap();
+        assert_eq!(interpret(&procs[0], &[], 100), Err(InterpErr::BadArity));
+    }
+}

@@ -1,0 +1,522 @@
+//! KPL: the kernel programming language (syntax and AST).
+//!
+//! A deliberately small, PL/I-flavoured language — enough to express the
+//! kernel's table-walking and arithmetic procedures, small enough that the
+//! source of a module *is* a readable model of it.
+//!
+//! ```text
+//! proc quota_charge(used, limit, req) {
+//!     if req > limit - used { return -1; }
+//!     used := used + req;
+//!     return used;
+//! }
+//! ```
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Less-than (yields 0/1).
+    Lt,
+    /// Greater-than.
+    Gt,
+    /// Equality.
+    Eq,
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Procedure call: a local procedure (`helper(x)`) or an external
+    /// reference through the dynamic linker (`sqrt_$sqrt(x)`).
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `let x = e;` — declare and initialize a local.
+    Let(String, Expr),
+    /// `x := e;` — assign an existing variable.
+    Assign(String, Expr),
+    /// `if e { … } else { … }` (else optional).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while e { … }`.
+    While(Expr, Vec<Stmt>),
+    /// `return e;`.
+    Return(Expr),
+}
+
+/// A procedure: the unit of compilation and certification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Procedure {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// Parse errors, with a token position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseErr {
+    /// What was expected / found.
+    pub msg: String,
+    /// Token index.
+    pub at: usize,
+}
+
+impl core::fmt::Display for ParseErr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseErr {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Proc,
+    Let,
+    If,
+    Else,
+    While,
+    Return,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Assign, // :=
+    EqEq,   // ==
+    Eq,     // =
+    Plus,
+    Minus,
+    Star,
+    Lt,
+    Gt,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseErr> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '<' => {
+                toks.push(Tok::Lt);
+                i += 1;
+            }
+            '>' => {
+                toks.push(Tok::Gt);
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Assign);
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::EqEq);
+                i += 2;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i]
+                    .parse()
+                    .map_err(|_| ParseErr { msg: "number too large".into(), at: toks.len() })?;
+                toks.push(Tok::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                toks.push(match word {
+                    "proc" => Tok::Proc,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    w => Tok::Ident(w.to_string()),
+                });
+            }
+            other => {
+                return Err(ParseErr {
+                    msg: format!("unexpected character '{other}'"),
+                    at: toks.len(),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> ParseErr {
+        ParseErr { msg: msg.to_string(), at: self.pos }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseErr> {
+        if self.next().as_ref() == Some(&t) {
+            Ok(())
+        } else {
+            Err(ParseErr { msg: format!("expected {what}"), at: self.pos.saturating_sub(1) })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseErr> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => Err(ParseErr { msg: "expected identifier".into(), at: self.pos - 1 }),
+        }
+    }
+
+    fn procedure(&mut self) -> Result<Procedure, ParseErr> {
+        self.expect(Tok::Proc, "'proc'")?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                params.push(self.ident()?);
+                match self.peek() {
+                    Some(Tok::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(Procedure { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseErr> {
+        self.expect(Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.next(); // consume }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseErr> {
+        match self.peek() {
+            Some(Tok::Let) => {
+                self.next();
+                let name = self.ident()?;
+                self.expect(Tok::Eq, "'='")?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Some(Tok::Return) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Tok::If) => {
+                self.next();
+                let cond = self.expr()?;
+                let then = self.block()?;
+                let els = if self.peek() == Some(&Tok::Else) {
+                    self.next();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Tok::While) => {
+                self.next();
+                let cond = self.expr()?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Tok::Ident(_)) => {
+                let name = self.ident()?;
+                self.expect(Tok::Assign, "':='")?;
+                let e = self.expr()?;
+                self.expect(Tok::Semi, "';'")?;
+                Ok(Stmt::Assign(name, e))
+            }
+            _ => Err(self.err("expected statement")),
+        }
+    }
+
+    /// expr := cmp; cmp := sum (('<'|'>'|'==') sum)?; sum := term (('+'|'-') term)*;
+    /// term := atom ('*' atom)*.
+    fn expr(&mut self) -> Result<Expr, ParseErr> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.next();
+                let rhs = self.sum()?;
+                Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseErr> {
+        let mut e = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseErr> {
+        let mut e = self.atom()?;
+        while self.peek() == Some(&Tok::Star) {
+            self.next();
+            let rhs = self.atom()?;
+            e = Expr::Bin(BinOp::Mul, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseErr> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Minus) => match self.next() {
+                Some(Tok::Num(n)) => Ok(Expr::Num(-n)),
+                _ => Err(self.err("expected number after unary minus")),
+            },
+            Some(Tok::Ident(s)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            match self.peek() {
+                                Some(Tok::Comma) => {
+                                    self.next();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "')'")?;
+                    Ok(Expr::Call(s, args))
+                } else {
+                    Ok(Expr::Var(s))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+/// Parses a whole KPL source file into its procedures.
+pub fn parse_program(src: &str) -> Result<Vec<Procedure>, ParseErr> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut procs = Vec::new();
+    while p.peek().is_some() {
+        procs.push(p.procedure()?);
+    }
+    Ok(procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_procedure() {
+        let src = "proc add(a, b) { return a + b; }";
+        let procs = parse_program(src).unwrap();
+        assert_eq!(procs.len(), 1);
+        assert_eq!(procs[0].name, "add");
+        assert_eq!(procs[0].params, ["a", "b"]);
+        assert_eq!(
+            procs[0].body,
+            vec![Stmt::Return(Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Var("a".into())),
+                Box::new(Expr::Var("b".into()))
+            ))]
+        );
+    }
+
+    #[test]
+    fn parses_control_flow_and_locals() {
+        let src = r"
+            proc clamp(x, lo, hi) {
+                let y = x;
+                if y < lo { y := lo; }
+                if y > hi { y := hi; } else { y := y; }
+                return y;
+            }";
+        let procs = parse_program(src).unwrap();
+        assert_eq!(procs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn parses_while_loops_and_comments() {
+        let src = r"
+            // iterative multiply
+            proc mul_slow(a, b) {
+                let acc = 0;
+                while 0 < b {
+                    acc := acc + a;
+                    b := b - 1;
+                }
+                return acc;
+            }";
+        let procs = parse_program(src).unwrap();
+        assert!(matches!(procs[0].body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let procs = parse_program("proc f(a) { return 1 + a * 2; }").unwrap();
+        match &procs[0].body[0] {
+            Stmt::Return(Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let procs = parse_program("proc f(a) { return (1 + a) * 2; }").unwrap();
+        assert!(matches!(&procs[0].body[0], Stmt::Return(Expr::Bin(BinOp::Mul, _, _))));
+    }
+
+    #[test]
+    fn negative_literals_parse() {
+        let procs = parse_program("proc f() { return -5; }").unwrap();
+        assert_eq!(procs[0].body[0], Stmt::Return(Expr::Num(-5)));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_program("proc f( { return 1; }").unwrap_err();
+        assert!(e.msg.contains("identifier"));
+        assert!(parse_program("proc f() { x ; }").is_err());
+        assert!(parse_program("proc f() { let x = $; }").is_err());
+        assert!(parse_program("proc f() { return 1;").is_err());
+    }
+
+    #[test]
+    fn multiple_procedures_parse() {
+        let src = "proc a() { return 1; } proc b() { return 2; }";
+        assert_eq!(parse_program(src).unwrap().len(), 2);
+    }
+}

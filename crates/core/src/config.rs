@@ -1,0 +1,184 @@
+//! System configuration: which of the paper's projects are applied.
+//!
+//! Each removal/simplification/partition the paper describes is a switch
+//! here, so experiments can compare any intermediate configuration — e.g.
+//! "legacy plus linker removal only" for E1 — not just the two endpoints.
+
+/// Where the dynamic linker runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkerConfig {
+    /// In the supervisor, ring 0 (legacy).
+    InKernel,
+    /// In the faulting ring (Janson's removal).
+    UserRing,
+}
+
+/// Where reference names / pathname resolution live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NamingConfig {
+    /// Monolithic KST: paths, refnames, wdirs in ring 0 (legacy).
+    InKernel,
+    /// Split KST: kernel keeps segno↔uid only (Bratt's removal).
+    UserRing,
+}
+
+/// External I/O arrangement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IoConfig {
+    /// Five device-interface modules in the kernel (legacy).
+    DeviceZoo,
+    /// One network attachment; devices are user-ring services.
+    NetworkOnly,
+}
+
+/// Page-control design.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PagingConfig {
+    /// The sequential cascade in the faulting process (legacy).
+    Sequential,
+    /// Dedicated freeing processes (the simplification).
+    Parallel,
+}
+
+/// Replacement policy placement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyConfig {
+    /// Policy code in ring 0 with full mechanism powers (legacy).
+    Monolithic,
+    /// Policy in ring 1, mechanism gates in ring 0 (the partition).
+    Split,
+}
+
+/// Authentication/login placement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoginConfig {
+    /// Privileged in-kernel login machinery (legacy).
+    InKernel,
+    /// Login as ordinary protected-subsystem entry (the removal).
+    Unified,
+}
+
+/// System initialization style.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InitConfig {
+    /// Re-bootstrap from parts at every start (legacy).
+    Bootstrap,
+    /// Load a pre-initialized memory image (the removal).
+    MemoryImage,
+}
+
+/// A full system configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KernelConfig {
+    /// Linker placement.
+    pub linker: LinkerConfig,
+    /// Naming placement.
+    pub naming: NamingConfig,
+    /// I/O arrangement.
+    pub io: IoConfig,
+    /// Page-control design.
+    pub paging: PagingConfig,
+    /// Policy placement.
+    pub policy: PolicyConfig,
+    /// Login placement.
+    pub login: LoginConfig,
+    /// Initialization style.
+    pub init: InitConfig,
+    /// MLS enforcement at the bottom layer (both configurations can run
+    /// it; the legacy system predates the Mitre model, so its baseline is
+    /// off).
+    pub mls: bool,
+    /// Revocation ("setfaults"): an ACL change retracts the outstanding
+    /// descriptors of every process bound to the segment. The legacy
+    /// supervisor granted SDWs and never looked back.
+    pub revocation: bool,
+}
+
+impl KernelConfig {
+    /// The pre-project Multics supervisor.
+    pub fn legacy() -> KernelConfig {
+        KernelConfig {
+            linker: LinkerConfig::InKernel,
+            naming: NamingConfig::InKernel,
+            io: IoConfig::DeviceZoo,
+            paging: PagingConfig::Sequential,
+            policy: PolicyConfig::Monolithic,
+            login: LoginConfig::InKernel,
+            init: InitConfig::Bootstrap,
+            mls: false,
+            revocation: false,
+        }
+    }
+
+    /// The paper's target security kernel.
+    pub fn kernel() -> KernelConfig {
+        KernelConfig {
+            linker: LinkerConfig::UserRing,
+            naming: NamingConfig::UserRing,
+            io: IoConfig::NetworkOnly,
+            paging: PagingConfig::Parallel,
+            policy: PolicyConfig::Split,
+            login: LoginConfig::Unified,
+            init: InitConfig::MemoryImage,
+            mls: true,
+            revocation: true,
+        }
+    }
+
+    /// Legacy with only the linker removal applied (experiment E1).
+    pub fn legacy_linker_removed() -> KernelConfig {
+        KernelConfig { linker: LinkerConfig::UserRing, ..KernelConfig::legacy() }
+    }
+
+    /// Legacy with linker *and* naming removals (experiment E3).
+    pub fn legacy_both_removals() -> KernelConfig {
+        KernelConfig {
+            linker: LinkerConfig::UserRing,
+            naming: NamingConfig::UserRing,
+            ..KernelConfig::legacy()
+        }
+    }
+
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        if *self == KernelConfig::legacy() {
+            "legacy supervisor"
+        } else if *self == KernelConfig::kernel() {
+            "security kernel"
+        } else if *self == KernelConfig::legacy_linker_removed() {
+            "legacy + linker removal"
+        } else if *self == KernelConfig::legacy_both_removals() {
+            "legacy + linker & naming removals"
+        } else {
+            "custom configuration"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_differ_in_every_dimension() {
+        let l = KernelConfig::legacy();
+        let k = KernelConfig::kernel();
+        assert_ne!(l.linker, k.linker);
+        assert_ne!(l.naming, k.naming);
+        assert_ne!(l.io, k.io);
+        assert_ne!(l.paging, k.paging);
+        assert_ne!(l.policy, k.policy);
+        assert_ne!(l.login, k.login);
+        assert_ne!(l.init, k.init);
+        assert!(k.mls && !l.mls);
+        assert!(k.revocation && !l.revocation);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelConfig::legacy().name(), "legacy supervisor");
+        assert_eq!(KernelConfig::kernel().name(), "security kernel");
+        let custom = KernelConfig { mls: true, ..KernelConfig::legacy() };
+        assert_eq!(custom.name(), "custom configuration");
+    }
+}

@@ -1,0 +1,266 @@
+//! The review activity: the security-flaw registry.
+//!
+//! "A list of all known Multics security flaws is maintained. Each flaw
+//! reported is analyzed to determine how it happened, how it can be fixed,
+//! and how similar flaws can be avoided in the security kernel being
+//! developed. So far, all of the flaws uncovered by the review activities
+//! are isolated and easily repaired. No major design flaws have been
+//! found."
+//!
+//! The registry seeds itself with the flaw *classes* Linde's penetration
+//! catalog (reference \[2\] of the paper) identified; the penetration suite
+//! (experiment E12) exercises an attack per class.
+
+/// The classes of flaw the era's penetration exercises kept finding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FlawClass {
+    /// The supervisor trusted a user-supplied argument (counts, pointers,
+    /// offsets) without validation — the linker's class.
+    InsufficientArgumentValidation,
+    /// Time-of-check to time-of-use races on shared state.
+    TocTou,
+    /// Residue: released storage readable by its next holder.
+    StorageResidue,
+    /// A reference path that bypasses the monitor (unmediated access).
+    UnmediatedPath,
+    /// Misused hardware features (rings, gates, faults).
+    HardwareMisuse,
+    /// Authentication weaknesses (guessing, existence oracles).
+    Authentication,
+    /// Information leaks through error messages / naming.
+    ExistenceOracle,
+    /// Denial of service through resource exhaustion.
+    DenialOfService,
+}
+
+/// Lifecycle of a reported flaw.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FlawStatus {
+    /// Reported, not yet analyzed.
+    Reported,
+    /// Analyzed: cause understood.
+    Analyzed {
+        /// How it happened.
+        cause: String,
+    },
+    /// Repaired, with the design rule that prevents recurrence.
+    Repaired {
+        /// How it was fixed.
+        fix: String,
+        /// The kernel design rule that excludes the class.
+        design_rule: String,
+    },
+}
+
+/// One registry entry.
+#[derive(Clone, Debug)]
+pub struct Flaw {
+    /// Registry number.
+    pub id: u32,
+    /// Short title.
+    pub title: String,
+    /// Classification.
+    pub class: FlawClass,
+    /// Current status.
+    pub status: FlawStatus,
+}
+
+/// The flaw registry.
+#[derive(Debug, Default)]
+pub struct FlawRegistry {
+    flaws: Vec<Flaw>,
+}
+
+impl FlawRegistry {
+    /// An empty registry.
+    pub fn new() -> FlawRegistry {
+        FlawRegistry::default()
+    }
+
+    /// The registry pre-seeded with the historical flaw classes, each
+    /// analyzed and repaired with its kernel design rule — the state the
+    /// paper reports ("isolated and easily repaired").
+    pub fn seeded() -> FlawRegistry {
+        let mut r = FlawRegistry::new();
+        let seed: &[(&str, FlawClass, &str, &str, &str)] = &[
+            (
+                "linker mis-parses malstructured object segment in ring 0",
+                FlawClass::InsufficientArgumentValidation,
+                "supervisor code indexed tables using counts taken from a user segment",
+                "validate all counts/offsets before use",
+                "remove the linker from the kernel; complex user input is parsed unprivileged",
+            ),
+            (
+                "directory entry checked then used after user rename",
+                FlawClass::TocTou,
+                "branch looked up twice across a lock release",
+                "re-resolve under one lock / bind by uid not name",
+                "kernel interfaces traffic in uids; names resolve exactly once",
+            ),
+            (
+                "freed page frame handed out unscrubbed",
+                FlawClass::StorageResidue,
+                "free list reused frames without clearing",
+                "zero frames on release",
+                "release_frame scrubs unconditionally; deletion scrubs every level",
+            ),
+            (
+                "I/O controller channel program reads arbitrary core",
+                FlawClass::UnmediatedPath,
+                "device DMA addresses not checked against descriptors",
+                "kernel validates channel programs",
+                "single network attachment; all device logic unprivileged",
+            ),
+            (
+                "gate entered at non-entry offset",
+                FlawClass::HardwareMisuse,
+                "call bracket honored without entry-point bound",
+                "hardware call limiter on gate SDWs",
+                "gates declare entry counts; hardware enforces them",
+            ),
+            (
+                "login reveals which personids exist",
+                FlawClass::ExistenceOracle,
+                "distinct errors for bad user vs bad password",
+                "one error for both; constant-time hashing",
+                "no kernel answer may depend on data the caller cannot read",
+            ),
+            (
+                "unthrottled password guessing",
+                FlawClass::Authentication,
+                "no failure counter",
+                "lockout after repeated failures",
+                "authentication state kept per principal with lockout",
+            ),
+            (
+                "user exhausts directory quota of a shared project",
+                FlawClass::DenialOfService,
+                "no per-subtree storage bound",
+                "quota cells with movequota",
+                "denial bounded to the subtree whose quota the user holds",
+            ),
+            // Found by this reproduction's own review activity: the
+            // benchmark harness drove a process through ~65k
+            // initiate/terminate cycles and wedged its address space.
+            (
+                "KST exhausts segment numbers under initiate/terminate cycling",
+                FlawClass::DenialOfService,
+                "terminate freed the binding but never recycled the number",
+                "freed segment numbers are reused before the counter advances",
+                "per-process resources are bounded by live use, not lifetime use",
+            ),
+            // Also found here: the model/mechanism cross-validation
+            // (tests/cross_validation.rs) caught movequota underflowing
+            // its source cell when asked for more limit than it had.
+            (
+                "movequota underflows the source cell's limit",
+                FlawClass::InsufficientArgumentValidation,
+                "the guard compared through a saturating subtraction",
+                "refuse any move larger than the available limit",
+                "kernel arithmetic is checked; models are cross-validated",
+            ),
+        ];
+        for (i, (title, class, cause, fix, rule)) in seed.iter().enumerate() {
+            r.flaws.push(Flaw {
+                id: i as u32 + 1,
+                title: (*title).to_string(),
+                class: *class,
+                status: FlawStatus::Repaired {
+                    fix: (*fix).to_string(),
+                    design_rule: (*rule).to_string(),
+                },
+            });
+            let _ = cause; // cause folded into the repaired record above
+        }
+        r
+    }
+
+    /// Reports a new flaw; returns its id.
+    pub fn report(&mut self, title: &str, class: FlawClass) -> u32 {
+        let id = self.flaws.len() as u32 + 1;
+        self.flaws.push(Flaw {
+            id,
+            title: title.to_string(),
+            class,
+            status: FlawStatus::Reported,
+        });
+        id
+    }
+
+    /// Records the analysis of a flaw.
+    pub fn analyze(&mut self, id: u32, cause: &str) -> bool {
+        match self.flaws.iter_mut().find(|f| f.id == id) {
+            Some(f) => {
+                f.status = FlawStatus::Analyzed { cause: cause.to_string() };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records the repair of a flaw.
+    pub fn repair(&mut self, id: u32, fix: &str, design_rule: &str) -> bool {
+        match self.flaws.iter_mut().find(|f| f.id == id) {
+            Some(f) => {
+                f.status = FlawStatus::Repaired {
+                    fix: fix.to_string(),
+                    design_rule: design_rule.to_string(),
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All flaws.
+    pub fn all(&self) -> &[Flaw] {
+        &self.flaws
+    }
+
+    /// True when every flaw is repaired — the paper's reported state.
+    pub fn all_repaired(&self) -> bool {
+        self.flaws.iter().all(|f| matches!(f.status, FlawStatus::Repaired { .. }))
+    }
+
+    /// Count by class (for reports).
+    pub fn count_class(&self, class: FlawClass) -> usize {
+        self.flaws.iter().filter(|f| f.class == class).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_registry_matches_the_papers_claim() {
+        let r = FlawRegistry::seeded();
+        assert!(r.all().len() >= 8);
+        assert!(r.all_repaired(), "all known flaws are isolated and easily repaired");
+    }
+
+    #[test]
+    fn lifecycle_report_analyze_repair() {
+        let mut r = FlawRegistry::new();
+        let id = r.report("stack readable across gate call", FlawClass::StorageResidue);
+        assert!(!r.all_repaired());
+        assert!(r.analyze(id, "ring-0 stack segment shared with ring 4"));
+        assert!(r.repair(id, "separate per-ring stacks", "no kernel data in user-writable segments"));
+        assert!(r.all_repaired());
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut r = FlawRegistry::new();
+        assert!(!r.analyze(99, "x"));
+        assert!(!r.repair(99, "x", "y"));
+    }
+
+    #[test]
+    fn class_counting() {
+        let r = FlawRegistry::seeded();
+        assert_eq!(r.count_class(FlawClass::InsufficientArgumentValidation), 2);
+        assert_eq!(r.count_class(FlawClass::TocTou), 1);
+        assert_eq!(r.count_class(FlawClass::DenialOfService), 2);
+    }
+}

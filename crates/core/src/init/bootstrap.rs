@@ -1,0 +1,92 @@
+//! The legacy bootstrap: rebuild the world from parts, privileged, at
+//! every start.
+//!
+//! Each step below models one phase of the historical "bootload" — reading
+//! the separate pieces from the system tape and initializing them *in
+//! order*, inside the supervisor, with the machine in a half-built state
+//! the whole time. Every step is certification surface because every step
+//! runs privileged and a mistake in any of them hands out wrongly
+//! initialized protection state.
+
+use mks_hw::Clock;
+
+use crate::config::{IoConfig, KernelConfig};
+use crate::init::{target_state, InitState, InitTrace};
+
+/// Cycles charged per privileged bootstrap step (tape read + build).
+const STEP_COST: u64 = 12_000;
+
+/// Runs the full bootstrap for `cfg`, charging `clock`.
+pub fn bootstrap(cfg: &KernelConfig, clock: &Clock) -> (InitState, InitTrace) {
+    let mut steps: Vec<&'static str> = Vec::new();
+    let mut run = |name: &'static str| {
+        steps.push(name);
+        clock.advance(STEP_COST);
+    };
+    // Phase 1: bare machine.
+    run("read_bootload_tape_label");
+    run("size_primary_memory");
+    run("build_fault_vector");
+    run("build_interrupt_vector");
+    run("wire_bootstrap_segments");
+    // Phase 2: the memory hierarchy.
+    run("init_page_tables");
+    run("init_bulk_store_map");
+    run("init_disk_map");
+    run("build_free_core_list");
+    // Phase 3: processes.
+    run("build_traffic_controller");
+    run("create_idle_processes");
+    run("create_page_control_daemons");
+    // Phase 4: the file system.
+    run("salvage_check_root");
+    run("activate_root_directory");
+    run("load_supervisor_segments");
+    // Phase 5: gates and services.
+    run("build_gate_tables");
+    run("set_ring_brackets_on_gates");
+    match cfg.io {
+        IoConfig::DeviceZoo => {
+            run("init_tty_dim");
+            run("init_tape_dim");
+            run("init_card_dims");
+            run("init_printer_dim");
+        }
+        IoConfig::NetworkOnly => run("init_network_attachment"),
+    }
+    if cfg.mls {
+        run("arm_mls_layer");
+    }
+    run("start_answering_service");
+    let privileged_ops = steps.len() as u32; // every bootstrap step is privileged
+    (
+        target_state(cfg),
+        InitTrace { steps, privileged_ops, cycles: STEP_COST * privileged_ops as u64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_reaches_the_target_state() {
+        let cfg = KernelConfig::legacy();
+        let clock = Clock::new();
+        let (state, trace) = bootstrap(&cfg, &clock);
+        assert_eq!(state, target_state(&cfg));
+        assert!(trace.steps.len() >= 20, "legacy bootstrap is a long privileged sequence");
+        assert_eq!(trace.privileged_ops as usize, trace.steps.len());
+        assert!(clock.now() > 0);
+    }
+
+    #[test]
+    fn device_zoo_adds_bootstrap_steps() {
+        let clock = Clock::new();
+        let (_, zoo) = bootstrap(&KernelConfig::legacy(), &clock);
+        let (_, net) = bootstrap(&KernelConfig::kernel(), &clock);
+        assert!(zoo.steps.len() > net.steps.len());
+        assert!(zoo.steps.contains(&"init_tape_dim"));
+        assert!(net.steps.contains(&"init_network_attachment"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Protected subsystems — and login as a special case of entering one.
+//!
+//! A protected subsystem is a set of procedures and data that executes in
+//! an inner ring of a user's process and can be entered only through its
+//! declared gates (the mechanism users get for building their own
+//! mutually-suspicious programs, and the paper's tool for containing
+//! borrowed trojan horses).
+//!
+//! The paper's removal idea: "the exploration of a recently-realized
+//! equivalence between the mechanics of entering a protected subsystem and
+//! the mechanics of creating a new process in response to a user's log in.
+//! The goal is to make a single mechanism do both tasks, with the result
+//! that the large collection of privileged, protected code used to
+//! authenticate and log in users would become non-privileged code."
+//!
+//! [`login`] implements both arrangements: in the legacy configuration the
+//! whole answering service (greeting, credential check, accounting,
+//! process build-out) runs privileged; in the unified configuration the
+//! answering service is an ordinary subsystem and exactly **one**
+//! privileged operation remains — the `create_process` gate that mints the
+//! process with kernel-verified attributes.
+
+use mks_fs::UserId;
+use mks_hw::RingNo;
+use mks_mls::Label;
+
+use crate::auth::AuthError;
+use crate::config::LoginConfig;
+use crate::world::{KProcId, KernelWorld};
+
+/// A protected-subsystem definition.
+#[derive(Clone, Debug)]
+pub struct SubsystemDef {
+    /// Subsystem name.
+    pub name: &'static str,
+    /// Ring its procedures execute in.
+    pub ring: RingNo,
+    /// Declared entry points.
+    pub entries: Vec<&'static str>,
+}
+
+/// An entry token: proof the caller came through a declared gate; dropping
+/// it models returning outward.
+#[derive(Debug)]
+pub struct SubsystemEntry {
+    /// The entered subsystem.
+    pub subsystem: &'static str,
+    /// Entry point used.
+    pub entry: &'static str,
+    /// Ring execution continues in.
+    pub ring: RingNo,
+    /// The caller's ring, restored on return.
+    pub caller_ring: RingNo,
+}
+
+/// Subsystem-entry failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EntryError {
+    /// The named entry is not declared.
+    NoSuchEntry,
+    /// The caller's ring is inside the subsystem's ring (outward call).
+    OutwardEntry,
+}
+
+/// Checks and performs a subsystem entry for a process in `caller_ring`.
+pub fn enter(
+    def: &SubsystemDef,
+    caller_ring: RingNo,
+    entry: &str,
+) -> Result<SubsystemEntry, EntryError> {
+    let Some(e) = def.entries.iter().find(|e| **e == entry) else {
+        return Err(EntryError::NoSuchEntry);
+    };
+    if caller_ring < def.ring {
+        return Err(EntryError::OutwardEntry);
+    }
+    Ok(SubsystemEntry { subsystem: def.name, entry: e, ring: def.ring, caller_ring })
+}
+
+/// The answering service, defined as a subsystem. In the unified
+/// configuration this is literally what login enters; in the legacy
+/// configuration the same functions are a privileged kernel module.
+pub fn answering_service() -> SubsystemDef {
+    SubsystemDef {
+        name: "answering_service",
+        ring: 4,
+        entries: vec!["login", "logout", "new_password"],
+    }
+}
+
+/// Result of a successful login.
+#[derive(Debug)]
+pub struct LoginOutcome {
+    /// The created process.
+    pub pid: KProcId,
+    /// Privileged operations the login path performed — the removal's
+    /// metric: legacy ≈ the whole path, unified = 1.
+    pub privileged_ops: u32,
+}
+
+/// Login failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoginError {
+    /// Authentication failed (uninformative, as [`crate::auth`]).
+    Auth(AuthError),
+    /// Subsystem-entry failure (unified configuration only).
+    Entry(EntryError),
+}
+
+/// Authenticates `user` and creates a process at `label` in `ring`.
+pub fn login(
+    world: &mut KernelWorld,
+    user: &UserId,
+    password: &str,
+    label: Label,
+    ring: RingNo,
+) -> Result<LoginOutcome, LoginError> {
+    match world.cfg.login {
+        LoginConfig::InKernel => {
+            // Legacy: every step below executes with supervisor privilege.
+            let mut privileged_ops = 0;
+            privileged_ops += 1; // greet / allocate terminal channel
+            let granted = {
+                let r = world.auth.authenticate(user, password, label);
+                let at = world.vm.machine.clock.now();
+                world.log.append(
+                    at,
+                    Some(user.clone()),
+                    crate::syslog::AuditEvent::Login { success: r.is_ok() },
+                );
+                r.map_err(LoginError::Auth)?
+            };
+            privileged_ops += 1; // credential check
+            privileged_ops += 1; // accounting entry
+            privileged_ops += 1; // build process directory
+            privileged_ops += 1; // build descriptor segment
+            let pid = world.create_process(user.clone(), granted, ring);
+            privileged_ops += 1; // create_process proper
+            privileged_ops += 1; // attach terminal to process
+            privileged_ops += 1; // start command environment
+            Ok(LoginOutcome { pid, privileged_ops })
+        }
+        LoginConfig::Unified => {
+            // Unified: the caller enters the answering-service subsystem
+            // (unprivileged), which authenticates in user-ring code and
+            // performs exactly one privileged call.
+            let svc = answering_service();
+            let _token = enter(&svc, 4, "login").map_err(LoginError::Entry)?;
+            let granted = {
+                let r = world.auth.authenticate(user, password, label); // ring 4
+                let at = world.vm.machine.clock.now();
+                world.log.append(
+                    at,
+                    Some(user.clone()),
+                    crate::syslog::AuditEvent::Login { success: r.is_ok() },
+                );
+                r.map_err(LoginError::Auth)?
+            };
+            let pid = world.create_process(user.clone(), granted, ring); // the one gate
+            Ok(LoginOutcome { pid, privileged_ops: 1 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+    use crate::world::System;
+    use mks_mls::{Compartments, Level};
+
+    fn jones() -> UserId {
+        UserId::new("Jones", "CSR", "a")
+    }
+
+    fn secret() -> Label {
+        Label::new(Level::SECRET, Compartments::NONE)
+    }
+
+    #[test]
+    fn subsystem_entry_enforces_declared_gates() {
+        let svc = answering_service();
+        assert!(enter(&svc, 4, "login").is_ok());
+        assert!(matches!(enter(&svc, 4, "backdoor"), Err(EntryError::NoSuchEntry)));
+        // An inner-ring caller "entering" an outer subsystem is an outward
+        // call — refused.
+        let inner = SubsystemDef { name: "db", ring: 2, entries: vec!["query"] };
+        assert!(matches!(enter(&inner, 1, "query"), Err(EntryError::OutwardEntry)));
+        assert!(enter(&inner, 4, "query").is_ok());
+    }
+
+    #[test]
+    fn login_works_in_both_arrangements() {
+        for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
+            let mut sys = System::new(cfg);
+            sys.world.auth.register(&jones(), "moonshot", secret());
+            let out =
+                login(&mut sys.world, &jones(), "moonshot", Label::BOTTOM, 4).unwrap();
+            assert_eq!(sys.world.proc(out.pid).user, jones());
+            assert_eq!(sys.world.proc(out.pid).label, Label::BOTTOM);
+        }
+    }
+
+    #[test]
+    fn unification_collapses_privileged_ops_to_one() {
+        let mut legacy = System::new(KernelConfig::legacy());
+        legacy.world.auth.register(&jones(), "pw", secret());
+        let l = login(&mut legacy.world, &jones(), "pw", Label::BOTTOM, 4).unwrap();
+
+        let mut kernel = System::new(KernelConfig::kernel());
+        kernel.world.auth.register(&jones(), "pw", secret());
+        let k = login(&mut kernel.world, &jones(), "pw", Label::BOTTOM, 4).unwrap();
+
+        assert!(l.privileged_ops >= 8, "legacy login is privileged throughout");
+        assert_eq!(k.privileged_ops, 1, "unified login keeps one privileged gate");
+    }
+
+    #[test]
+    fn bad_credentials_create_no_process() {
+        let mut sys = System::new(KernelConfig::kernel());
+        sys.world.auth.register(&jones(), "right", secret());
+        let before = sys.world.nr_processes();
+        let err = login(&mut sys.world, &jones(), "wrong", Label::BOTTOM, 4).unwrap_err();
+        assert!(matches!(err, LoginError::Auth(AuthError::BadCredentials)));
+        assert_eq!(sys.world.nr_processes(), before);
+    }
+
+    #[test]
+    fn clearance_is_enforced_at_login() {
+        let mut sys = System::new(KernelConfig::kernel());
+        sys.world.auth.register(&jones(), "pw", Label::BOTTOM);
+        let err = login(&mut sys.world, &jones(), "pw", secret(), 4).unwrap_err();
+        assert!(matches!(err, LoginError::Auth(AuthError::ClearanceExceeded)));
+    }
+}

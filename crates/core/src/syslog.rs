@@ -1,0 +1,181 @@
+//! The kernel audit log (`syserr` in Multics terms).
+//!
+//! The paper's *review* activity — "a list of all known Multics security
+//! flaws is maintained" — needs raw material: the kernel records every
+//! security-relevant event (denials, violations, authentications, gate
+//! refusals) with its acting principal. The log is kernel state, append
+//! only; non-kernel code cannot erase its tracks.
+
+use mks_fs::UserId;
+use mks_hw::Cycles;
+
+/// The kind of security-relevant event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AuditEvent {
+    /// A reference was denied (ACL, MLS, ring — the monitor's NoInfo and
+    /// violation answers).
+    AccessDenied {
+        /// What was asked for.
+        what: String,
+    },
+    /// A hardware protection violation fault was taken.
+    ProtectionFault {
+        /// Fault description.
+        fault: String,
+    },
+    /// A login attempt.
+    Login {
+        /// Whether it succeeded.
+        success: bool,
+    },
+    /// A gate call refused (wrong ring or unknown entry).
+    GateRefused {
+        /// The gate and entry.
+        target: String,
+    },
+    /// An object was created or destroyed (coarse lifecycle tracking).
+    Lifecycle {
+        /// Description.
+        what: String,
+    },
+}
+
+/// One log record.
+#[derive(Clone, Debug)]
+pub struct AuditRecord {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: Cycles,
+    /// Acting principal (if known).
+    pub who: Option<UserId>,
+    /// The event.
+    pub event: AuditEvent,
+}
+
+/// The append-only kernel log.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+    next_seq: u64,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&mut self, at: Cycles, who: Option<UserId>, event: AuditEvent) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(AuditRecord { seq, at, who, event });
+        seq
+    }
+
+    /// All records, in order. (Read-only: there is deliberately no way to
+    /// remove or rewrite a record.)
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Records whose event matches `pred`.
+    pub fn matching<'a>(
+        &'a self,
+        mut pred: impl FnMut(&AuditEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a AuditRecord> {
+        self.records.iter().filter(move |r| pred(&r.event))
+    }
+
+    /// Count of denial-shaped records (the review activity's first query).
+    pub fn nr_denials(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    AuditEvent::AccessDenied { .. }
+                        | AuditEvent::ProtectionFault { .. }
+                        | AuditEvent::GateRefused { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Principals with repeated denials (candidate probes) — principals
+    /// with at least `threshold` denial records.
+    pub fn suspicious_principals(&self, threshold: usize) -> Vec<(UserId, usize)> {
+        let mut counts: std::collections::HashMap<UserId, usize> = Default::default();
+        for r in &self.records {
+            if let (Some(who), true) = (
+                r.who.clone(),
+                matches!(
+                    r.event,
+                    AuditEvent::AccessDenied { .. }
+                        | AuditEvent::ProtectionFault { .. }
+                        | AuditEvent::GateRefused { .. }
+                ),
+            ) {
+                *counts.entry(who).or_default() += 1;
+            }
+        }
+        let mut v: Vec<_> = counts.into_iter().filter(|(_, c)| *c >= threshold).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_acl_string().cmp(&b.0.to_acl_string())));
+        v
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mallory() -> UserId {
+        UserId::new("Mallory", "Guest", "a")
+    }
+
+    #[test]
+    fn records_are_sequenced_and_immutable_in_shape() {
+        let mut log = AuditLog::new();
+        let a = log.append(10, None, AuditEvent::Login { success: true });
+        let b = log.append(20, Some(mallory()), AuditEvent::AccessDenied { what: "x".into() });
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.records()[1].at, 20);
+    }
+
+    #[test]
+    fn denial_counting_and_matching() {
+        let mut log = AuditLog::new();
+        log.append(1, Some(mallory()), AuditEvent::AccessDenied { what: "a".into() });
+        log.append(2, Some(mallory()), AuditEvent::GateRefused { target: "hphcs_$shutdown".into() });
+        log.append(3, None, AuditEvent::Login { success: false });
+        assert_eq!(log.nr_denials(), 2);
+        assert_eq!(log.matching(|e| matches!(e, AuditEvent::Login { .. })).count(), 1);
+    }
+
+    #[test]
+    fn repeated_probes_surface_as_suspicious() {
+        let mut log = AuditLog::new();
+        for i in 0..5 {
+            log.append(i, Some(mallory()), AuditEvent::AccessDenied { what: format!("p{i}") });
+        }
+        log.append(9, Some(UserId::new("Jones", "CSR", "a")), AuditEvent::AccessDenied {
+            what: "one-off".into(),
+        });
+        let sus = log.suspicious_principals(3);
+        assert_eq!(sus.len(), 1);
+        assert_eq!(sus[0].0, mallory());
+        assert_eq!(sus[0].1, 5);
+    }
+}

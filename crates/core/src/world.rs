@@ -1,0 +1,292 @@
+//! Whole-system state: the kernel's view of everything.
+//!
+//! [`KernelWorld`] owns the machine, the memory hierarchy, the file system,
+//! the gate table, the authentication database and the per-process state;
+//! [`System`] couples it with the traffic controller (which cannot live
+//! *inside* the world because scheduled jobs receive the world as their
+//! mutable context). Per-process state ([`ProcState`]) is the kernel-side
+//! record Multics kept for each process: principal, label, ring of
+//! execution, descriptor segment, and KST — in whichever configuration the
+//! system was assembled with.
+
+use std::collections::HashMap;
+
+use mks_fs::{FileSystem, KernelKst, LegacyKst, UserId};
+use mks_hw::{AddrSpace, CpuModel, Machine, RingNo};
+use mks_io::interrupts::ProcessInterrupts;
+use mks_io::NetworkAttachment;
+use mks_linker::kernel_cfg::LegacyLinker;
+use mks_linker::user_cfg::UserLinker;
+use mks_mls::Label;
+use mks_procs::{HasMachine, TcConfig, TrafficController};
+use mks_vm::{ClockPolicy, ParallelConfig, ParallelPageControl, SequentialPageControl, VmAccess, VmWorld};
+
+use crate::auth::AuthDb;
+use crate::syslog::AuditLog;
+use crate::config::KernelConfig;
+use crate::flaws::FlawRegistry;
+use crate::gatetable::GateTable;
+
+/// Kernel process identifier (distinct from the traffic controller's
+/// scheduling identifier; a kernel process may or may not be scheduled).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct KProcId(pub u32);
+
+/// The per-process KST, per configuration.
+#[derive(Debug)]
+pub enum KstState {
+    /// Post-removal: minimal kernel bindings.
+    Kernel(KernelKst),
+    /// Pre-removal: the monolithic supervisor object.
+    Legacy(Box<LegacyKst>),
+}
+
+/// Kernel-side state of one process.
+pub struct ProcState {
+    /// The logged-in principal.
+    pub user: UserId,
+    /// The process's mandatory label (fixed at creation).
+    pub label: Label,
+    /// Current ring of execution.
+    pub ring: RingNo,
+    /// The descriptor segment.
+    pub aspace: AddrSpace,
+    /// The known segment table.
+    pub kst: KstState,
+    /// The user-ring linker (meaningful in the kernel configuration; it is
+    /// per-process *private* mechanism).
+    pub linker: UserLinker,
+}
+
+/// Everything the kernel knows.
+pub struct KernelWorld {
+    /// The assembled configuration.
+    pub cfg: KernelConfig,
+    /// Machine + memory hierarchy.
+    pub vm: VmWorld,
+    /// Parallel page-control channels (driven when `cfg.paging` says so).
+    pub pc: ParallelPageControl,
+    /// Synchronous pager for monitor-level fault service.
+    pub pager: SequentialPageControl,
+    /// The file-system hierarchy.
+    pub fs: FileSystem,
+    /// The gate census for this configuration.
+    pub gates: GateTable,
+    /// The password database.
+    pub auth: AuthDb,
+    /// The network attachment (the kernel configuration's only I/O).
+    pub net: NetworkAttachment,
+    /// The interrupt interceptor (process-per-handler design).
+    pub interrupts: ProcessInterrupts,
+    /// The shared, supervisor-resident linker (legacy configuration).
+    pub legacy_linker: LegacyLinker,
+    /// The review activity's flaw registry.
+    pub flaws: FlawRegistry,
+    /// The kernel audit log (append-only).
+    pub log: AuditLog,
+    procs: HashMap<KProcId, ProcState>,
+    next_pid: u32,
+}
+
+impl HasMachine for KernelWorld {
+    fn machine(&mut self) -> &mut Machine {
+        &mut self.vm.machine
+    }
+}
+
+impl VmAccess for KernelWorld {
+    fn vm_parts(&mut self) -> (&mut VmWorld, &mut ParallelPageControl) {
+        (&mut self.vm, &mut self.pc)
+    }
+}
+
+/// The administrator principal the hierarchy is initialized with.
+pub fn admin_user() -> UserId {
+    UserId::new("Admin", "SysAdmin", "a")
+}
+
+/// A complete system: scheduler plus world.
+pub struct System {
+    /// The two-layer scheduler.
+    pub tc: TrafficController<KernelWorld>,
+    /// Everything else.
+    pub world: KernelWorld,
+}
+
+/// Sizing for a newly built system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemSize {
+    /// Primary memory frames.
+    pub frames: usize,
+    /// Bulk-store records.
+    pub bulk_records: usize,
+    /// Which CPU generation to build on.
+    pub cpu: CpuModel,
+}
+
+impl Default for SystemSize {
+    fn default() -> SystemSize {
+        SystemSize { frames: 64, bulk_records: 256, cpu: CpuModel::H6180 }
+    }
+}
+
+impl System {
+    /// Builds a system in configuration `cfg` with default sizing.
+    pub fn new(cfg: KernelConfig) -> System {
+        System::with_size(cfg, SystemSize::default())
+    }
+
+    /// Builds a system with explicit memory sizing.
+    pub fn with_size(cfg: KernelConfig, size: SystemSize) -> System {
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 8, quantum: 8 });
+        let machine = Machine::new(size.cpu, size.frames);
+        let vm = VmWorld::new(machine, size.bulk_records);
+        let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
+        let world = KernelWorld {
+            cfg,
+            vm,
+            pc,
+            pager: SequentialPageControl::new(Box::new(ClockPolicy::default())),
+            fs: FileSystem::new(&admin_user()),
+            gates: GateTable::build(&cfg),
+            auth: AuthDb::new(),
+            net: NetworkAttachment::new(),
+            interrupts: ProcessInterrupts::new(),
+            legacy_linker: LegacyLinker::new(),
+            flaws: FlawRegistry::new(),
+            log: AuditLog::new(),
+            procs: HashMap::new(),
+            next_pid: 1,
+        };
+        System { tc, world }
+    }
+}
+
+impl KernelWorld {
+    /// Creates a kernel process record for `user` at `label` in `ring`.
+    pub fn create_process(&mut self, user: UserId, label: Label, ring: RingNo) -> KProcId {
+        let pid = KProcId(self.next_pid);
+        self.next_pid += 1;
+        let kst = match self.cfg.naming {
+            crate::config::NamingConfig::UserRing => {
+                let mut k = KernelKst::new();
+                mks_fs::kst::bind_root(&mut k);
+                KstState::Kernel(k)
+            }
+            crate::config::NamingConfig::InKernel => KstState::Legacy(Box::new(LegacyKst::new())),
+        };
+        let mut aspace = AddrSpace::new();
+        aspace.reserve_low(mks_fs::kst::FIRST_USER_SEGNO);
+        self.procs.insert(
+            pid,
+            ProcState { user, label, ring, aspace, kst, linker: UserLinker::new() },
+        );
+        pid
+    }
+
+    /// Borrows a process record.
+    ///
+    /// # Panics
+    /// Panics on an unknown pid — process ids are kernel-internal and never
+    /// accepted from user input, so a bad one is a kernel bug.
+    pub fn proc(&self, pid: KProcId) -> &ProcState {
+        self.procs.get(&pid).expect("unknown kernel process")
+    }
+
+    /// Mutably borrows a process record.
+    pub fn proc_mut(&mut self, pid: KProcId) -> &mut ProcState {
+        self.procs.get_mut(&pid).expect("unknown kernel process")
+    }
+
+    /// Destroys a process record, returning it.
+    pub fn destroy_process(&mut self, pid: KProcId) -> Option<ProcState> {
+        self.procs.remove(&pid)
+    }
+
+    /// Number of live processes.
+    pub fn nr_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Binds the root directory into `pid`'s KST and returns its segment
+    /// number (done implicitly at process creation in real Multics; an
+    /// explicit call here so tests and examples read naturally).
+    pub fn bind_root(&mut self, pid: KProcId) -> mks_hw::SegNo {
+        let proc = self.proc_mut(pid);
+        match &mut proc.kst {
+            KstState::Kernel(k) => mks_fs::kst::bind_root(k),
+            KstState::Legacy(k) => k.core.bind(FileSystem::ROOT, true),
+        }
+    }
+
+    /// Applies `f` to every live process record (kernel-internal; used by
+    /// revocation to retract descriptors system-wide).
+    pub(crate) fn for_each_proc_mut(&mut self, mut f: impl FnMut(&mut ProcState)) {
+        let mut pids: Vec<KProcId> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            if let Some(p) = self.procs.get_mut(&pid) {
+                f(p);
+            }
+        }
+    }
+
+    /// Split borrow: the file system (shared) plus one process (mutable).
+    /// Used by the monitor to run user-ring path resolution, which reads
+    /// the hierarchy while binding KST entries.
+    pub(crate) fn fs_and_proc_mut(&mut self, pid: KProcId) -> (&FileSystem, &mut ProcState) {
+        let fs = &self.fs;
+        let p = self.procs.get_mut(&pid).expect("unknown kernel process");
+        (fs, p)
+    }
+
+    /// Split borrow: the memory world (mutable) plus one process (mutable).
+    pub(crate) fn vm_and_proc_mut(&mut self, pid: KProcId) -> (&mut VmWorld, &mut ProcState) {
+        let vm = &mut self.vm;
+        let p = self.procs.get_mut(&pid).expect("unknown kernel process");
+        (vm, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_builds_in_both_configurations() {
+        for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
+            let sys = System::new(cfg);
+            assert_eq!(sys.world.nr_processes(), 0);
+            assert!(sys.world.gates.total_entries() > 0);
+        }
+    }
+
+    #[test]
+    fn process_kst_matches_configuration() {
+        let mut sys = System::new(KernelConfig::kernel());
+        let pid = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        assert!(matches!(sys.world.proc(pid).kst, KstState::Kernel(_)));
+
+        let mut sys = System::new(KernelConfig::legacy());
+        let pid = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        assert!(matches!(sys.world.proc(pid).kst, KstState::Legacy(_)));
+    }
+
+    #[test]
+    fn destroy_removes_the_record() {
+        let mut sys = System::new(KernelConfig::kernel());
+        let pid = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        assert!(sys.world.destroy_process(pid).is_some());
+        assert!(sys.world.destroy_process(pid).is_none());
+        assert_eq!(sys.world.nr_processes(), 0);
+    }
+
+    #[test]
+    fn pids_are_never_reused() {
+        let mut sys = System::new(KernelConfig::kernel());
+        let a = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        sys.world.destroy_process(a);
+        let b = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        assert_ne!(a, b);
+    }
+}

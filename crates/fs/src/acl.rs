@@ -1,0 +1,298 @@
+//! Multics access-control lists.
+//!
+//! A principal is `Person.Project.tag`; ACL entries may use `*` wildcards in
+//! any component (`*.SysAdmin.*`). Segment modes are some subset of `rew`
+//! (read, execute, write); directory modes are `sma` (status — list entries;
+//! modify — change existing entries; append — add entries). Matching picks
+//! the **most specific** entry that matches the requesting principal
+//! (most non-wildcard components; earliest entry breaks ties), which is the
+//! documented Multics rule.
+
+/// A user principal: person, project, and instance tag.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct UserId {
+    /// Person name, e.g. `"Schroeder"`.
+    pub person: String,
+    /// Project name, e.g. `"CSR"`.
+    pub project: String,
+    /// Instance tag, e.g. `"a"` (interactive) or `"m"` (daemon).
+    pub tag: String,
+}
+
+impl UserId {
+    /// Builds a principal.
+    pub fn new(person: &str, project: &str, tag: &str) -> UserId {
+        UserId { person: person.into(), project: project.into(), tag: tag.into() }
+    }
+
+    /// Canonical `Person.Project.tag` form.
+    pub fn to_acl_string(&self) -> String {
+        format!("{}.{}.{}", self.person, self.project, self.tag)
+    }
+}
+
+/// Access modes on a segment branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AclMode {
+    /// Read.
+    pub read: bool,
+    /// Execute.
+    pub execute: bool,
+    /// Write.
+    pub write: bool,
+}
+
+impl AclMode {
+    /// No access (the "null" ACL mode — an explicit denial entry).
+    pub const NULL: AclMode = AclMode { read: false, execute: false, write: false };
+    /// `r` — read only.
+    pub const R: AclMode = AclMode { read: true, execute: false, write: false };
+    /// `re` — read and execute (pure procedure).
+    pub const RE: AclMode = AclMode { read: true, execute: true, write: false };
+    /// `rw` — read and write.
+    pub const RW: AclMode = AclMode { read: true, execute: false, write: true };
+    /// `rew` — everything.
+    pub const REW: AclMode = AclMode { read: true, execute: true, write: true };
+
+    /// Parses a mode string like `"rw"` (order-insensitive; `"null"` or
+    /// `""` give no access).
+    pub fn parse(s: &str) -> Option<AclMode> {
+        if s == "null" {
+            return Some(AclMode::NULL);
+        }
+        let mut m = AclMode::NULL;
+        for c in s.chars() {
+            match c {
+                'r' => m.read = true,
+                'e' => m.execute = true,
+                'w' => m.write = true,
+                _ => return None,
+            }
+        }
+        Some(m)
+    }
+}
+
+impl core::fmt::Display for AclMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if *self == AclMode::NULL {
+            return write!(f, "null");
+        }
+        if self.read {
+            write!(f, "r")?;
+        }
+        if self.execute {
+            write!(f, "e")?;
+        }
+        if self.write {
+            write!(f, "w")?;
+        }
+        Ok(())
+    }
+}
+
+/// Access modes on a directory branch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DirMode {
+    /// Status: list entries and read their attributes.
+    pub status: bool,
+    /// Modify: change or delete existing entries.
+    pub modify: bool,
+    /// Append: add new entries.
+    pub append: bool,
+}
+
+impl DirMode {
+    /// No access.
+    pub const NULL: DirMode = DirMode { status: false, modify: false, append: false };
+    /// `s` — status only.
+    pub const S: DirMode = DirMode { status: true, modify: false, append: false };
+    /// `sa` — status and append.
+    pub const SA: DirMode = DirMode { status: true, modify: false, append: true };
+    /// `sma` — full control.
+    pub const SMA: DirMode = DirMode { status: true, modify: true, append: true };
+}
+
+/// One component of an ACL principal pattern.
+fn component_matches(pattern: &str, value: &str) -> bool {
+    pattern == "*" || pattern == value
+}
+
+/// An ACL entry: a principal pattern and the granted mode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AclEntry<M> {
+    /// Person pattern (name or `*`).
+    pub person: String,
+    /// Project pattern.
+    pub project: String,
+    /// Tag pattern.
+    pub tag: String,
+    /// Granted mode (may be null: an explicit denial).
+    pub mode: M,
+}
+
+impl<M: Copy> AclEntry<M> {
+    /// Builds an entry from a `Person.Project.tag` pattern string.
+    ///
+    /// # Panics
+    /// Panics if `pattern` does not have exactly three dot-separated
+    /// components (caller bug; gate-level code validates first).
+    pub fn new(pattern: &str, mode: M) -> AclEntry<M> {
+        let parts: Vec<&str> = pattern.split('.').collect();
+        assert_eq!(parts.len(), 3, "ACL pattern must be Person.Project.tag");
+        AclEntry {
+            person: parts[0].into(),
+            project: parts[1].into(),
+            tag: parts[2].into(),
+            mode,
+        }
+    }
+
+    /// Does this entry's pattern match `user`?
+    pub fn matches(&self, user: &UserId) -> bool {
+        component_matches(&self.person, &user.person)
+            && component_matches(&self.project, &user.project)
+            && component_matches(&self.tag, &user.tag)
+    }
+
+    /// Specificity for entry selection: one point per literal component.
+    pub fn specificity(&self) -> u32 {
+        [&self.person, &self.project, &self.tag].iter().filter(|c| *c != &"*").count() as u32
+    }
+}
+
+/// An ordered access-control list.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Acl<M> {
+    /// Entries, in insertion order.
+    pub entries: Vec<AclEntry<M>>,
+}
+
+impl<M: Copy + Default> Acl<M> {
+    /// An empty ACL (denies everyone).
+    pub fn empty() -> Acl<M> {
+        Acl { entries: Vec::new() }
+    }
+
+    /// An ACL with a single entry.
+    pub fn of(pattern: &str, mode: M) -> Acl<M> {
+        let mut a = Acl::empty();
+        a.add(pattern, mode);
+        a
+    }
+
+    /// Adds (or replaces, if the same pattern exists) an entry.
+    pub fn add(&mut self, pattern: &str, mode: M) {
+        let entry = AclEntry::new(pattern, mode);
+        if let Some(existing) = self.entries.iter_mut().find(|e| {
+            e.person == entry.person && e.project == entry.project && e.tag == entry.tag
+        }) {
+            existing.mode = mode;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Removes the entry with exactly this pattern; returns whether one
+    /// existed.
+    pub fn remove(&mut self, pattern: &str) -> bool {
+        let probe = AclEntry::new(pattern, M::default());
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            !(e.person == probe.person && e.project == probe.project && e.tag == probe.tag)
+        });
+        self.entries.len() != before
+    }
+
+    /// The effective mode for `user`: the most specific matching entry
+    /// (earliest wins ties); `None` if no entry matches.
+    pub fn effective(&self, user: &UserId) -> Option<M> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.matches(user))
+            .max_by(|(ia, a), (ib, b)| {
+                a.specificity().cmp(&b.specificity()).then(ib.cmp(ia)) // earlier wins ties
+            })
+            .map(|(_, e)| e.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(p: &str, pr: &str) -> UserId {
+        UserId::new(p, pr, "a")
+    }
+
+    #[test]
+    fn mode_parse_and_display_round_trip() {
+        for s in ["r", "re", "rw", "rew", "null"] {
+            let m = AclMode::parse(s).unwrap();
+            assert_eq!(m.to_string(), s);
+        }
+        assert!(AclMode::parse("rx").is_none());
+    }
+
+    #[test]
+    fn exact_entry_matches_only_that_user() {
+        let acl = Acl::of("Jones.CSR.a", AclMode::RW);
+        assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::RW));
+        assert_eq!(acl.effective(&user("Smith", "CSR")), None);
+    }
+
+    #[test]
+    fn wildcards_match_componentwise() {
+        let acl = Acl::of("*.CSR.*", AclMode::R);
+        assert_eq!(acl.effective(&user("Anyone", "CSR")), Some(AclMode::R));
+        assert_eq!(acl.effective(&user("Anyone", "Guest")), None);
+    }
+
+    #[test]
+    fn most_specific_entry_wins() {
+        let mut acl = Acl::of("*.*.*", AclMode::R);
+        acl.add("*.CSR.*", AclMode::RW);
+        acl.add("Jones.CSR.a", AclMode::NULL); // explicit per-user denial
+        assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::NULL));
+        assert_eq!(acl.effective(&user("Smith", "CSR")), Some(AclMode::RW));
+        assert_eq!(acl.effective(&user("Smith", "Guest")), Some(AclMode::R));
+    }
+
+    #[test]
+    fn null_mode_denial_beats_broad_grant() {
+        let mut acl = Acl::of("*.*.*", AclMode::REW);
+        acl.add("Spy.KGB.*", AclMode::NULL);
+        let spy = user("Spy", "KGB");
+        assert_eq!(acl.effective(&spy), Some(AclMode::NULL));
+    }
+
+    #[test]
+    fn add_replaces_same_pattern() {
+        let mut acl = Acl::of("Jones.CSR.a", AclMode::R);
+        acl.add("Jones.CSR.a", AclMode::REW);
+        assert_eq!(acl.entries.len(), 1);
+        assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::REW));
+    }
+
+    #[test]
+    fn remove_deletes_exact_pattern() {
+        let mut acl = Acl::of("Jones.CSR.a", AclMode::R);
+        assert!(acl.remove("Jones.CSR.a"));
+        assert!(!acl.remove("Jones.CSR.a"));
+        assert_eq!(acl.effective(&user("Jones", "CSR")), None);
+    }
+
+    #[test]
+    fn ties_go_to_the_earlier_entry() {
+        let mut acl = Acl::of("Jones.*.*", AclMode::R);
+        acl.add("*.CSR.*", AclMode::RW); // same specificity (1)
+        assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::R));
+    }
+
+    #[test]
+    fn dir_modes_exist() {
+        assert!(DirMode::SMA.status && DirMode::SMA.modify && DirMode::SMA.append);
+        assert!(DirMode::S.status && !DirMode::S.append);
+    }
+}

@@ -1,0 +1,173 @@
+//! User-ring pathname resolution (the post-removal arrangement).
+//!
+//! "Instead of identifying a directory by character string tree name ...,
+//! a segment number is used. The algorithms for following a tree name
+//! through the file system hierarchy to locate the named element are thus
+//! removed from the supervisor to be implemented by procedures executing in
+//! the user ring."
+//!
+//! [`resolve_path`] is that user-ring procedure. It needs exactly one
+//! kernel service — "initiate this entry of the directory bound to this
+//! segment number" — abstracted as [`DirInitiator`] so it can run against
+//! the real kernel gates or a test double identically. Because the kernel
+//! lies about missing directories (see [`crate::kst`]), this code cannot be
+//! used as an existence oracle, and it needs no special privileges at all.
+
+use mks_hw::SegNo;
+
+/// Pathname syntax errors (detected entirely in the user ring).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PathError {
+    /// The path has no components (empty or just separators).
+    Empty,
+    /// Paths must be absolute (start with `>`); relative resolution is a
+    /// convention layered above (working directories).
+    NotAbsolute(String),
+    /// A component contains an illegal character.
+    BadComponent(String),
+}
+
+impl core::fmt::Display for PathError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "empty pathname"),
+            PathError::NotAbsolute(p) => write!(f, "pathname not absolute: {p}"),
+            PathError::BadComponent(c) => write!(f, "bad pathname component: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// The one kernel service pathname resolution needs.
+pub trait DirInitiator {
+    /// Segment number of the root directory in this process.
+    fn root(&mut self) -> SegNo;
+
+    /// Initiates directory `name` within the directory bound to `dir`.
+    /// Always succeeds from the caller's point of view (lies included).
+    fn initiate_dir(&mut self, dir: SegNo, name: &str) -> SegNo;
+}
+
+/// Splits and validates a Multics pathname like `>udd>CSR>Jones>notes`.
+pub fn parse_path(path: &str) -> Result<Vec<&str>, PathError> {
+    if !path.starts_with('>') {
+        return Err(PathError::NotAbsolute(path.to_string()));
+    }
+    let comps: Vec<&str> = path.split('>').filter(|c| !c.is_empty()).collect();
+    if comps.is_empty() {
+        return Err(PathError::Empty);
+    }
+    for c in &comps {
+        if c.contains('<') || c.contains(' ') {
+            return Err(PathError::BadComponent((*c).to_string()));
+        }
+    }
+    Ok(comps)
+}
+
+/// Resolves `path` to `(containing directory segno, leaf entry name)`.
+///
+/// The leaf itself is *not* initiated — that final step (which is where
+/// access control actually happens) differs for segments vs directories and
+/// belongs to the caller.
+pub fn resolve_path<I: DirInitiator>(
+    svc: &mut I,
+    path: &str,
+) -> Result<(SegNo, String), PathError> {
+    let comps = parse_path(path)?;
+    let (leaf, dirs) = comps.split_last().expect("validated non-empty");
+    let mut dir = svc.root();
+    for c in dirs {
+        dir = svc.initiate_dir(dir, c);
+    }
+    Ok((dir, (*leaf).to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{Acl, AclMode, UserId};
+    use crate::hierarchy::FileSystem;
+    use crate::kst::{bind_root, kernel_initiate_dir, KernelKst};
+    use mks_hw::RingBrackets;
+    use mks_mls::Label;
+
+    /// Test double wiring the user-ring resolver to the fs-crate kernel
+    /// service (the kernel crate provides the production implementation).
+    struct Svc {
+        fs: FileSystem,
+        kst: KernelKst,
+    }
+
+    impl DirInitiator for Svc {
+        fn root(&mut self) -> SegNo {
+            bind_root(&mut self.kst)
+        }
+
+        fn initiate_dir(&mut self, dir: SegNo, name: &str) -> SegNo {
+            kernel_initiate_dir(&self.fs, &mut self.kst, dir, name)
+        }
+    }
+
+    fn svc() -> Svc {
+        let admin = UserId::new("Admin", "SysAdmin", "a");
+        let mut fs = FileSystem::new(&admin);
+        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin, Label::BOTTOM).unwrap();
+        let csr = fs.create_directory(udd, "CSR", &admin, Label::BOTTOM).unwrap();
+        fs.create_segment(
+            csr,
+            "notes",
+            &admin,
+            Acl::of("*.*.*", AclMode::R),
+            RingBrackets::new(4, 4, 4),
+            Label::BOTTOM,
+        )
+        .unwrap();
+        Svc { fs, kst: KernelKst::new() }
+    }
+
+    #[test]
+    fn parse_validates_syntax() {
+        assert!(parse_path(">a>b").is_ok());
+        assert_eq!(parse_path("a>b"), Err(PathError::NotAbsolute("a>b".into())));
+        assert_eq!(parse_path(">"), Err(PathError::Empty));
+        assert_eq!(parse_path(">a b"), Err(PathError::BadComponent("a b".into())));
+    }
+
+    #[test]
+    fn resolve_walks_to_the_containing_directory() {
+        let mut s = svc();
+        let (dir, leaf) = resolve_path(&mut s, ">udd>CSR>notes").unwrap();
+        assert_eq!(leaf, "notes");
+        let e = s.kst.entry(dir).unwrap();
+        assert!(e.is_dir && !e.phantom);
+        // The containing directory really is CSR.
+        assert!(s.fs.peek_branch(e.uid, "notes").is_some());
+    }
+
+    #[test]
+    fn resolve_of_missing_path_yields_a_phantom_not_an_error() {
+        let mut s = svc();
+        let (dir, leaf) = resolve_path(&mut s, ">udd>Nowhere>thing").unwrap();
+        assert_eq!(leaf, "thing");
+        assert!(s.kst.entry(dir).unwrap().phantom, "resolution must not leak existence");
+    }
+
+    #[test]
+    fn single_component_path_resolves_against_root() {
+        let mut s = svc();
+        let (dir, leaf) = resolve_path(&mut s, ">udd").unwrap();
+        assert_eq!(leaf, "udd");
+        assert_eq!(s.kst.entry(dir).unwrap().uid, FileSystem::ROOT);
+    }
+
+    #[test]
+    fn repeated_resolution_reuses_bindings() {
+        let mut s = svc();
+        resolve_path(&mut s, ">udd>CSR>notes").unwrap();
+        let n = s.kst.len();
+        resolve_path(&mut s, ">udd>CSR>notes").unwrap();
+        assert_eq!(s.kst.len(), n, "idempotent initiation must not grow the KST");
+    }
+}

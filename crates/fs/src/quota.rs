@@ -1,0 +1,135 @@
+//! Directory storage quotas.
+//!
+//! Multics charged the pages of every segment against a *quota cell* on some
+//! ancestor directory. Quota can be subdivided: a parent with spare quota
+//! may delegate some of it to a child directory's own cell. The kernel
+//! consults the cell when page control creates a page (zero-fill), making
+//! quota exhaustion a clean, authorized form of denial rather than a crash.
+
+/// A directory's quota cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QuotaCell {
+    /// Maximum pages chargeable to this cell.
+    pub limit_pages: u64,
+    /// Pages currently charged.
+    pub used_pages: u64,
+}
+
+/// Errors from quota operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuotaError {
+    /// The charge would exceed the limit.
+    Exceeded {
+        /// Pages that were requested.
+        requested: u64,
+        /// Pages still available.
+        available: u64,
+    },
+    /// A quota move would leave the source cell over-committed.
+    WouldOvercommit,
+}
+
+impl core::fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            QuotaError::Exceeded { requested, available } => {
+                write!(f, "record quota overflow: requested {requested}, available {available}")
+            }
+            QuotaError::WouldOvercommit => write!(f, "quota move would overcommit source cell"),
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+impl QuotaCell {
+    /// A cell with the given limit and nothing charged.
+    pub fn with_limit(limit_pages: u64) -> QuotaCell {
+        QuotaCell { limit_pages, used_pages: 0 }
+    }
+
+    /// Pages still available.
+    pub fn available(&self) -> u64 {
+        self.limit_pages.saturating_sub(self.used_pages)
+    }
+
+    /// Charges `pages` against the cell.
+    pub fn charge(&mut self, pages: u64) -> Result<(), QuotaError> {
+        if pages > self.available() {
+            return Err(QuotaError::Exceeded { requested: pages, available: self.available() });
+        }
+        self.used_pages += pages;
+        Ok(())
+    }
+
+    /// Releases `pages` back to the cell (saturating: releasing more than
+    /// was charged is a caller accounting bug but must not underflow).
+    pub fn release(&mut self, pages: u64) {
+        self.used_pages = self.used_pages.saturating_sub(pages);
+    }
+
+    /// Moves `pages` of *limit* from `self` to `child` (the `movequota`
+    /// operation). Fails if it would leave `self` with less limit than it
+    /// has already used — equivalently, only the *available* limit may
+    /// move. (An earlier guard here compared through a saturating
+    /// subtraction, which let `pages > limit_pages` underflow the source
+    /// cell; the model/mechanism cross-validation against the certified
+    /// KPL `quota_move` caught it — see `tests/cross_validation.rs`.)
+    pub fn move_to(&mut self, child: &mut QuotaCell, pages: u64) -> Result<(), QuotaError> {
+        if pages > self.available() {
+            return Err(QuotaError::WouldOvercommit);
+        }
+        self.limit_pages -= pages;
+        child.limit_pages += pages;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_track_usage() {
+        let mut q = QuotaCell::with_limit(10);
+        q.charge(4).unwrap();
+        assert_eq!(q.available(), 6);
+        q.release(2);
+        assert_eq!(q.used_pages, 2);
+    }
+
+    #[test]
+    fn over_quota_charge_is_refused() {
+        let mut q = QuotaCell::with_limit(3);
+        q.charge(3).unwrap();
+        assert_eq!(q.charge(1), Err(QuotaError::Exceeded { requested: 1, available: 0 }));
+        assert_eq!(q.used_pages, 3, "failed charge must not change usage");
+    }
+
+    #[test]
+    fn release_saturates_at_zero() {
+        let mut q = QuotaCell::with_limit(5);
+        q.charge(1).unwrap();
+        q.release(10);
+        assert_eq!(q.used_pages, 0);
+    }
+
+    #[test]
+    fn movequota_transfers_limit() {
+        let mut parent = QuotaCell::with_limit(10);
+        let mut child = QuotaCell::with_limit(0);
+        parent.move_to(&mut child, 4).unwrap();
+        assert_eq!(parent.limit_pages, 6);
+        assert_eq!(child.limit_pages, 4);
+    }
+
+    #[test]
+    fn movequota_cannot_strand_used_pages() {
+        let mut parent = QuotaCell::with_limit(10);
+        parent.charge(8).unwrap();
+        let mut child = QuotaCell::with_limit(0);
+        assert_eq!(parent.move_to(&mut child, 4), Err(QuotaError::WouldOvercommit));
+        assert_eq!(parent.limit_pages, 10);
+        assert_eq!(child.limit_pages, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Primary (core) memory: a fixed array of page frames.
+//!
+//! The simulator's primary memory is the top of the paper's three-level
+//! hierarchy (primary memory / bulk store / disk). Only pages resident here
+//! are addressable by the processor; `mks-vm` moves pages between this level
+//! and the lower ones.
+
+use crate::word::Word;
+
+/// Words per page (and per frame): the Multics page size.
+pub const PAGE_WORDS: usize = 1024;
+
+/// Index of a physical page frame in primary memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+/// One page frame's worth of words.
+pub type FrameData = Box<[Word; PAGE_WORDS]>;
+
+/// Allocates a zeroed frame's worth of words.
+pub fn zeroed_frame() -> FrameData {
+    // Box::new([Word::ZERO; PAGE_WORDS]) would build on the stack first;
+    // go through a Vec to allocate directly on the heap.
+    vec![Word::ZERO; PAGE_WORDS].into_boxed_slice().try_into().expect("length is PAGE_WORDS")
+}
+
+/// Primary memory: `nr_frames` page frames of [`PAGE_WORDS`] words each.
+#[derive(Debug)]
+pub struct PhysMem {
+    frames: Vec<FrameData>,
+}
+
+impl PhysMem {
+    /// Creates a primary memory of `nr_frames` zeroed frames.
+    pub fn new(nr_frames: usize) -> PhysMem {
+        PhysMem { frames: (0..nr_frames).map(|_| zeroed_frame()).collect() }
+    }
+
+    /// Number of frames configured.
+    pub fn nr_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Reads one word.
+    ///
+    /// # Panics
+    /// Panics if `frame` or `offset` is out of range: physical addresses are
+    /// generated only by the hardware's own translation, so a bad one is a
+    /// simulator bug, not a simulated fault.
+    #[inline]
+    pub fn read(&self, frame: FrameId, offset: usize) -> Word {
+        self.frames[frame.0 as usize][offset]
+    }
+
+    /// Writes one word. Panics on bad physical addresses, as [`read`](Self::read).
+    #[inline]
+    pub fn write(&mut self, frame: FrameId, offset: usize, value: Word) {
+        self.frames[frame.0 as usize][offset] = value;
+    }
+
+    /// Copies a whole frame out (used by page control when evicting).
+    pub fn export_frame(&self, frame: FrameId) -> FrameData {
+        self.frames[frame.0 as usize].clone()
+    }
+
+    /// Overwrites a whole frame (used by page control when loading).
+    pub fn import_frame(&mut self, frame: FrameId, data: FrameData) {
+        self.frames[frame.0 as usize] = data;
+    }
+
+    /// Zeroes a frame (page creation / scrubbing before reuse — the kernel
+    /// must scrub frames so deleted data cannot leak between users).
+    pub fn zero_frame(&mut self, frame: FrameId) {
+        self.frames[frame.0 as usize] = zeroed_frame();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_memory_is_zeroed() {
+        let m = PhysMem::new(2);
+        assert_eq!(m.read(FrameId(0), 0), Word::ZERO);
+        assert_eq!(m.read(FrameId(1), PAGE_WORDS - 1), Word::ZERO);
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut m = PhysMem::new(1);
+        m.write(FrameId(0), 17, Word::new(0o777));
+        assert_eq!(m.read(FrameId(0), 17), Word::new(0o777));
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut m = PhysMem::new(2);
+        m.write(FrameId(0), 5, Word::new(99));
+        let data = m.export_frame(FrameId(0));
+        m.import_frame(FrameId(1), data);
+        assert_eq!(m.read(FrameId(1), 5), Word::new(99));
+    }
+
+    #[test]
+    fn zero_frame_scrubs_residue() {
+        let mut m = PhysMem::new(1);
+        m.write(FrameId(0), 123, Word::new(1));
+        m.zero_frame(FrameId(0));
+        assert_eq!(m.read(FrameId(0), 123), Word::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_frame_is_a_simulator_bug() {
+        let m = PhysMem::new(1);
+        let _ = m.read(FrameId(9), 0);
+    }
+}

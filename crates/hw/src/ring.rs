@@ -1,0 +1,155 @@
+//! Protection rings and ring brackets.
+//!
+//! Implements the access rules of the Multics ring mechanism as described by
+//! Schroeder & Saltzer, "A Hardware Architecture for Implementing Protection
+//! Rings" (CACM 15,3 1972) — the hardware feature of the 6180 that the
+//! paper's removal program depends on. A segment carries three bracket
+//! numbers `r1 <= r2 <= r3`:
+//!
+//! * **write bracket** `[0, r1]` — rings that may write the segment,
+//! * **read/execute bracket** `[0, r2]` — rings that may read it; rings in
+//!   `[r1, r2]` execute it *in the caller's ring*,
+//! * **call bracket** `(r2, r3]` — rings that may call it, but only through a
+//!   designated gate entry point, switching execution to ring `r2`.
+
+use crate::fault::{AttemptKind, Fault};
+use crate::space::SegNo;
+
+/// A ring number, 0 (most privileged) through 7 (least privileged).
+pub type RingNo = u8;
+
+/// Number of rings the hardware implements.
+pub const NR_RINGS: u8 = 8;
+
+/// The ring ordinary user programs execute in (standard Multics assignment).
+pub const USER_RING: RingNo = 4;
+
+/// The three ring-bracket numbers of a segment descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct RingBrackets {
+    /// Top of the write bracket.
+    pub r1: RingNo,
+    /// Top of the read/execute bracket.
+    pub r2: RingNo,
+    /// Top of the call bracket.
+    pub r3: RingNo,
+}
+
+/// What a permitted call does to the ring of execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallEffect {
+    /// The call proceeds in the caller's ring (target is within the
+    /// read/execute bracket).
+    SameRing,
+    /// The call enters the target's ring of execution `r2` through a gate —
+    /// an *inward* (privilege-increasing) crossing.
+    InwardTo(RingNo),
+}
+
+impl RingBrackets {
+    /// Constructs brackets, normalising so that `r1 <= r2 <= r3`.
+    pub fn new(r1: RingNo, r2: RingNo, r3: RingNo) -> RingBrackets {
+        let r1 = r1.min(NR_RINGS - 1);
+        let r2 = r2.max(r1).min(NR_RINGS - 1);
+        let r3 = r3.max(r2).min(NR_RINGS - 1);
+        RingBrackets { r1, r2, r3 }
+    }
+
+    /// Brackets for an ordinary kernel data/procedure segment usable only in
+    /// ring `r`.
+    pub fn private_to(r: RingNo) -> RingBrackets {
+        RingBrackets::new(r, r, r)
+    }
+
+    /// Brackets for a kernel gate segment: executes in `target`, callable
+    /// from rings up to `callable_from`.
+    pub fn gate(target: RingNo, callable_from: RingNo) -> RingBrackets {
+        RingBrackets::new(target, target, callable_from)
+    }
+
+    /// May ring `r` write the segment?
+    #[inline]
+    pub fn write_allowed(&self, r: RingNo) -> bool {
+        r <= self.r1
+    }
+
+    /// May ring `r` read the segment?
+    #[inline]
+    pub fn read_allowed(&self, r: RingNo) -> bool {
+        r <= self.r2
+    }
+
+    /// Checks a call from ring `r`, classifying the ring crossing.
+    ///
+    /// * `r` in `[0, r2]` — permitted, stays in the caller's ring. (A call
+    ///   from `r < r1` is an execute within the read bracket; real Multics
+    ///   treated calls from below `r1` as same-ring execution too, since the
+    ///   caller already dominates the segment's write bracket.)
+    /// * `r` in `(r2, r3]` — permitted only through a gate; execution moves
+    ///   inward to ring `r2`. The gate entry-point check itself is done by
+    ///   the caller of this function (it needs the SDW's gate list).
+    /// * `r > r3` — ring violation.
+    pub fn classify_call(&self, seg: SegNo, r: RingNo) -> Result<CallEffect, Fault> {
+        if r <= self.r2 {
+            Ok(CallEffect::SameRing)
+        } else if r <= self.r3 {
+            Ok(CallEffect::InwardTo(self.r2))
+        } else {
+            Err(Fault::RingViolation { seg, from_ring: r, attempted: AttemptKind::Call })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEG: SegNo = SegNo(42);
+
+    #[test]
+    fn brackets_normalise_ordering() {
+        let b = RingBrackets::new(5, 2, 1);
+        assert!(b.r1 <= b.r2 && b.r2 <= b.r3);
+        assert_eq!((b.r1, b.r2, b.r3), (5, 5, 5));
+    }
+
+    #[test]
+    fn write_bracket_is_0_to_r1() {
+        let b = RingBrackets::new(1, 4, 5);
+        assert!(b.write_allowed(0));
+        assert!(b.write_allowed(1));
+        assert!(!b.write_allowed(2));
+    }
+
+    #[test]
+    fn read_bracket_is_0_to_r2() {
+        let b = RingBrackets::new(1, 4, 5);
+        assert!(b.read_allowed(4));
+        assert!(!b.read_allowed(5));
+    }
+
+    #[test]
+    fn call_within_read_bracket_stays_in_ring() {
+        let b = RingBrackets::new(1, 4, 5);
+        assert_eq!(b.classify_call(SEG, 3), Ok(CallEffect::SameRing));
+        assert_eq!(b.classify_call(SEG, 0), Ok(CallEffect::SameRing));
+    }
+
+    #[test]
+    fn call_in_call_bracket_goes_inward_to_r2() {
+        let b = RingBrackets::new(0, 0, 5); // a classic ring-0 gate
+        assert_eq!(b.classify_call(SEG, 4), Ok(CallEffect::InwardTo(0)));
+    }
+
+    #[test]
+    fn call_above_r3_faults() {
+        let b = RingBrackets::new(0, 0, 5);
+        assert!(matches!(b.classify_call(SEG, 6), Err(Fault::RingViolation { .. })));
+    }
+
+    #[test]
+    fn gate_constructor_shapes_brackets() {
+        let b = RingBrackets::gate(0, 5);
+        assert_eq!((b.r1, b.r2, b.r3), (0, 0, 5));
+    }
+}

@@ -1,0 +1,93 @@
+//! Segment descriptor words.
+//!
+//! An SDW is the hardware's entire knowledge of a segment within one
+//! process: where its page table is (an AST index), what access modes the
+//! supervisor granted this process, the ring brackets, and — for gate
+//! segments — the *call limiter*, the 6180 field that bounds which offsets
+//! count as legitimate gate entry points for callers in the call bracket.
+
+use crate::ast::AstIndex;
+use crate::ring::RingBrackets;
+
+/// Access-mode bits of an SDW (the per-process rights derived from the ACL).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AccessMode {
+    /// Data reads permitted.
+    pub read: bool,
+    /// Data writes permitted.
+    pub write: bool,
+    /// Instruction fetch / calls permitted.
+    pub execute: bool,
+}
+
+impl AccessMode {
+    /// Read-only data.
+    pub const R: AccessMode = AccessMode { read: true, write: false, execute: false };
+    /// Read-write data.
+    pub const RW: AccessMode = AccessMode { read: true, write: true, execute: false };
+    /// Pure procedure (read + execute, the normal Multics procedure mode).
+    pub const RE: AccessMode = AccessMode { read: true, write: false, execute: true };
+    /// Everything (used by some legacy-configuration supervisor segments —
+    /// exactly the kind of over-privilege the kernel project removes).
+    pub const REW: AccessMode = AccessMode { read: true, write: true, execute: true };
+}
+
+/// A segment descriptor word.
+#[derive(Clone, Copy, Debug)]
+pub struct Sdw {
+    /// Which active segment this descriptor maps.
+    pub astx: AstIndex,
+    /// Mode bits.
+    pub mode: AccessMode,
+    /// Ring brackets.
+    pub brackets: RingBrackets,
+    /// `Some(n)` marks the segment as a gate with entry points at offsets
+    /// `0..n`; a call from the call bracket to any other offset faults.
+    /// `None` means calls from the call bracket always fault.
+    pub call_limiter: Option<u32>,
+}
+
+impl Sdw {
+    /// Descriptor for an ordinary (non-gate) segment.
+    pub fn plain(astx: AstIndex, mode: AccessMode, brackets: RingBrackets) -> Sdw {
+        Sdw { astx, mode, brackets, call_limiter: None }
+    }
+
+    /// Descriptor for a gate segment with `entries` entry points.
+    pub fn gate(astx: AstIndex, brackets: RingBrackets, entries: u32) -> Sdw {
+        Sdw { astx, mode: AccessMode::RE, brackets, call_limiter: Some(entries) }
+    }
+
+    /// Is `offset` a valid gate entry point for call-bracket callers?
+    pub fn is_gate_entry(&self, offset: usize) -> bool {
+        match self.call_limiter {
+            Some(n) => offset < n as usize,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_constants() {
+        assert!(AccessMode::RE.execute && AccessMode::RE.read && !AccessMode::RE.write);
+        assert!(AccessMode::RW.write && !AccessMode::RW.execute);
+    }
+
+    #[test]
+    fn gate_entry_bounded_by_call_limiter() {
+        let sdw = Sdw::gate(AstIndex(0), RingBrackets::gate(0, 5), 3);
+        assert!(sdw.is_gate_entry(0));
+        assert!(sdw.is_gate_entry(2));
+        assert!(!sdw.is_gate_entry(3));
+    }
+
+    #[test]
+    fn plain_segment_has_no_gate_entries() {
+        let sdw = Sdw::plain(AstIndex(0), AccessMode::RE, RingBrackets::private_to(4));
+        assert!(!sdw.is_gate_entry(0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-process address spaces (descriptor segments).
+//!
+//! Each process addresses memory through its *descriptor segment*: the array
+//! of SDWs indexed by segment number. The supervisor builds descriptor
+//! segments; the hardware only reads them. Swapping the descriptor base
+//! register (here: handing a different [`AddrSpace`] to the machine) is what
+//! gives each process its own protected view of the world.
+
+use crate::sdw::Sdw;
+
+/// A per-process segment number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegNo(pub u16);
+
+impl core::fmt::Debug for SegNo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "seg#{}", self.0)
+    }
+}
+
+/// A descriptor segment: the map from segment numbers to SDWs.
+#[derive(Debug, Default)]
+pub struct AddrSpace {
+    sdws: Vec<Option<Sdw>>,
+    next_hint: u16,
+}
+
+impl AddrSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddrSpace {
+        AddrSpace::default()
+    }
+
+    /// Installs `sdw` at segment number `seg`, replacing any previous one.
+    pub fn set(&mut self, seg: SegNo, sdw: Sdw) {
+        let i = seg.0 as usize;
+        if i >= self.sdws.len() {
+            self.sdws.resize(i + 1, None);
+        }
+        self.sdws[i] = Some(sdw);
+    }
+
+    /// Removes the descriptor at `seg`, returning it.
+    pub fn clear(&mut self, seg: SegNo) -> Option<Sdw> {
+        self.sdws.get_mut(seg.0 as usize).and_then(Option::take)
+    }
+
+    /// Looks up the descriptor for `seg`.
+    pub fn get(&self, seg: SegNo) -> Option<&Sdw> {
+        self.sdws.get(seg.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable descriptor lookup (for supervisor edits of mode bits etc.).
+    pub fn get_mut(&mut self, seg: SegNo) -> Option<&mut Sdw> {
+        self.sdws.get_mut(seg.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Allocates the lowest free segment number at or after the internal
+    /// hint and installs `sdw` there. This mirrors the KST's assignment of
+    /// segment numbers on `initiate`.
+    pub fn install(&mut self, sdw: Sdw) -> SegNo {
+        let start = self.next_hint as usize;
+        if self.sdws.len() < start {
+            self.sdws.resize(start, None);
+        }
+        let slot = (start..self.sdws.len()).find(|&i| self.sdws[i].is_none()).unwrap_or_else(
+            || {
+                self.sdws.push(None);
+                self.sdws.len() - 1
+            },
+        );
+        self.sdws[slot] = Some(sdw);
+        let seg = SegNo(slot as u16);
+        self.next_hint = seg.0;
+        seg
+    }
+
+    /// Reserves segment numbers below `n` (Multics reserved low numbers for
+    /// supervisor segments present in every address space).
+    pub fn reserve_low(&mut self, n: u16) {
+        self.next_hint = self.next_hint.max(n);
+    }
+
+    /// Number of installed descriptors.
+    pub fn nr_segments(&self) -> usize {
+        self.sdws.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over `(segno, &sdw)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SegNo, &Sdw)> {
+        self.sdws
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (SegNo(i as u16), s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AstIndex;
+    use crate::ring::RingBrackets;
+    use crate::sdw::AccessMode;
+
+    fn sdw(astx: u32) -> Sdw {
+        Sdw::plain(AstIndex(astx), AccessMode::RW, RingBrackets::private_to(4))
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut sp = AddrSpace::new();
+        sp.set(SegNo(3), sdw(1));
+        assert!(sp.get(SegNo(3)).is_some());
+        assert!(sp.get(SegNo(2)).is_none());
+        assert!(sp.clear(SegNo(3)).is_some());
+        assert!(sp.get(SegNo(3)).is_none());
+    }
+
+    #[test]
+    fn install_finds_free_slots() {
+        let mut sp = AddrSpace::new();
+        let a = sp.install(sdw(0));
+        let b = sp.install(sdw(1));
+        assert_ne!(a, b);
+        sp.clear(a);
+        // Hint moved past `a`, so the freed slot is not necessarily reused;
+        // but a new install must land on an empty slot.
+        let c = sp.install(sdw(2));
+        assert!(sp.get(c).is_some());
+    }
+
+    #[test]
+    fn reserve_low_keeps_supervisor_numbers_free() {
+        let mut sp = AddrSpace::new();
+        sp.reserve_low(8);
+        let seg = sp.install(sdw(0));
+        assert!(seg.0 >= 8);
+        // Supervisor can still place descriptors below the line explicitly.
+        sp.set(SegNo(0), sdw(9));
+        assert!(sp.get(SegNo(0)).is_some());
+    }
+
+    #[test]
+    fn nr_segments_counts_installed() {
+        let mut sp = AddrSpace::new();
+        sp.set(SegNo(0), sdw(0));
+        sp.set(SegNo(5), sdw(1));
+        assert_eq!(sp.nr_segments(), 2);
+        assert_eq!(sp.iter().count(), 2);
+    }
+}

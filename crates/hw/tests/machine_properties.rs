@@ -1,0 +1,129 @@
+//! Property tests on the machine's access checks: random descriptor
+//! layouts and access attempts must never let a denied combination
+//! through, and the decision must agree with the bracket algebra.
+
+use mks_hw::ast::PageState;
+use mks_hw::{
+    AccessMode, AccessType, AddrSpace, CpuModel, Fault, FrameId, Machine, RingBrackets, Sdw,
+    SegNo, SegUid, Word, PAGE_WORDS,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Setup {
+    mode: AccessMode,
+    brackets: RingBrackets,
+    ring: u8,
+    offset: usize,
+    resident: bool,
+}
+
+fn arb_setup() -> impl Strategy<Value = Setup> {
+    (
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u8..8, 0u8..8, 0u8..8),
+        0u8..8,
+        0usize..(2 * PAGE_WORDS + 10),
+        any::<bool>(),
+    )
+        .prop_map(|((read, write, execute), (a, b, c), ring, offset, resident)| Setup {
+            mode: AccessMode { read, write, execute },
+            brackets: RingBrackets::new(a, b, c),
+            ring,
+            offset,
+            resident,
+        })
+}
+
+fn build(s: &Setup) -> (Machine, AddrSpace) {
+    let mut m = Machine::new(CpuModel::H6180, 4);
+    let astx = m.ast.activate(SegUid(1), 2 * PAGE_WORDS);
+    if s.resident {
+        m.ast.entry_mut(astx).pt.ptw_mut(0).state = PageState::InCore(FrameId(0));
+        m.ast.entry_mut(astx).pt.ptw_mut(1).state = PageState::InCore(FrameId(1));
+    }
+    let mut sp = AddrSpace::new();
+    sp.set(SegNo(1), Sdw { astx, mode: s.mode, brackets: s.brackets, call_limiter: None });
+    (m, sp)
+}
+
+proptest! {
+    /// The machine's read decision agrees exactly with mode ∧ brackets ∧
+    /// bounds ∧ residency, and every denial names the right fault.
+    #[test]
+    fn read_decision_matches_the_model(s in arb_setup()) {
+        let (mut m, sp) = build(&s);
+        let out = m.read(&sp, s.ring, SegNo(1), s.offset);
+        let in_bounds = s.offset < 2 * PAGE_WORDS;
+        let expected_ok =
+            in_bounds && s.mode.read && s.brackets.read_allowed(s.ring) && s.resident;
+        prop_assert_eq!(out.is_ok(), expected_ok, "{:?} -> {:?}", s, out);
+        match out {
+            Err(Fault::OutOfBounds { .. }) => prop_assert!(!in_bounds),
+            Err(Fault::AccessViolation { .. }) => prop_assert!(in_bounds && !s.mode.read),
+            Err(Fault::RingViolation { .. }) => {
+                prop_assert!(in_bounds && s.mode.read && !s.brackets.read_allowed(s.ring))
+            }
+            Err(Fault::MissingPage { .. }) => prop_assert!(
+                in_bounds && s.mode.read && s.brackets.read_allowed(s.ring) && !s.resident
+            ),
+            Err(other) => prop_assert!(false, "unexpected fault {other:?}"),
+            Ok(_) => {}
+        }
+    }
+
+    /// Writes additionally require the write bracket; a successful write
+    /// is always readable back from a ring that may read.
+    #[test]
+    fn write_decision_and_read_back(s in arb_setup()) {
+        let (mut m, sp) = build(&s);
+        let out = m.write(&sp, s.ring, SegNo(1), s.offset, Word::new(0o1234));
+        let in_bounds = s.offset < 2 * PAGE_WORDS;
+        let expected_ok =
+            in_bounds && s.mode.write && s.brackets.write_allowed(s.ring) && s.resident;
+        prop_assert_eq!(out.is_ok(), expected_ok);
+        if out.is_ok() && s.mode.read {
+            // Ring 0 always satisfies the read bracket.
+            prop_assert_eq!(m.read(&sp, 0, SegNo(1), s.offset).unwrap(), Word::new(0o1234));
+        }
+    }
+
+    /// The probe agrees with the full access path on everything except
+    /// residency (probe ignores it by design).
+    #[test]
+    fn probe_matches_access_modulo_residency(s in arb_setup()) {
+        let (mut m, sp) = build(&s);
+        for (kind, would) in [
+            (AccessType::Read, m.probe(&sp, s.ring, SegNo(1), s.offset, AccessType::Read).is_ok()),
+            (AccessType::Write, m.probe(&sp, s.ring, SegNo(1), s.offset, AccessType::Write).is_ok()),
+        ] {
+            let full = match kind {
+                AccessType::Read => m.read(&sp, s.ring, SegNo(1), s.offset).is_ok(),
+                AccessType::Write => m.write(&sp, s.ring, SegNo(1), s.offset, Word::ZERO).is_ok(),
+                AccessType::Execute => unreachable!(),
+            };
+            if s.resident {
+                prop_assert_eq!(would, full);
+            } else if full {
+                prop_assert!(would, "full access cannot out-permit the probe");
+            }
+        }
+    }
+
+    /// Used/modified bits are set exactly when the corresponding access
+    /// succeeds.
+    #[test]
+    fn hardware_bits_track_successful_accesses(s in arb_setup()) {
+        let (mut m, sp) = build(&s);
+        let offset = s.offset % (2 * PAGE_WORDS); // keep in bounds
+        let page = offset / PAGE_WORDS;
+        let _ = m.write(&sp, s.ring, SegNo(1), offset, Word::new(1));
+        let astx = m.ast.find(SegUid(1)).unwrap();
+        let ptw = *m.ast.entry(astx).pt.ptw(page);
+        let write_ok = s.mode.write && s.brackets.write_allowed(s.ring) && s.resident;
+        prop_assert_eq!(ptw.modified, write_ok);
+        if write_ok {
+            prop_assert!(ptw.used);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on the ring-bracket access rules.
+//!
+//! These are the hardware's entire contribution to security, so their
+//! algebra deserves adversarial coverage: privilege monotonicity (an
+//! inner ring can always do what an outer ring can), bracket nesting, and
+//! the exact partition of call outcomes.
+
+use mks_hw::ring::{CallEffect, RingBrackets};
+use mks_hw::SegNo;
+use proptest::prelude::*;
+
+fn arb_brackets() -> impl Strategy<Value = RingBrackets> {
+    (0u8..8, 0u8..8, 0u8..8).prop_map(|(a, b, c)| RingBrackets::new(a, b, c))
+}
+
+proptest! {
+    #[test]
+    fn brackets_always_normalized(b in arb_brackets()) {
+        prop_assert!(b.r1 <= b.r2 && b.r2 <= b.r3);
+        prop_assert!(b.r3 < 8);
+    }
+
+    /// Privilege is monotone: anything ring r may do, ring r-1 may too.
+    #[test]
+    fn inner_rings_dominate_outer_rings(b in arb_brackets(), r in 1u8..8) {
+        if b.write_allowed(r) {
+            prop_assert!(b.write_allowed(r - 1));
+        }
+        if b.read_allowed(r) {
+            prop_assert!(b.read_allowed(r - 1));
+        }
+    }
+
+    /// The write bracket is nested inside the read bracket.
+    #[test]
+    fn write_implies_read(b in arb_brackets(), r in 0u8..8) {
+        if b.write_allowed(r) {
+            prop_assert!(b.read_allowed(r));
+        }
+    }
+
+    /// Call outcomes partition the rings exactly at r2 and r3.
+    #[test]
+    fn call_classification_partitions_rings(b in arb_brackets(), r in 0u8..8) {
+        let seg = SegNo(1);
+        match b.classify_call(seg, r) {
+            Ok(CallEffect::SameRing) => prop_assert!(r <= b.r2),
+            Ok(CallEffect::InwardTo(target)) => {
+                prop_assert!(r > b.r2 && r <= b.r3);
+                prop_assert_eq!(target, b.r2);
+            }
+            Err(_) => prop_assert!(r > b.r3),
+        }
+    }
+
+    /// A gate call never *decreases* privilege: the ring of execution
+    /// after a permitted call is never outside the caller's ring.
+    #[test]
+    fn calls_never_move_outward(b in arb_brackets(), r in 0u8..8) {
+        if let Ok(effect) = b.classify_call(SegNo(1), r) {
+            let new_ring = match effect {
+                CallEffect::SameRing => r,
+                CallEffect::InwardTo(t) => t,
+            };
+            prop_assert!(new_ring <= r);
+        }
+    }
+
+    /// Gate constructor: callable range really is (r2, r3].
+    #[test]
+    fn gate_brackets_expose_exactly_the_call_bracket(target in 0u8..4, top in 4u8..8, r in 0u8..8) {
+        let b = RingBrackets::gate(target, top);
+        let out = b.classify_call(SegNo(1), r);
+        if r <= target {
+            prop_assert_eq!(out.unwrap(), CallEffect::SameRing);
+        } else if r <= top {
+            prop_assert_eq!(out.unwrap(), CallEffect::InwardTo(target));
+        } else {
+            prop_assert!(out.is_err());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The device zoo: the legacy kernel's five device-interface modules.
+//!
+//! In the pre-simplification system each peripheral class had its own
+//! *Device Interface Module* (DIM) inside the supervisor — its own buffer
+//! handling, its own control orders, its own framing rules, its own gates.
+//! Every line of it was inside the protection boundary and therefore on the
+//! certification bill. The modules here each carry a measured
+//! [`ModuleInfo`] so experiment E8 can weigh the zoo against the single
+//! network attachment in [`crate::network`].
+
+pub mod cards;
+pub mod printer;
+pub mod tape;
+pub mod terminal;
+
+use mks_hw::module::ModuleInfo;
+
+/// An I/O request to a device.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceOp {
+    /// Read up to `count` bytes/records (device-dependent unit).
+    Read {
+        /// Maximum units to transfer.
+        count: usize,
+    },
+    /// Write the given bytes.
+    Write {
+        /// Payload.
+        data: Vec<u8>,
+    },
+    /// A device-specific control order (`"rewind"`, `"skip_page"`, ...).
+    Control {
+        /// Order name.
+        order: &'static str,
+    },
+}
+
+/// A device's answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceResult {
+    /// Data transferred to the caller.
+    Data(Vec<u8>),
+    /// Operation completed without data.
+    Done,
+    /// The device refused the operation.
+    Rejected(&'static str),
+}
+
+/// A device-interface module.
+pub trait Device {
+    /// Device class name.
+    fn name(&self) -> &'static str;
+
+    /// Submits one operation.
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult;
+
+    /// Audit record (ring, weight, gates) for the census.
+    fn module_info(&self) -> ModuleInfo;
+}
+
+/// Convenience: the full legacy zoo, one instance of each DIM.
+pub fn legacy_zoo() -> Vec<Box<dyn Device>> {
+    vec![
+        Box::new(terminal::TerminalDim::new()),
+        Box::new(tape::TapeDim::new()),
+        Box::new(cards::CardReaderDim::new()),
+        Box::new(cards::CardPunchDim::new()),
+        Box::new(printer::PrinterDim::new()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_zoo_has_five_kernel_modules() {
+        let zoo = legacy_zoo();
+        assert_eq!(zoo.len(), 5);
+        for d in &zoo {
+            let m = d.module_info();
+            assert_eq!(m.ring, 0, "{} must be a kernel module in the zoo", d.name());
+            assert!(m.weight > 0);
+            assert!(!m.entries.is_empty(), "{} exports gates", d.name());
+        }
+    }
+
+    #[test]
+    fn zoo_device_names_are_distinct() {
+        let zoo = legacy_zoo();
+        let mut names: Vec<_> = zoo.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,221 @@
+//! The card reader and card punch DIMs: 80-column records.
+
+use mks_hw::module::{Category, ModuleInfo};
+
+use crate::devices::{Device, DeviceOp, DeviceResult};
+
+/// Columns on a punched card.
+pub const CARD_COLUMNS: usize = 80;
+
+/// The end-of-deck card (column 1 punch convention: `+++EOF`).
+const EOF_CARD_PREFIX: &[u8] = b"+++EOF";
+
+/// The card-reader device-interface module.
+pub struct CardReaderDim {
+    hopper: Vec<[u8; CARD_COLUMNS]>,
+    next: usize,
+    jammed: bool,
+}
+
+impl CardReaderDim {
+    /// An empty hopper.
+    pub fn new() -> CardReaderDim {
+        CardReaderDim { hopper: Vec::new(), next: 0, jammed: false }
+    }
+
+    /// Loads a deck; each line is padded/truncated to 80 columns.
+    pub fn load_deck(&mut self, lines: &[&str]) {
+        for l in lines {
+            let mut card = [b' '; CARD_COLUMNS];
+            for (i, b) in l.bytes().take(CARD_COLUMNS).enumerate() {
+                card[i] = b;
+            }
+            self.hopper.push(card);
+        }
+    }
+}
+
+impl Default for CardReaderDim {
+    fn default() -> CardReaderDim {
+        CardReaderDim::new()
+    }
+}
+
+impl Device for CardReaderDim {
+    fn name(&self) -> &'static str {
+        "card_reader"
+    }
+
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult {
+        match op {
+            DeviceOp::Read { .. } => {
+                if self.jammed {
+                    return DeviceResult::Rejected("reader jammed");
+                }
+                match self.hopper.get(self.next) {
+                    Some(card) if card.starts_with(EOF_CARD_PREFIX) => {
+                        self.next += 1;
+                        DeviceResult::Data(Vec::new()) // end-of-deck
+                    }
+                    Some(card) => {
+                        self.next += 1;
+                        DeviceResult::Data(card.to_vec())
+                    }
+                    None => DeviceResult::Rejected("hopper empty"),
+                }
+            }
+            DeviceOp::Write { .. } => DeviceResult::Rejected("reader cannot write"),
+            DeviceOp::Control { order } => match order {
+                "clear_jam" => {
+                    self.jammed = false;
+                    DeviceResult::Done
+                }
+                _ => DeviceResult::Rejected("unknown reader order"),
+            },
+        }
+    }
+
+    fn module_info(&self) -> ModuleInfo {
+        ModuleInfo {
+            name: "card_reader_dim",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("cards.rs")) / 2,
+            entries: vec!["crd_read", "crd_attach", "crd_detach", "crd_order"],
+        }
+    }
+}
+
+/// The card-punch device-interface module.
+pub struct CardPunchDim {
+    stacker: Vec<[u8; CARD_COLUMNS]>,
+}
+
+impl CardPunchDim {
+    /// An empty stacker.
+    pub fn new() -> CardPunchDim {
+        CardPunchDim { stacker: Vec::new() }
+    }
+
+    /// Cards punched so far.
+    pub fn punched(&self) -> usize {
+        self.stacker.len()
+    }
+
+    /// The stacker contents (for verification).
+    pub fn stacker(&self) -> &[[u8; CARD_COLUMNS]] {
+        &self.stacker
+    }
+}
+
+impl Default for CardPunchDim {
+    fn default() -> CardPunchDim {
+        CardPunchDim::new()
+    }
+}
+
+impl Device for CardPunchDim {
+    fn name(&self) -> &'static str {
+        "card_punch"
+    }
+
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult {
+        match op {
+            DeviceOp::Write { data } => {
+                if data.len() > CARD_COLUMNS {
+                    return DeviceResult::Rejected("record exceeds 80 columns");
+                }
+                let mut card = [b' '; CARD_COLUMNS];
+                card[..data.len()].copy_from_slice(&data);
+                self.stacker.push(card);
+                DeviceResult::Done
+            }
+            DeviceOp::Read { .. } => DeviceResult::Rejected("punch cannot read"),
+            DeviceOp::Control { order } => match order {
+                "punch_eof" => {
+                    let mut card = [b' '; CARD_COLUMNS];
+                    card[..EOF_CARD_PREFIX.len()].copy_from_slice(EOF_CARD_PREFIX);
+                    self.stacker.push(card);
+                    DeviceResult::Done
+                }
+                _ => DeviceResult::Rejected("unknown punch order"),
+            },
+        }
+    }
+
+    fn module_info(&self) -> ModuleInfo {
+        ModuleInfo {
+            name: "card_punch_dim",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("cards.rs")) / 2,
+            entries: vec!["pun_write", "pun_attach", "pun_detach", "pun_order"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deck_reads_back_padded_to_80_columns() {
+        let mut r = CardReaderDim::new();
+        r.load_deck(&["hello"]);
+        match r.submit(DeviceOp::Read { count: 1 }) {
+            DeviceResult::Data(d) => {
+                assert_eq!(d.len(), CARD_COLUMNS);
+                assert!(d.starts_with(b"hello"));
+                assert_eq!(d[5], b' ');
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_card_reads_as_empty_record() {
+        let mut r = CardReaderDim::new();
+        r.load_deck(&["data", "+++EOF"]);
+        r.submit(DeviceOp::Read { count: 1 });
+        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(Vec::new()));
+        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected("hopper empty"));
+    }
+
+    #[test]
+    fn reader_refuses_writes_and_punch_refuses_reads() {
+        let mut r = CardReaderDim::new();
+        let mut p = CardPunchDim::new();
+        assert!(matches!(
+            r.submit(DeviceOp::Write { data: vec![1] }),
+            DeviceResult::Rejected(_)
+        ));
+        assert!(matches!(r.submit(DeviceOp::Control { order: "x" }), DeviceResult::Rejected(_)));
+        assert!(matches!(p.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected(_)));
+    }
+
+    #[test]
+    fn punch_pads_and_bounds_records() {
+        let mut p = CardPunchDim::new();
+        assert_eq!(p.submit(DeviceOp::Write { data: b"ab".to_vec() }), DeviceResult::Done);
+        assert_eq!(
+            p.submit(DeviceOp::Write { data: vec![b'x'; 81] }),
+            DeviceResult::Rejected("record exceeds 80 columns")
+        );
+        assert_eq!(p.punched(), 1);
+        assert_eq!(&p.stacker()[0][..2], b"ab");
+    }
+
+    #[test]
+    fn punched_eof_reads_back_as_eof() {
+        let mut p = CardPunchDim::new();
+        p.submit(DeviceOp::Write { data: b"payload".to_vec() });
+        p.submit(DeviceOp::Control { order: "punch_eof" });
+        // Feed the punched deck into a reader.
+        let mut r = CardReaderDim::new();
+        for card in p.stacker() {
+            r.hopper.push(*card);
+        }
+        assert!(matches!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(d) if !d.is_empty()));
+        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(Vec::new()));
+    }
+}

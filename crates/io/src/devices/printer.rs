@@ -1,0 +1,150 @@
+//! The line-printer DIM: 136-column lines, page formatting, carriage control.
+
+use mks_hw::module::{Category, ModuleInfo};
+
+use crate::devices::{Device, DeviceOp, DeviceResult};
+
+/// Print positions per line on the model 1200 printer.
+pub const LINE_WIDTH: usize = 136;
+/// Lines per page.
+pub const PAGE_LINES: usize = 60;
+
+/// The printer device-interface module.
+pub struct PrinterDim {
+    /// Everything printed, line by line.
+    output: Vec<String>,
+    line_on_page: usize,
+    pages: u64,
+    /// Uppercase-only print train (the common 1970s configuration).
+    upper_only: bool,
+}
+
+impl Default for PrinterDim {
+    fn default() -> PrinterDim {
+        PrinterDim::new()
+    }
+}
+
+impl PrinterDim {
+    /// A printer at top of form.
+    pub fn new() -> PrinterDim {
+        PrinterDim { output: Vec::new(), line_on_page: 0, pages: 0, upper_only: true }
+    }
+
+    fn advance_line(&mut self) {
+        self.line_on_page += 1;
+        if self.line_on_page >= PAGE_LINES {
+            self.form_feed();
+        }
+    }
+
+    fn form_feed(&mut self) {
+        self.line_on_page = 0;
+        self.pages += 1;
+        self.output.push("\u{c}".to_string()); // form-feed marker line
+    }
+
+    /// Printed lines (including form-feed markers).
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Completed pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+impl Device for PrinterDim {
+    fn name(&self) -> &'static str {
+        "printer"
+    }
+
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult {
+        match op {
+            DeviceOp::Write { data } => {
+                let text = String::from_utf8_lossy(&data);
+                // Long records wrap; the DIM owns this logic in the zoo.
+                for chunk in text.as_bytes().chunks(LINE_WIDTH) {
+                    let mut line = String::from_utf8_lossy(chunk).into_owned();
+                    if self.upper_only {
+                        line = line.to_uppercase();
+                    }
+                    self.output.push(line);
+                    self.advance_line();
+                }
+                DeviceResult::Done
+            }
+            DeviceOp::Read { .. } => DeviceResult::Rejected("printer cannot read"),
+            DeviceOp::Control { order } => match order {
+                "skip_page" => {
+                    self.form_feed();
+                    DeviceResult::Done
+                }
+                "lowercase_train" => {
+                    self.upper_only = false;
+                    DeviceResult::Done
+                }
+                _ => DeviceResult::Rejected("unknown printer order"),
+            },
+        }
+    }
+
+    fn module_info(&self) -> ModuleInfo {
+        ModuleInfo {
+            name: "printer_dim",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("printer.rs")),
+            entries: vec!["prt_write", "prt_order", "prt_attach", "prt_detach"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_lines_print_uppercased_by_default() {
+        let mut p = PrinterDim::new();
+        p.submit(DeviceOp::Write { data: b"Hello".to_vec() });
+        assert_eq!(p.output(), ["HELLO"]);
+    }
+
+    #[test]
+    fn lowercase_train_preserves_case() {
+        let mut p = PrinterDim::new();
+        p.submit(DeviceOp::Control { order: "lowercase_train" });
+        p.submit(DeviceOp::Write { data: b"Hello".to_vec() });
+        assert_eq!(p.output(), ["Hello"]);
+    }
+
+    #[test]
+    fn long_records_wrap_at_line_width() {
+        let mut p = PrinterDim::new();
+        p.submit(DeviceOp::Write { data: vec![b'x'; LINE_WIDTH + 10] });
+        assert_eq!(p.output().len(), 2);
+        assert_eq!(p.output()[0].len(), LINE_WIDTH);
+        assert_eq!(p.output()[1].len(), 10);
+    }
+
+    #[test]
+    fn pages_advance_every_60_lines() {
+        let mut p = PrinterDim::new();
+        for _ in 0..PAGE_LINES {
+            p.submit(DeviceOp::Write { data: b"line".to_vec() });
+        }
+        assert_eq!(p.pages(), 1);
+    }
+
+    #[test]
+    fn skip_page_forces_a_form_feed() {
+        let mut p = PrinterDim::new();
+        p.submit(DeviceOp::Write { data: b"a".to_vec() });
+        p.submit(DeviceOp::Control { order: "skip_page" });
+        assert_eq!(p.pages(), 1);
+        p.submit(DeviceOp::Write { data: b"b".to_vec() });
+        assert_eq!(p.output().last().unwrap(), "B");
+    }
+}

@@ -1,0 +1,181 @@
+//! The magnetic-tape DIM: records, file marks, positioning orders.
+
+use mks_hw::module::{Category, ModuleInfo};
+
+use crate::devices::{Device, DeviceOp, DeviceResult};
+
+/// One tape record: a data block or a file mark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TapeRecord {
+    Block(Vec<u8>),
+    FileMark,
+}
+
+/// The tape device-interface module.
+pub struct TapeDim {
+    reel: Vec<TapeRecord>,
+    position: usize,
+    write_ring: bool,
+}
+
+impl Default for TapeDim {
+    fn default() -> TapeDim {
+        TapeDim::new()
+    }
+}
+
+impl TapeDim {
+    /// Mounts a blank reel with the write ring in.
+    pub fn new() -> TapeDim {
+        TapeDim { reel: Vec::new(), position: 0, write_ring: true }
+    }
+
+    /// Mounts a prerecorded reel, write-protected.
+    pub fn mounted(blocks: Vec<Vec<u8>>) -> TapeDim {
+        let reel = blocks.into_iter().map(TapeRecord::Block).collect();
+        TapeDim { reel, position: 0, write_ring: false }
+    }
+
+    /// Records on the reel (for tests/audits).
+    pub fn nr_records(&self) -> usize {
+        self.reel.len()
+    }
+}
+
+impl Device for TapeDim {
+    fn name(&self) -> &'static str {
+        "tape"
+    }
+
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult {
+        match op {
+            DeviceOp::Read { count: _ } => match self.reel.get(self.position) {
+                Some(TapeRecord::Block(data)) => {
+                    self.position += 1;
+                    DeviceResult::Data(data.clone())
+                }
+                Some(TapeRecord::FileMark) => {
+                    self.position += 1;
+                    DeviceResult::Data(Vec::new()) // EOF convention
+                }
+                None => DeviceResult::Rejected("end of tape"),
+            },
+            DeviceOp::Write { data } => {
+                if !self.write_ring {
+                    return DeviceResult::Rejected("write ring out");
+                }
+                // Writing truncates everything past the head (tape physics).
+                self.reel.truncate(self.position);
+                self.reel.push(TapeRecord::Block(data));
+                self.position += 1;
+                DeviceResult::Done
+            }
+            DeviceOp::Control { order } => match order {
+                "rewind" => {
+                    self.position = 0;
+                    DeviceResult::Done
+                }
+                "write_eof" => {
+                    if !self.write_ring {
+                        return DeviceResult::Rejected("write ring out");
+                    }
+                    self.reel.truncate(self.position);
+                    self.reel.push(TapeRecord::FileMark);
+                    self.position += 1;
+                    DeviceResult::Done
+                }
+                "skip_file" => {
+                    while let Some(r) = self.reel.get(self.position) {
+                        self.position += 1;
+                        if *r == TapeRecord::FileMark {
+                            return DeviceResult::Done;
+                        }
+                    }
+                    DeviceResult::Rejected("end of tape")
+                }
+                "backspace" => {
+                    if self.position == 0 {
+                        return DeviceResult::Rejected("at load point");
+                    }
+                    self.position -= 1;
+                    DeviceResult::Done
+                }
+                _ => DeviceResult::Rejected("unknown tape order"),
+            },
+        }
+    }
+
+    fn module_info(&self) -> ModuleInfo {
+        ModuleInfo {
+            name: "tape_dim",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("tape.rs")),
+            entries: vec![
+                "tape_read",
+                "tape_write",
+                "tape_order",
+                "tape_attach",
+                "tape_detach",
+                "tape_mount",
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_rewind_read_round_trip() {
+        let mut t = TapeDim::new();
+        t.submit(DeviceOp::Write { data: b"rec1".to_vec() });
+        t.submit(DeviceOp::Write { data: b"rec2".to_vec() });
+        t.submit(DeviceOp::Control { order: "rewind" });
+        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"rec1".to_vec()));
+        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"rec2".to_vec()));
+        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected("end of tape"));
+    }
+
+    #[test]
+    fn write_protection_is_enforced() {
+        let mut t = TapeDim::mounted(vec![b"x".to_vec()]);
+        assert_eq!(
+            t.submit(DeviceOp::Write { data: b"y".to_vec() }),
+            DeviceResult::Rejected("write ring out")
+        );
+    }
+
+    #[test]
+    fn writing_mid_reel_truncates_the_tail() {
+        let mut t = TapeDim::new();
+        for r in [b"a", b"b", b"c"] {
+            t.submit(DeviceOp::Write { data: r.to_vec() });
+        }
+        t.submit(DeviceOp::Control { order: "rewind" });
+        t.submit(DeviceOp::Read { count: 1 });
+        t.submit(DeviceOp::Write { data: b"B".to_vec() });
+        assert_eq!(t.nr_records(), 2, "records after the new write are gone");
+    }
+
+    #[test]
+    fn file_marks_and_skip_file() {
+        let mut t = TapeDim::new();
+        t.submit(DeviceOp::Write { data: b"f1".to_vec() });
+        t.submit(DeviceOp::Control { order: "write_eof" });
+        t.submit(DeviceOp::Write { data: b"f2".to_vec() });
+        t.submit(DeviceOp::Control { order: "rewind" });
+        assert_eq!(t.submit(DeviceOp::Control { order: "skip_file" }), DeviceResult::Done);
+        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"f2".to_vec()));
+    }
+
+    #[test]
+    fn backspace_stops_at_load_point() {
+        let mut t = TapeDim::new();
+        assert_eq!(
+            t.submit(DeviceOp::Control { order: "backspace" }),
+            DeviceResult::Rejected("at load point")
+        );
+    }
+}

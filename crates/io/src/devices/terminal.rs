@@ -1,0 +1,171 @@
+//! The typewriter (terminal) DIM: line discipline in the kernel.
+
+use mks_hw::module::{Category, ModuleInfo};
+
+use crate::circular::CircularBuffer;
+use crate::devices::{Device, DeviceOp, DeviceResult};
+
+/// Erase character (deletes the previous character) — Multics used `#`.
+const ERASE: u8 = b'#';
+/// Kill character (discards the whole line) — Multics used `@`.
+const KILL: u8 = b'@';
+
+/// The terminal device-interface module.
+pub struct TerminalDim {
+    input: CircularBuffer<u8>,
+    line: Vec<u8>,
+    ready_lines: Vec<Vec<u8>>,
+    echo: bool,
+    echoed: Vec<u8>,
+}
+
+impl Default for TerminalDim {
+    fn default() -> TerminalDim {
+        TerminalDim::new()
+    }
+}
+
+impl TerminalDim {
+    /// Creates the DIM with a 64-byte hardware input ring.
+    pub fn new() -> TerminalDim {
+        TerminalDim {
+            input: CircularBuffer::new(64),
+            line: Vec::new(),
+            ready_lines: Vec::new(),
+            echo: true,
+            echoed: Vec::new(),
+        }
+    }
+
+    /// Simulates the arrival of a keystroke interrupt.
+    pub fn key_interrupt(&mut self, byte: u8) {
+        self.input.push(byte);
+        self.process_input();
+    }
+
+    /// Canonical ("cooked") line discipline: erase/kill processing, CR→LF.
+    fn process_input(&mut self) {
+        while let Some(b) = self.input.pop() {
+            if self.echo {
+                self.echoed.push(b);
+            }
+            match b {
+                ERASE => {
+                    self.line.pop();
+                }
+                KILL => self.line.clear(),
+                b'\r' | b'\n' => {
+                    let mut l = std::mem::take(&mut self.line);
+                    l.push(b'\n');
+                    self.ready_lines.push(l);
+                }
+                _ => self.line.push(b),
+            }
+        }
+    }
+
+    /// Bytes the DIM echoed back to the terminal.
+    pub fn echoed(&self) -> &[u8] {
+        &self.echoed
+    }
+}
+
+impl Device for TerminalDim {
+    fn name(&self) -> &'static str {
+        "tty"
+    }
+
+    fn submit(&mut self, op: DeviceOp) -> DeviceResult {
+        match op {
+            DeviceOp::Read { count } => {
+                if self.ready_lines.is_empty() {
+                    return DeviceResult::Data(Vec::new()); // would block; poll model
+                }
+                let line = self.ready_lines.remove(0);
+                DeviceResult::Data(line.into_iter().take(count).collect())
+            }
+            DeviceOp::Write { data } => {
+                // Output goes straight to the (simulated) wire.
+                self.echoed.extend_from_slice(&data);
+                DeviceResult::Done
+            }
+            DeviceOp::Control { order } => match order {
+                "echo_on" => {
+                    self.echo = true;
+                    DeviceResult::Done
+                }
+                "echo_off" => {
+                    self.echo = false;
+                    DeviceResult::Done
+                }
+                _ => DeviceResult::Rejected("unknown tty order"),
+            },
+        }
+    }
+
+    fn module_info(&self) -> ModuleInfo {
+        ModuleInfo {
+            name: "tty_dim",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("terminal.rs")),
+            entries: vec!["tty_read", "tty_write", "tty_order", "tty_attach", "tty_detach"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn type_str(t: &mut TerminalDim, s: &str) {
+        for b in s.bytes() {
+            t.key_interrupt(b);
+        }
+    }
+
+    #[test]
+    fn cooked_lines_appear_on_newline() {
+        let mut t = TerminalDim::new();
+        type_str(&mut t, "hello\r");
+        match t.submit(DeviceOp::Read { count: 80 }) {
+            DeviceResult::Data(d) => assert_eq!(d, b"hello\n"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn erase_and_kill_edit_the_line() {
+        let mut t = TerminalDim::new();
+        type_str(&mut t, "helzz##lo\r");
+        match t.submit(DeviceOp::Read { count: 80 }) {
+            DeviceResult::Data(d) => assert_eq!(d, b"hello\n"),
+            other => panic!("{other:?}"),
+        }
+        type_str(&mut t, "garbage@ok\r");
+        match t.submit(DeviceOp::Read { count: 80 }) {
+            DeviceResult::Data(d) => assert_eq!(d, b"ok\n"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_can_be_disabled_for_passwords() {
+        let mut t = TerminalDim::new();
+        t.submit(DeviceOp::Control { order: "echo_off" });
+        type_str(&mut t, "secret\r");
+        assert!(t.echoed().is_empty(), "password must not echo");
+        t.submit(DeviceOp::Control { order: "echo_on" });
+        type_str(&mut t, "x");
+        assert_eq!(t.echoed(), b"x");
+    }
+
+    #[test]
+    fn unknown_orders_are_rejected() {
+        let mut t = TerminalDim::new();
+        assert_eq!(
+            t.submit(DeviceOp::Control { order: "warp_speed" }),
+            DeviceResult::Rejected("unknown tty order")
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # mks-io — peripheral I/O, before and after the simplifications
+//!
+//! Two of the paper's simplification projects live here:
+//!
+//! 1. **One attachment instead of a device zoo.** "The possibility of
+//!    replacing all mechanisms for performing external I/O (to terminals,
+//!    tape drives, card readers, card punches, and printers) with the ARPA
+//!    Network attachment is being explored. This would remove from the
+//!    kernel a large bulk of special mechanisms ..., leaving behind a
+//!    single mechanism for managing the network attachment."
+//!    [`devices`] is the zoo (five kernel device-interface modules, each
+//!    with its own control logic); [`network`] is the single attachment,
+//!    with the former device functions re-hosted as *user-ring* adapters.
+//!    Experiment E8 censuses the kernel in both configurations.
+//!
+//! 2. **The infinite buffer.** The old network input buffer was circular
+//!    and "had to be used over and over again, with attendant problems of
+//!    old messages not being removed before a complete circuit". The new
+//!    scheme uses the virtual memory to present a buffer that "appears to
+//!    be of infinite length". [`circular`] and [`infinite`] implement both;
+//!    experiment E7 measures overwrite losses versus burst size.
+//!
+//! 3. **Interrupts as processes.** "Each interrupt handler will be assigned
+//!    its own process ... the system interrupt interceptor will simply turn
+//!    each interrupt into a wakeup of the corresponding process."
+//!    [`interrupts`] implements the in-situ baseline and the
+//!    process-per-handler design over `mks-procs` (experiment E6).
+
+pub mod circular;
+pub mod devices;
+pub mod infinite;
+pub mod interrupts;
+pub mod network;
+
+pub use circular::{CircularBuffer, PushOutcome};
+pub use devices::{Device, DeviceOp, DeviceResult};
+pub use infinite::InfiniteBuffer;
+pub use interrupts::{InSituInterrupts, Irq, ProcessInterrupts};
+pub use network::{NetworkAttachment, NetworkMessage};

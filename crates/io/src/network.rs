@@ -1,0 +1,218 @@
+//! The single network attachment — and the former devices as user programs.
+//!
+//! In the kernel configuration, exactly one I/O mechanism remains in ring
+//! 0: the ARPA-network attachment, a message-stream multiplexor whose input
+//! side uses the [`InfiniteBuffer`]. Terminals, printers, card equipment
+//! and tapes become *network services*: the framing and formatting logic
+//! that the zoo ran in ring 0 now runs as an ordinary user-ring adapter
+//! ([`UserAdapter`]) speaking through the attachment. Function is
+//! preserved; privilege is dropped; the kernel sheds four DIMs' worth of
+//! code and gates (experiment E8).
+
+use std::collections::HashMap;
+
+use mks_hw::module::{Category, ModuleInfo};
+
+use crate::devices::{Device, DeviceOp, DeviceResult};
+use crate::infinite::InfiniteBuffer;
+
+/// A network stream (connection) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StreamId(pub u32);
+
+/// A network message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkMessage {
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+#[derive(Debug, Default)]
+struct Stream {
+    inbound: InfiniteBuffer<NetworkMessage>,
+    outbound: Vec<NetworkMessage>,
+}
+
+/// The kernel's one remaining external-I/O mechanism.
+#[derive(Debug, Default)]
+pub struct NetworkAttachment {
+    streams: HashMap<StreamId, Stream>,
+    next_id: u32,
+}
+
+impl NetworkAttachment {
+    /// Creates the attachment with no streams.
+    pub fn new() -> NetworkAttachment {
+        NetworkAttachment::default()
+    }
+
+    /// Opens a stream (gate: `net_open`).
+    pub fn open(&mut self) -> StreamId {
+        let id = StreamId(self.next_id);
+        self.next_id += 1;
+        self.streams.insert(id, Stream::default());
+        id
+    }
+
+    /// Closes a stream (gate: `net_close`). Returns false if unknown.
+    pub fn close(&mut self, id: StreamId) -> bool {
+        self.streams.remove(&id).is_some()
+    }
+
+    /// Network-side delivery (called from the network interrupt handler).
+    /// Never loses a message: the infinite buffer absorbs any burst.
+    pub fn deliver_inbound(&mut self, id: StreamId, msg: NetworkMessage) -> bool {
+        match self.streams.get_mut(&id) {
+            Some(s) => {
+                let words = (msg.data.len() as u64).div_ceil(4);
+                s.inbound.push(msg, words);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// User-side receive (gate: `net_read`).
+    pub fn read(&mut self, id: StreamId) -> Option<NetworkMessage> {
+        self.streams.get_mut(&id)?.inbound.pop()
+    }
+
+    /// User-side send (gate: `net_write`).
+    pub fn write(&mut self, id: StreamId, msg: NetworkMessage) -> bool {
+        match self.streams.get_mut(&id) {
+            Some(s) => {
+                s.outbound.push(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Messages queued to the wire on `id` (simulation-side observer).
+    pub fn outbound(&self, id: StreamId) -> &[NetworkMessage] {
+        self.streams.get(&id).map(|s| s.outbound.as_slice()).unwrap_or(&[])
+    }
+
+    /// Unconsumed inbound backlog on `id`.
+    pub fn backlog(&self, id: StreamId) -> usize {
+        self.streams.get(&id).map(|s| s.inbound.len()).unwrap_or(0)
+    }
+
+    /// Audit record: the whole kernel I/O surface in this configuration.
+    pub fn module_info() -> ModuleInfo {
+        ModuleInfo {
+            name: "network_attachment",
+            ring: 0,
+            category: Category::Io,
+            weight: mks_hw::source_weight(include_str!("network.rs"))
+                + mks_hw::source_weight(include_str!("infinite.rs")),
+            entries: vec!["net_open", "net_close", "net_read", "net_write", "net_status"],
+        }
+    }
+}
+
+/// A former DIM re-hosted in the user ring, speaking through a stream.
+///
+/// The wrapped device logic is byte-for-byte the zoo implementation — the
+/// removal moved it, unchanged, outside the protection boundary.
+pub struct UserAdapter {
+    device: Box<dyn Device>,
+    /// The stream this adapter serves.
+    pub stream: StreamId,
+}
+
+impl UserAdapter {
+    /// Wraps `device` as a user-ring network service on `stream`.
+    pub fn new(device: Box<dyn Device>, stream: StreamId) -> UserAdapter {
+        UserAdapter { device, stream }
+    }
+
+    /// Handles one inbound message by submitting it to the device logic and
+    /// sending any produced data back on the stream.
+    pub fn serve(&mut self, net: &mut NetworkAttachment) {
+        while let Some(msg) = net.read(self.stream) {
+            match self.device.submit(DeviceOp::Write { data: msg.data }) {
+                DeviceResult::Data(d) if !d.is_empty() => {
+                    net.write(self.stream, NetworkMessage { data: d });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Audit record: same measured logic weight as the zoo module, but in
+    /// ring 4 with **no** gates.
+    pub fn module_info(&self) -> ModuleInfo {
+        let zoo = self.device.module_info();
+        ModuleInfo {
+            name: "net-adapter",
+            ring: 4,
+            category: Category::Io,
+            weight: zoo.weight,
+            entries: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::printer::PrinterDim;
+
+    #[test]
+    fn streams_are_independent() {
+        let mut n = NetworkAttachment::new();
+        let a = n.open();
+        let b = n.open();
+        n.deliver_inbound(a, NetworkMessage { data: b"for-a".to_vec() });
+        assert_eq!(n.backlog(a), 1);
+        assert_eq!(n.backlog(b), 0);
+        assert_eq!(n.read(a).unwrap().data, b"for-a");
+        assert!(n.read(b).is_none());
+    }
+
+    #[test]
+    fn bursts_are_never_lost() {
+        let mut n = NetworkAttachment::new();
+        let s = n.open();
+        for i in 0..5_000u32 {
+            n.deliver_inbound(s, NetworkMessage { data: i.to_be_bytes().to_vec() });
+        }
+        let mut got = 0u32;
+        while let Some(m) = n.read(s) {
+            assert_eq!(m.data, got.to_be_bytes());
+            got += 1;
+        }
+        assert_eq!(got, 5_000);
+    }
+
+    #[test]
+    fn closed_streams_reject_traffic() {
+        let mut n = NetworkAttachment::new();
+        let s = n.open();
+        assert!(n.close(s));
+        assert!(!n.close(s));
+        assert!(!n.deliver_inbound(s, NetworkMessage { data: vec![] }));
+        assert!(!n.write(s, NetworkMessage { data: vec![] }));
+    }
+
+    #[test]
+    fn printer_adapter_prints_from_the_net_in_ring_4() {
+        let mut n = NetworkAttachment::new();
+        let s = n.open();
+        let mut adapter = UserAdapter::new(Box::new(PrinterDim::new()), s);
+        n.deliver_inbound(s, NetworkMessage { data: b"report line".to_vec() });
+        adapter.serve(&mut n);
+        let m = adapter.module_info();
+        assert_eq!(m.ring, 4);
+        assert!(m.entries.is_empty(), "user-ring adapters need no gates");
+        assert!(m.weight > 0);
+    }
+
+    #[test]
+    fn attachment_module_is_the_only_kernel_io() {
+        let m = NetworkAttachment::module_info();
+        assert_eq!(m.ring, 0);
+        assert_eq!(m.entries.len(), 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests on the two buffer designs.
+
+use mks_io::{CircularBuffer, InfiniteBuffer, PushOutcome};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![ (any::<u32>()).prop_map(Op::Push), Just(Op::Pop) ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The circular buffer never loses anything while occupancy stays
+    /// within capacity, and consumed output preserves arrival order.
+    #[test]
+    fn circular_is_lossless_within_capacity(cap in 1usize..32, ops in arb_ops()) {
+        let mut buf = CircularBuffer::new(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    if model.len() < cap {
+                        prop_assert_eq!(buf.push(v), PushOutcome::Stored);
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(buf.push(v), PushOutcome::OverwroteOldest);
+                        model.pop_front();
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(buf.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(buf.len(), model.len());
+        }
+    }
+
+    /// Loss accounting is exact: offered = consumed + lost + still queued.
+    #[test]
+    fn circular_conservation(cap in 1usize..16, ops in arb_ops()) {
+        let mut buf = CircularBuffer::new(cap);
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    buf.push(v);
+                }
+                Op::Pop => {
+                    let _ = buf.pop();
+                }
+            }
+        }
+        prop_assert_eq!(
+            buf.total_offered(),
+            buf.total_consumed() + buf.overwrites() + buf.len() as u64
+        );
+    }
+
+    /// The infinite buffer is a perfect FIFO: output is exactly the input
+    /// sequence, whatever the interleaving.
+    #[test]
+    fn infinite_is_an_exact_fifo(ops in arb_ops()) {
+        let mut buf = InfiniteBuffer::new();
+        let mut pushed: Vec<u32> = Vec::new();
+        let mut popped: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    buf.push(v, 1);
+                    pushed.push(v);
+                }
+                Op::Pop => {
+                    if let Some(v) = buf.pop() {
+                        popped.push(v);
+                    }
+                }
+            }
+        }
+        while let Some(v) = buf.pop() {
+            popped.push(v);
+        }
+        prop_assert_eq!(popped, pushed);
+        prop_assert_eq!(buf.overwrites(), 0);
+    }
+
+    /// Peak backlog bounds the live length at every instant.
+    #[test]
+    fn peak_backlog_is_a_high_water_mark(ops in arb_ops()) {
+        let mut buf = InfiniteBuffer::new();
+        let mut live_max = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(v) => buf.push(v, 1),
+                Op::Pop => {
+                    let _ = buf.pop();
+                }
+            }
+            live_max = live_max.max(buf.len());
+            prop_assert!(buf.len() <= buf.peak_backlog());
+        }
+        prop_assert_eq!(buf.peak_backlog(), live_max);
+    }
+}

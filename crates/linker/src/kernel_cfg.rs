@@ -1,0 +1,182 @@
+//! The **legacy** packaging: the dynamic linker inside the supervisor.
+//!
+//! In the pre-removal system a linkage fault trapped into ring 0, where the
+//! supervisor parsed the faulting process's *user-constructed* object
+//! segment and snapped the link with full supervisor privileges. This
+//! module reproduces that packaging — including the gate entry points it
+//! forced into the supervisor's call surface and its exposure to
+//! malstructured input (via [`crate::object::legacy_parse`]).
+
+use mks_hw::module::{Category, ModuleInfo};
+use mks_hw::{RingNo, Word};
+
+use crate::object::{legacy_parse, LegacyParse};
+use crate::refname::RefNameManager;
+use crate::snap::{snap, LinkEnv, LinkError, SearchRules, SnappedLink};
+
+/// The ring the legacy linker executes in.
+pub const LEGACY_LINKER_RING: RingNo = 0;
+
+/// Gate entry points the in-supervisor linker exports to user rings. These
+/// are the entries whose elimination the paper quantifies: "the linker's
+/// removal eliminated 10% of the gate entry points into the supervisor."
+pub const LEGACY_LINKER_GATES: &[&str] = &[
+    "link_snap",
+    "link_force",
+    "link_unsnap",
+    "make_ptr",
+    "get_linkage",
+    "combine_linkage",
+    "get_defname",
+    "get_lp",
+    "set_lp",
+    "get_count_linkage",
+];
+
+/// Outcome of the legacy (ring-0) linkage-fault service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LegacyLinkOutcome {
+    /// The link was snapped.
+    Snapped(SnappedLink),
+    /// A clean, reportable linking error (segment/entry not found).
+    Error(LinkError),
+    /// The malstructured argument drove the supervisor out of bounds: a
+    /// security breach (experiment E12's legacy-configuration finding).
+    SupervisorBreach {
+        /// Simulated stray supervisor-space address.
+        stray_address: u64,
+        /// What malfunctioned.
+        kind: &'static str,
+    },
+}
+
+/// The legacy linker.
+pub struct LegacyLinker {
+    /// Reference names — in this packaging they are *supervisor* state.
+    pub refnames: RefNameManager,
+}
+
+impl Default for LegacyLinker {
+    fn default() -> LegacyLinker {
+        LegacyLinker::new()
+    }
+}
+
+impl LegacyLinker {
+    /// Creates the supervisor-resident linker.
+    pub fn new() -> LegacyLinker {
+        LegacyLinker { refnames: RefNameManager::new() }
+    }
+
+    /// Services a linkage fault: parse the faulting object image *in ring
+    /// 0* and snap link number `link_index`.
+    pub fn handle_linkage_fault<E: LinkEnv>(
+        &mut self,
+        env: &mut E,
+        rules: &SearchRules,
+        faulting_ring: RingNo,
+        image: &[Word],
+        link_index: usize,
+    ) -> LegacyLinkOutcome {
+        let object = match legacy_parse("faulting", image) {
+            LegacyParse::Ok(o) => o,
+            LegacyParse::Breach { stray_address, kind } => {
+                return LegacyLinkOutcome::SupervisorBreach { stray_address, kind }
+            }
+        };
+        let Some((seg_name, entry_name)) = object.links.get(link_index) else {
+            // The legacy code indexed the link table with the fault's
+            // argument without a bounds check.
+            return LegacyLinkOutcome::SupervisorBreach {
+                stray_address: link_index as u64,
+                kind: "link index beyond linkage section",
+            };
+        };
+        match snap(env, &mut self.refnames, rules, faulting_ring, seg_name, entry_name) {
+            Ok(l) => LegacyLinkOutcome::Snapped(l),
+            Err(e) => LegacyLinkOutcome::Error(e),
+        }
+    }
+
+    /// Audit record for this packaging. The weight counts everything that
+    /// executes in ring 0 here: the parser, the snapping algorithm, and
+    /// this service layer.
+    pub fn module_info() -> ModuleInfo {
+        let weight = mks_hw::source_weight(include_str!("object.rs"))
+            + mks_hw::source_weight(include_str!("snap.rs"))
+            + mks_hw::source_weight(include_str!("refname.rs"))
+            + mks_hw::source_weight(include_str!("kernel_cfg.rs"));
+        ModuleInfo {
+            name: "linker (supervisor-resident)",
+            ring: LEGACY_LINKER_RING,
+            category: Category::Linker,
+            weight,
+            entries: LEGACY_LINKER_GATES.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSegment;
+    use crate::snap::testenv::MiniEnv;
+    use mks_hw::SegNo;
+
+    fn setup() -> (MiniEnv, SearchRules, Vec<Word>) {
+        let mut e = MiniEnv::new();
+        let lib = SegNo(11);
+        e.add_dir(
+            lib,
+            vec![ObjectSegment::new("sqrt_", 100, vec![("sqrt".into(), 7)], vec![])],
+        );
+        let caller = ObjectSegment::new(
+            "caller",
+            10,
+            vec![("main".into(), 0)],
+            vec![("sqrt_".into(), "sqrt".into())],
+        );
+        (e, SearchRules::new(vec![lib]), caller.encode())
+    }
+
+    #[test]
+    fn well_formed_faults_snap() {
+        let (mut env, rules, image) = setup();
+        let mut l = LegacyLinker::new();
+        let out = l.handle_linkage_fault(&mut env, &rules, 4, &image, 0);
+        match out {
+            LegacyLinkOutcome::Snapped(s) => assert_eq!(s.offset, 7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malstructured_argument_breaches_the_supervisor() {
+        let (mut env, rules, mut image) = setup();
+        image[4] = Word::new(1 << 16); // forged entry count
+        let mut l = LegacyLinker::new();
+        assert!(matches!(
+            l.handle_linkage_fault(&mut env, &rules, 4, &image, 0),
+            LegacyLinkOutcome::SupervisorBreach { .. }
+        ));
+    }
+
+    #[test]
+    fn wild_link_index_breaches_too() {
+        let (mut env, rules, image) = setup();
+        let mut l = LegacyLinker::new();
+        assert!(matches!(
+            l.handle_linkage_fault(&mut env, &rules, 4, &image, 999),
+            LegacyLinkOutcome::SupervisorBreach { .. }
+        ));
+    }
+
+    #[test]
+    fn module_info_reports_ring0_and_its_gates() {
+        let m = LegacyLinker::module_info();
+        assert_eq!(m.ring, 0);
+        assert!(m.is_protected());
+        assert_eq!(m.entries.len(), LEGACY_LINKER_GATES.len());
+        assert!(m.weight > 100, "weight is measured from real sources");
+    }
+}

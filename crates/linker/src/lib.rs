@@ -1,0 +1,37 @@
+//! # mks-linker — dynamic linking and reference names, before and after removal
+//!
+//! The paper's flagship removal project (Janson \[12,13\]): taking the dynamic
+//! linker out of the supervisor. The linker is dangerous inside ring 0
+//! because it "ha\[s\] to accept user-constructed code segments as input
+//! data; the chances of such a complex 'argument', if maliciously
+//! malstructured, causing the linker to malfunction while executing in the
+//! supervisor were demonstrated to be very high by numerous accidents", and
+//! it is big: "the linker's removal eliminated 10% of the gate entry points
+//! into the supervisor" (experiment E1).
+//!
+//! The second removal (Bratt \[14\]) moved *reference-name management* — the
+//! per-process association between symbolic names and segment numbers —
+//! out of the supervisor as well (experiment E2; the kernel half of that
+//! split is `mks-fs::kst`).
+//!
+//! Contents:
+//! * [`object`] — a concrete word-level object-segment format with an entry
+//!   table, linkage section, and string pool; plus **two parsers**: the
+//!   validating one and the trusting legacy one whose out-of-bounds
+//!   behaviour reproduces the historical vulnerability class;
+//! * [`refname`] — the per-ring reference-name manager (user-ring code in
+//!   the kernel configuration);
+//! * [`snap`] — search rules and link snapping, generic over a [`LinkEnv`]
+//!   so the same algorithm runs in either ring;
+//! * [`kernel_cfg`] / [`user_cfg`] — the two packagings, with their module
+//!   inventories and gate contributions for the census experiments.
+
+pub mod kernel_cfg;
+pub mod object;
+pub mod refname;
+pub mod snap;
+pub mod user_cfg;
+
+pub use object::{LegacyParse, ObjectSegment, ParseError, BREACH_NONE};
+pub use refname::RefNameManager;
+pub use snap::{LinkEnv, LinkError, SearchRules, SnappedLink};

@@ -1,0 +1,366 @@
+//! Object segments: the linker's untrusted input.
+//!
+//! A Multics object segment carries, besides its code, a *definitions*
+//! section (entry points it exports) and a *linkage* section (symbolic
+//! references it makes to other segments). This module defines a concrete
+//! word-level layout and two parsers:
+//!
+//! * [`ObjectSegment::parse`] validates every count, offset and string
+//!   reference before trusting any of them;
+//! * [`legacy_parse`] reproduces the historical supervisor linker's sin —
+//!   it *trusts the header* — and reports, instead of performing, the
+//!   out-of-bounds accesses a malicious header drives it into. In ring 0
+//!   those stray accesses were supervisor reads and writes: a security
+//!   breach. In the user ring the same bug is just a broken program.
+//!
+//! ## Layout (one value per 36-bit word)
+//!
+//! ```text
+//! 0: magic (0o464)          4: nr_entries
+//! 1: code_len               5: nr_links
+//! 2: strpool_off            6: entries at 8:   [name_off, name_len, code_off] ×n
+//! 3: strpool_len            7: (reserved)      links follow:  [seg_off, seg_len, ent_off, ent_len] ×m
+//!                                              string pool (1 byte per word) at strpool_off
+//! ```
+
+use mks_hw::Word;
+
+/// Magic number identifying an object segment (octal for "obj").
+pub const OBJ_MAGIC: u64 = 0o464;
+
+const HDR_LEN: usize = 8;
+
+/// A structured view of an object segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectSegment {
+    /// Symbolic segment name (not stored in the image; directory entry
+    /// names identify segments on disk).
+    pub name: String,
+    /// Length of the code body in words.
+    pub code_len: usize,
+    /// Exported entry points: `(name, code offset)`.
+    pub entries: Vec<(String, usize)>,
+    /// Outgoing symbolic links: `(segment name, entry name)`.
+    pub links: Vec<(String, String)>,
+}
+
+/// Validation failures from the safe parser.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Wrong magic word.
+    BadMagic,
+    /// Image shorter than the fixed header.
+    Truncated,
+    /// A count or offset points outside the image.
+    OutOfBounds {
+        /// Which field was bad.
+        what: &'static str,
+    },
+    /// A string reference escapes the string pool.
+    BadString,
+    /// An entry's code offset exceeds the code length.
+    BadEntryOffset,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::BadMagic => write!(f, "not an object segment"),
+            ParseError::Truncated => write!(f, "object image truncated"),
+            ParseError::OutOfBounds { what } => write!(f, "field {what} out of bounds"),
+            ParseError::BadString => write!(f, "string reference escapes pool"),
+            ParseError::BadEntryOffset => write!(f, "entry offset beyond code"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ObjectSegment {
+    /// Builds an object segment description.
+    pub fn new(
+        name: &str,
+        code_len: usize,
+        entries: Vec<(String, usize)>,
+        links: Vec<(String, String)>,
+    ) -> ObjectSegment {
+        ObjectSegment { name: name.into(), code_len, entries, links }
+    }
+
+    /// Finds an exported entry's code offset.
+    pub fn entry_offset(&self, entry: &str) -> Option<usize> {
+        self.entries.iter().find(|(n, _)| n == entry).map(|(_, o)| *o)
+    }
+
+    /// Encodes into the word-level image.
+    pub fn encode(&self) -> Vec<Word> {
+        let mut pool: Vec<u8> = Vec::new();
+        let mut intern = |s: &str| {
+            let off = pool.len();
+            pool.extend_from_slice(s.as_bytes());
+            (off, s.len())
+        };
+        let entries: Vec<(usize, usize, usize)> =
+            self.entries.iter().map(|(n, o)| { let (p, l) = intern(n); (p, l, *o) }).collect();
+        let links: Vec<(usize, usize, usize, usize)> = self
+            .links
+            .iter()
+            .map(|(s, e)| {
+                let (sp, sl) = intern(s);
+                let (ep, el) = intern(e);
+                (sp, sl, ep, el)
+            })
+            .collect();
+        let tables_len = 3 * entries.len() + 4 * links.len();
+        let strpool_off = HDR_LEN + tables_len;
+        let mut w = vec![Word::ZERO; strpool_off + pool.len()];
+        w[0] = Word::new(OBJ_MAGIC);
+        w[1] = Word::new(self.code_len as u64);
+        w[2] = Word::new(strpool_off as u64);
+        w[3] = Word::new(pool.len() as u64);
+        w[4] = Word::new(entries.len() as u64);
+        w[5] = Word::new(links.len() as u64);
+        let mut i = HDR_LEN;
+        for (p, l, o) in entries {
+            w[i] = Word::new(p as u64);
+            w[i + 1] = Word::new(l as u64);
+            w[i + 2] = Word::new(o as u64);
+            i += 3;
+        }
+        for (sp, sl, ep, el) in links {
+            w[i] = Word::new(sp as u64);
+            w[i + 1] = Word::new(sl as u64);
+            w[i + 2] = Word::new(ep as u64);
+            w[i + 3] = Word::new(el as u64);
+            i += 4;
+        }
+        for (j, b) in pool.iter().enumerate() {
+            w[strpool_off + j] = Word::new(u64::from(*b));
+        }
+        w
+    }
+
+    /// The validating parser: checks every field before use. This is what
+    /// the *removed* (user-ring) linker runs — and what the kernel-resident
+    /// linker *should* have run.
+    pub fn parse(name: &str, image: &[Word]) -> Result<ObjectSegment, ParseError> {
+        if image.len() < HDR_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if image[0].raw() != OBJ_MAGIC {
+            return Err(ParseError::BadMagic);
+        }
+        let code_len = image[1].raw() as usize;
+        let strpool_off = image[2].raw() as usize;
+        let strpool_len = image[3].raw() as usize;
+        let nr_entries = image[4].raw() as usize;
+        let nr_links = image[5].raw() as usize;
+        let tables_end = HDR_LEN
+            .checked_add(3 * nr_entries)
+            .and_then(|x| x.checked_add(4 * nr_links))
+            .ok_or(ParseError::OutOfBounds { what: "counts" })?;
+        if tables_end > image.len() || strpool_off != tables_end {
+            return Err(ParseError::OutOfBounds { what: "tables" });
+        }
+        if strpool_off + strpool_len > image.len() {
+            return Err(ParseError::OutOfBounds { what: "strpool" });
+        }
+        let read_str = |off: usize, len: usize| -> Result<String, ParseError> {
+            if off + len > strpool_len {
+                return Err(ParseError::BadString);
+            }
+            let bytes: Vec<u8> =
+                (0..len).map(|i| image[strpool_off + off + i].raw() as u8).collect();
+            String::from_utf8(bytes).map_err(|_| ParseError::BadString)
+        };
+        let mut entries = Vec::with_capacity(nr_entries);
+        let mut i = HDR_LEN;
+        for _ in 0..nr_entries {
+            let name = read_str(image[i].raw() as usize, image[i + 1].raw() as usize)?;
+            let off = image[i + 2].raw() as usize;
+            if off >= code_len.max(1) {
+                return Err(ParseError::BadEntryOffset);
+            }
+            entries.push((name, off));
+            i += 3;
+        }
+        let mut links = Vec::with_capacity(nr_links);
+        for _ in 0..nr_links {
+            let seg = read_str(image[i].raw() as usize, image[i + 1].raw() as usize)?;
+            let ent = read_str(image[i + 2].raw() as usize, image[i + 3].raw() as usize)?;
+            links.push((seg, ent));
+            i += 4;
+        }
+        Ok(ObjectSegment { name: name.into(), code_len, entries, links })
+    }
+}
+
+/// Sentinel meaning "no breach observed".
+pub const BREACH_NONE: u64 = 0;
+
+/// Outcome of the *legacy* (trusting) parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LegacyParse {
+    /// The image happened to be well-formed.
+    Ok(ObjectSegment),
+    /// The parser was driven out of bounds. The payload is the (simulated)
+    /// stray address it would have accessed — in ring 0, a supervisor-space
+    /// access under user control, i.e. an exploitable breach.
+    Breach {
+        /// Simulated stray address (attacker-influenced).
+        stray_address: u64,
+        /// Human-readable description of the malfunction.
+        kind: &'static str,
+    },
+}
+
+/// The legacy supervisor linker's parser: it believes the header's counts
+/// and offsets. Where the safe parser returns an error, this one computes
+/// the out-of-bounds access it would have made and reports it as a
+/// [`LegacyParse::Breach`]. (We *report* rather than perform the access:
+/// the simulation is of the consequence, not the crash.)
+pub fn legacy_parse(name: &str, image: &[Word]) -> LegacyParse {
+    if image.len() < HDR_LEN || image[0].raw() != OBJ_MAGIC {
+        // Even the legacy linker checked the magic word.
+        return LegacyParse::Breach { stray_address: BREACH_NONE, kind: "rejected: bad magic" };
+    }
+    let nr_entries = image[4].raw() as usize;
+    let nr_links = image[5].raw() as usize;
+    let strpool_off = image[2].raw() as usize;
+    let strpool_len = image[3].raw() as usize;
+    // The legacy code indexes the tables without bounding them first.
+    let tables_end = HDR_LEN + 3 * nr_entries + 4 * nr_links;
+    if tables_end > image.len() {
+        return LegacyParse::Breach {
+            stray_address: tables_end as u64,
+            kind: "table walk past end of argument segment",
+        };
+    }
+    // …and dereferences string-pool offsets wherever they point.
+    if strpool_off + strpool_len > image.len() {
+        return LegacyParse::Breach {
+            stray_address: (strpool_off + strpool_len) as u64,
+            kind: "string pool pointer outside argument segment",
+        };
+    }
+    let mut i = HDR_LEN;
+    for _ in 0..nr_entries {
+        let off = image[i].raw() as usize;
+        let len = image[i + 1].raw() as usize;
+        if off + len > strpool_len {
+            return LegacyParse::Breach {
+                stray_address: (strpool_off + off + len) as u64,
+                kind: "entry name escapes string pool",
+            };
+        }
+        i += 3;
+    }
+    for _ in 0..nr_links {
+        let soff = image[i].raw() as usize;
+        let slen = image[i + 1].raw() as usize;
+        let eoff = image[i + 2].raw() as usize;
+        let elen = image[i + 3].raw() as usize;
+        if soff + slen > strpool_len || eoff + elen > strpool_len {
+            return LegacyParse::Breach {
+                stray_address: (strpool_off + soff.max(eoff)) as u64,
+                kind: "link name escapes string pool",
+            };
+        }
+        i += 4;
+    }
+    // Well-formed after all: both parsers agree.
+    match ObjectSegment::parse(name, image) {
+        Ok(o) => LegacyParse::Ok(o),
+        Err(_) => LegacyParse::Breach {
+            stray_address: BREACH_NONE,
+            kind: "inconsistent image slipped past legacy checks",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObjectSegment {
+        ObjectSegment::new(
+            "sqrt_",
+            100,
+            vec![("sqrt".into(), 0), ("cbrt".into(), 40)],
+            vec![("math_util_".into(), "newton".into())],
+        )
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let o = sample();
+        let img = o.encode();
+        let p = ObjectSegment::parse("sqrt_", &img).unwrap();
+        assert_eq!(p, o);
+    }
+
+    #[test]
+    fn entry_offset_lookup() {
+        let o = sample();
+        assert_eq!(o.entry_offset("cbrt"), Some(40));
+        assert_eq!(o.entry_offset("nope"), None);
+    }
+
+    #[test]
+    fn parse_rejects_bad_magic_and_truncation() {
+        assert_eq!(ObjectSegment::parse("x", &[]), Err(ParseError::Truncated));
+        let mut img = sample().encode();
+        img[0] = Word::new(0o777);
+        assert_eq!(ObjectSegment::parse("x", &img), Err(ParseError::BadMagic));
+    }
+
+    #[test]
+    fn parse_rejects_oversized_counts() {
+        let mut img = sample().encode();
+        img[5] = Word::new(1_000_000); // claim a million links
+        assert!(matches!(
+            ObjectSegment::parse("x", &img),
+            Err(ParseError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_escaping_strings() {
+        let mut img = sample().encode();
+        img[8] = Word::new(1 << 20); // first entry's name offset → far away
+        assert!(ObjectSegment::parse("x", &img).is_err());
+    }
+
+    #[test]
+    fn legacy_parser_breaches_on_oversized_counts() {
+        let mut img = sample().encode();
+        img[4] = Word::new(50_000);
+        match legacy_parse("x", &img) {
+            LegacyParse::Breach { stray_address, .. } => {
+                assert!(stray_address as usize > img.len());
+            }
+            other => panic!("expected breach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_parser_breaches_on_string_escape() {
+        let mut img = sample().encode();
+        img[8] = Word::new(1 << 30);
+        assert!(matches!(legacy_parse("x", &img), LegacyParse::Breach { .. }));
+    }
+
+    #[test]
+    fn both_parsers_accept_well_formed_images() {
+        let img = sample().encode();
+        assert!(matches!(legacy_parse("sqrt_", &img), LegacyParse::Ok(_)));
+        assert!(ObjectSegment::parse("sqrt_", &img).is_ok());
+    }
+
+    #[test]
+    fn zero_entry_object_is_legal() {
+        let o = ObjectSegment::new("leaf_", 10, vec![], vec![]);
+        let img = o.encode();
+        assert_eq!(ObjectSegment::parse("leaf_", &img).unwrap(), o);
+    }
+}

@@ -1,0 +1,106 @@
+//! The reference-name manager — per-ring symbolic name → segment number.
+//!
+//! After Bratt's removal this table is ordinary, unprivileged user-ring
+//! data: each ring of each process keeps its own name space, so a name
+//! planted by ring-4 code cannot redirect a ring-1 subsystem's references
+//! (names are *private* mechanism, in the paper's vocabulary). The kernel
+//! keeps no copy — compare `mks_fs::kst::LegacyKst`, where the same state
+//! sat in ring 0 behind five extra gates.
+
+use std::collections::HashMap;
+
+use mks_hw::{RingNo, SegNo, NR_RINGS};
+
+/// Per-ring reference-name tables for one process.
+#[derive(Debug)]
+pub struct RefNameManager {
+    tables: Vec<HashMap<String, SegNo>>,
+}
+
+impl Default for RefNameManager {
+    fn default() -> RefNameManager {
+        RefNameManager { tables: (0..NR_RINGS).map(|_| HashMap::new()).collect() }
+    }
+}
+
+impl RefNameManager {
+    /// Creates an empty manager.
+    pub fn new() -> RefNameManager {
+        RefNameManager::default()
+    }
+
+    /// Associates `name` with `segno` in `ring`'s name space, replacing any
+    /// previous binding of that name.
+    pub fn bind(&mut self, ring: RingNo, name: &str, segno: SegNo) {
+        self.tables[ring as usize].insert(name.to_string(), segno);
+    }
+
+    /// Looks up `name` in `ring`'s name space.
+    pub fn lookup(&self, ring: RingNo, name: &str) -> Option<SegNo> {
+        self.tables[ring as usize].get(name).copied()
+    }
+
+    /// Unbinds `name`; returns whether it was bound.
+    pub fn unbind(&mut self, ring: RingNo, name: &str) -> bool {
+        self.tables[ring as usize].remove(name).is_some()
+    }
+
+    /// Removes every name bound to `segno` in `ring` (used at terminate).
+    pub fn unbind_segno(&mut self, ring: RingNo, segno: SegNo) -> usize {
+        let t = &mut self.tables[ring as usize];
+        let before = t.len();
+        t.retain(|_, s| *s != segno);
+        before - t.len()
+    }
+
+    /// Number of names bound in `ring`.
+    pub fn nr_names(&self, ring: RingNo) -> usize {
+        self.tables[ring as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut m = RefNameManager::new();
+        m.bind(4, "sqrt_", SegNo(70));
+        assert_eq!(m.lookup(4, "sqrt_"), Some(SegNo(70)));
+        assert!(m.unbind(4, "sqrt_"));
+        assert!(!m.unbind(4, "sqrt_"));
+        assert_eq!(m.lookup(4, "sqrt_"), None);
+    }
+
+    #[test]
+    fn rings_have_independent_name_spaces() {
+        let mut m = RefNameManager::new();
+        m.bind(4, "lib_", SegNo(70));
+        m.bind(1, "lib_", SegNo(30));
+        assert_eq!(m.lookup(4, "lib_"), Some(SegNo(70)));
+        assert_eq!(m.lookup(1, "lib_"), Some(SegNo(30)));
+        // A ring-4 rebinding cannot disturb ring 1.
+        m.bind(4, "lib_", SegNo(71));
+        assert_eq!(m.lookup(1, "lib_"), Some(SegNo(30)));
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut m = RefNameManager::new();
+        m.bind(4, "x", SegNo(1));
+        m.bind(4, "x", SegNo(2));
+        assert_eq!(m.lookup(4, "x"), Some(SegNo(2)));
+        assert_eq!(m.nr_names(4), 1);
+    }
+
+    #[test]
+    fn unbind_segno_clears_aliases() {
+        let mut m = RefNameManager::new();
+        m.bind(4, "a", SegNo(9));
+        m.bind(4, "b", SegNo(9));
+        m.bind(4, "c", SegNo(10));
+        assert_eq!(m.unbind_segno(4, SegNo(9)), 2);
+        assert_eq!(m.nr_names(4), 1);
+    }
+}

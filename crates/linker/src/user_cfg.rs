@@ -1,0 +1,181 @@
+//! The **kernel-configuration** packaging: the linker in the user ring.
+//!
+//! After Janson's removal the linkage fault is reflected back to the
+//! faulting ring, where this code — an ordinary, unprivileged library —
+//! parses the object image with full validation and snaps the link using
+//! only services any program may call. "Linking procedures together across
+//! protection boundaries ... could be done without resort to a mechanism
+//! common to both protection regions."
+//!
+//! Consequences reproduced here:
+//! * the supervisor loses the ten linker gates (experiment E1/E3);
+//! * a malstructured object segment now harms only the process that
+//!   supplied it — the failure is a clean [`UserLinkOutcome::BadObject`]
+//!   in the user's own ring, not a supervisor breach (experiment E12).
+
+use mks_hw::module::{Category, ModuleInfo};
+use mks_hw::{RingNo, Word};
+
+use crate::object::{ObjectSegment, ParseError};
+use crate::refname::RefNameManager;
+use crate::snap::{snap, LinkEnv, LinkError, SearchRules, SnappedLink};
+
+/// The ring the removed linker executes in (the faulting ring itself; ring
+/// 4 for ordinary programs).
+pub const USER_LINKER_RING: RingNo = 4;
+
+/// Gate entry points this packaging needs in the supervisor: none. The
+/// services it uses (initiate by directory segno, read object segments) are
+/// general-purpose gates that exist anyway.
+pub const USER_LINKER_GATES: &[&str] = &[];
+
+/// Outcome of the user-ring linkage-fault service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UserLinkOutcome {
+    /// The link was snapped.
+    Snapped(SnappedLink),
+    /// Clean linking error.
+    Error(LinkError),
+    /// The object image failed validation. Strictly a process-local event:
+    /// nothing outside the faulting ring was touched.
+    BadObject(ParseError),
+}
+
+/// The user-ring linker (one per ring per process; it is private state).
+pub struct UserLinker {
+    /// Reference names — user-ring data in this packaging.
+    pub refnames: RefNameManager,
+}
+
+impl Default for UserLinker {
+    fn default() -> UserLinker {
+        UserLinker::new()
+    }
+}
+
+impl UserLinker {
+    /// Creates a user-ring linker.
+    pub fn new() -> UserLinker {
+        UserLinker { refnames: RefNameManager::new() }
+    }
+
+    /// Services a linkage fault entirely within `ring`.
+    pub fn handle_linkage_fault<E: LinkEnv>(
+        &mut self,
+        env: &mut E,
+        rules: &SearchRules,
+        ring: RingNo,
+        image: &[Word],
+        link_index: usize,
+    ) -> UserLinkOutcome {
+        let object = match ObjectSegment::parse("faulting", image) {
+            Ok(o) => o,
+            Err(e) => return UserLinkOutcome::BadObject(e),
+        };
+        let Some((seg_name, entry_name)) = object.links.get(link_index) else {
+            return UserLinkOutcome::BadObject(ParseError::OutOfBounds { what: "link index" });
+        };
+        match snap(env, &mut self.refnames, rules, ring, seg_name, entry_name) {
+            Ok(l) => UserLinkOutcome::Snapped(l),
+            Err(e) => UserLinkOutcome::Error(e),
+        }
+    }
+
+    /// Audit record: same algorithmic weight as the legacy packaging, but
+    /// *unprotected* (ring 4) and contributing zero gates.
+    pub fn module_info() -> ModuleInfo {
+        let weight = mks_hw::source_weight(include_str!("object.rs"))
+            + mks_hw::source_weight(include_str!("snap.rs"))
+            + mks_hw::source_weight(include_str!("refname.rs"))
+            + mks_hw::source_weight(include_str!("user_cfg.rs"));
+        ModuleInfo {
+            name: "linker (user-ring)",
+            ring: USER_LINKER_RING,
+            category: Category::Linker,
+            weight,
+            entries: USER_LINKER_GATES.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectSegment;
+    use crate::snap::testenv::MiniEnv;
+    use mks_hw::SegNo;
+
+    fn setup() -> (MiniEnv, SearchRules, Vec<Word>) {
+        let mut e = MiniEnv::new();
+        let lib = SegNo(11);
+        e.add_dir(
+            lib,
+            vec![ObjectSegment::new("sqrt_", 100, vec![("sqrt".into(), 7)], vec![])],
+        );
+        let caller = ObjectSegment::new(
+            "caller",
+            10,
+            vec![("main".into(), 0)],
+            vec![("sqrt_".into(), "sqrt".into())],
+        );
+        (e, SearchRules::new(vec![lib]), caller.encode())
+    }
+
+    #[test]
+    fn snaps_the_same_links_as_the_legacy_linker() {
+        let (mut env, rules, image) = setup();
+        let mut l = UserLinker::new();
+        match l.handle_linkage_fault(&mut env, &rules, 4, &image, 0) {
+            UserLinkOutcome::Snapped(s) => assert_eq!(s.offset, 7),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malstructured_argument_is_a_process_local_error() {
+        let (mut env, rules, mut image) = setup();
+        image[4] = Word::new(1 << 16);
+        let mut l = UserLinker::new();
+        assert!(matches!(
+            l.handle_linkage_fault(&mut env, &rules, 4, &image, 0),
+            UserLinkOutcome::BadObject(_)
+        ));
+    }
+
+    #[test]
+    fn wild_link_index_is_also_contained() {
+        let (mut env, rules, image) = setup();
+        let mut l = UserLinker::new();
+        assert!(matches!(
+            l.handle_linkage_fault(&mut env, &rules, 4, &image, 999),
+            UserLinkOutcome::BadObject(_)
+        ));
+    }
+
+    #[test]
+    fn module_info_reports_user_ring_and_no_gates() {
+        let m = UserLinker::module_info();
+        assert_eq!(m.ring, 4);
+        assert!(!m.is_protected());
+        assert!(m.entries.is_empty());
+    }
+
+    #[test]
+    fn outcomes_agree_on_well_formed_inputs() {
+        // Differential check: for a well-formed image both packagings snap
+        // to the same place.
+        let (mut env_a, rules, image) = setup();
+        let (mut env_b, _, _) = setup();
+        let mut legacy = crate::kernel_cfg::LegacyLinker::new();
+        let mut user = UserLinker::new();
+        let a = legacy.handle_linkage_fault(&mut env_a, &rules, 4, &image, 0);
+        let b = user.handle_linkage_fault(&mut env_b, &rules, 4, &image, 0);
+        match (a, b) {
+            (
+                crate::kernel_cfg::LegacyLinkOutcome::Snapped(x),
+                UserLinkOutcome::Snapped(y),
+            ) => assert_eq!(x.offset, y.offset),
+            other => panic!("{other:?}"),
+        }
+    }
+}

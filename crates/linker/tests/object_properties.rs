@@ -1,0 +1,84 @@
+//! Property tests on the object-segment format and the two parsers.
+
+use mks_hw::Word;
+use mks_linker::object::{legacy_parse, LegacyParse, ObjectSegment};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}"
+}
+
+fn arb_object() -> impl Strategy<Value = ObjectSegment> {
+    (
+        arb_ident(),
+        1usize..500,
+        prop::collection::vec((arb_ident(), 0usize..400), 0..5),
+        prop::collection::vec((arb_ident(), arb_ident()), 0..5),
+    )
+        .prop_map(|(name, code_len, entries, links)| {
+            // Entry offsets must be inside the code.
+            let entries =
+                entries.into_iter().map(|(n, o)| (n, o % code_len)).collect::<Vec<_>>();
+            ObjectSegment::new(&name, code_len, entries, links)
+        })
+}
+
+proptest! {
+    /// encode → parse is the identity for every well-formed object.
+    #[test]
+    fn encode_parse_round_trip(obj in arb_object()) {
+        let img = obj.encode();
+        let parsed = ObjectSegment::parse(&obj.name, &img).unwrap();
+        prop_assert_eq!(parsed, obj);
+    }
+
+    /// The legacy parser accepts exactly what the safe parser accepts on
+    /// honest images — the removal changed *where* parsing runs and what
+    /// malformed input can damage, never the language of valid objects.
+    #[test]
+    fn parsers_agree_on_honest_images(obj in arb_object()) {
+        let img = obj.encode();
+        match legacy_parse(&obj.name, &img) {
+            LegacyParse::Ok(o) => prop_assert_eq!(o, obj),
+            LegacyParse::Breach { .. } => prop_assert!(false, "honest image breached"),
+        }
+    }
+
+    /// Single-word corruption never makes the *safe* parser read out of
+    /// bounds or panic: it returns Ok (harmless corruption) or a typed
+    /// error. (The legacy parser is allowed to report a breach — that is
+    /// the vulnerability being modeled — but must not panic either.)
+    #[test]
+    fn corrupted_images_never_panic(obj in arb_object(), at in any::<prop::sample::Index>(), bits in any::<u64>()) {
+        let mut img = obj.encode();
+        let i = at.index(img.len());
+        img[i] = Word::new(img[i].raw() ^ bits);
+        let _ = ObjectSegment::parse(&obj.name, &img);
+        let _ = legacy_parse(&obj.name, &img);
+    }
+
+    /// If the safe parser accepts a corrupted image, the result is still
+    /// internally consistent (entry offsets within code, names resolvable).
+    #[test]
+    fn safe_parse_results_are_always_consistent(obj in arb_object(), at in any::<prop::sample::Index>(), bits in 1u64..0xffff) {
+        let mut img = obj.encode();
+        let i = at.index(img.len());
+        img[i] = Word::new(img[i].raw() ^ bits);
+        if let Ok(parsed) = ObjectSegment::parse("x", &img) {
+            for (name, off) in &parsed.entries {
+                prop_assert!(*off < parsed.code_len.max(1));
+                prop_assert_eq!(parsed.entry_offset(name), Some(*off));
+            }
+        }
+    }
+
+    /// Truncating an image is always detected by the safe parser.
+    #[test]
+    fn truncation_is_always_detected(obj in arb_object(), keep in any::<prop::sample::Index>()) {
+        let img = obj.encode();
+        let n = keep.index(img.len().max(1));
+        if n < img.len() {
+            prop_assert!(ObjectSegment::parse("x", &img[..n]).is_err());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Security labels and the dominance lattice.
+
+/// A sensitivity level: totally ordered. The four traditional names are
+/// provided as constants; the representation allows up to 256 levels.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// Unclassified.
+    pub const UNCLASSIFIED: Level = Level(0);
+    /// Confidential.
+    pub const CONFIDENTIAL: Level = Level(1);
+    /// Secret.
+    pub const SECRET: Level = Level(2);
+    /// Top secret.
+    pub const TOP_SECRET: Level = Level(3);
+}
+
+/// A set of compartments (categories), up to 64, as a bitset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Compartments(pub u64);
+
+impl Compartments {
+    /// The empty compartment set.
+    pub const NONE: Compartments = Compartments(0);
+
+    /// A set containing the single compartment `n` (0..64).
+    pub fn single(n: u8) -> Compartments {
+        assert!(n < 64);
+        Compartments(1 << n)
+    }
+
+    /// Builds a set from a list of compartment numbers.
+    pub fn of(list: &[u8]) -> Compartments {
+        list.iter().fold(Compartments::NONE, |acc, n| acc.union(Compartments::single(*n)))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: Compartments) -> Compartments {
+        Compartments(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: Compartments) -> Compartments {
+        Compartments(self.0 & other.0)
+    }
+
+    /// Is `self` a superset of `other`?
+    pub fn contains_all(self, other: Compartments) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Number of compartments in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl core::fmt::Debug for Compartments {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for i in 0..64 {
+            if self.0 & (1 << i) != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{i}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A full security label: level plus compartment set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label {
+    /// Sensitivity level.
+    pub level: Level,
+    /// Compartment (category) set.
+    pub compartments: Compartments,
+}
+
+impl Label {
+    /// The bottom of the lattice: unclassified, no compartments. System
+    /// housekeeping objects default here.
+    pub const BOTTOM: Label =
+        Label { level: Level::UNCLASSIFIED, compartments: Compartments::NONE };
+
+    /// Builds a label.
+    pub fn new(level: Level, compartments: Compartments) -> Label {
+        Label { level, compartments }
+    }
+
+    /// Dominance: `self ≥ other` iff the level is at least as high **and**
+    /// the compartment set is a superset. This is the lattice's partial
+    /// order; information may flow from `other` to `self` only if this
+    /// holds.
+    pub fn dominates(&self, other: &Label) -> bool {
+        self.level >= other.level && self.compartments.contains_all(other.compartments)
+    }
+
+    /// Strict dominance.
+    pub fn strictly_dominates(&self, other: &Label) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// Are the two labels incomparable (neither dominates)?
+    pub fn incomparable(&self, other: &Label) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Least upper bound: the lowest label dominating both.
+    #[must_use]
+    pub fn join(&self, other: &Label) -> Label {
+        Label {
+            level: self.level.max(other.level),
+            compartments: self.compartments.union(other.compartments),
+        }
+    }
+
+    /// Greatest lower bound: the highest label both dominate.
+    #[must_use]
+    pub fn meet(&self, other: &Label) -> Label {
+        Label {
+            level: self.level.min(other.level),
+            compartments: self.compartments.intersection(other.compartments),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn secret_crypto() -> Label {
+        Label::new(Level::SECRET, Compartments::of(&[1]))
+    }
+
+    #[test]
+    fn dominance_requires_both_level_and_compartments() {
+        let ts_plain = Label::new(Level::TOP_SECRET, Compartments::NONE);
+        let s_crypto = secret_crypto();
+        // Higher level but missing the compartment: no dominance either way.
+        assert!(ts_plain.incomparable(&s_crypto));
+        let ts_crypto = Label::new(Level::TOP_SECRET, Compartments::of(&[1]));
+        assert!(ts_crypto.dominates(&s_crypto));
+        assert!(ts_crypto.dominates(&ts_plain));
+    }
+
+    #[test]
+    fn bottom_is_dominated_by_everything() {
+        for lvl in 0..4 {
+            let l = Label::new(Level(lvl), Compartments::of(&[0, 3]));
+            assert!(l.dominates(&Label::BOTTOM));
+        }
+    }
+
+    #[test]
+    fn strict_dominance_excludes_equality() {
+        let l = secret_crypto();
+        assert!(l.dominates(&l));
+        assert!(!l.strictly_dominates(&l));
+    }
+
+    #[test]
+    fn compartment_set_operations() {
+        let a = Compartments::of(&[0, 2]);
+        let b = Compartments::of(&[2, 5]);
+        assert_eq!(a.union(b), Compartments::of(&[0, 2, 5]));
+        assert_eq!(a.intersection(b), Compartments::of(&[2]));
+        assert!(a.contains_all(Compartments::of(&[0])));
+        assert!(!a.contains_all(b));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty() && Compartments::NONE.is_empty());
+    }
+
+    #[test]
+    fn debug_formats_are_readable() {
+        assert_eq!(format!("{:?}", Compartments::of(&[1, 4])), "{1,4}");
+    }
+
+    fn arb_label() -> impl Strategy<Value = Label> {
+        (0u8..4, any::<u64>()).prop_map(|(l, c)| Label::new(Level(l), Compartments(c & 0xff)))
+    }
+
+    proptest! {
+        #[test]
+        fn join_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+            let j = a.join(&b);
+            prop_assert!(j.dominates(&a) && j.dominates(&b));
+            // Any other upper bound dominates the join.
+            if c.dominates(&a) && c.dominates(&b) {
+                prop_assert!(c.dominates(&j));
+            }
+        }
+
+        #[test]
+        fn meet_is_greatest_lower_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+            let m = a.meet(&b);
+            prop_assert!(a.dominates(&m) && b.dominates(&m));
+            if a.dominates(&c) && b.dominates(&c) {
+                prop_assert!(m.dominates(&c));
+            }
+        }
+
+        #[test]
+        fn dominance_is_a_partial_order(a in arb_label(), b in arb_label(), c in arb_label()) {
+            prop_assert!(a.dominates(&a)); // reflexive
+            if a.dominates(&b) && b.dominates(&a) {
+                prop_assert_eq!(a, b); // antisymmetric
+            }
+            if a.dominates(&b) && b.dominates(&c) {
+                prop_assert!(a.dominates(&c)); // transitive
+            }
+        }
+
+        #[test]
+        fn join_meet_are_commutative_and_idempotent(a in arb_label(), b in arb_label()) {
+            prop_assert_eq!(a.join(&b), b.join(&a));
+            prop_assert_eq!(a.meet(&b), b.meet(&a));
+            prop_assert_eq!(a.join(&a), a);
+            prop_assert_eq!(a.meet(&a), a);
+        }
+    }
+}

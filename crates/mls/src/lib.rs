@@ -1,0 +1,33 @@
+//! # mks-mls — the Mitre access-constraint model
+//!
+//! The paper's kernel design is "guided by an informal (but detailed) model
+//! of the presumed security properties of Multics coupled with a formal
+//! model of a subset of these properties ... being developed by a group at
+//! the Mitre Corporation". Footnote 2 describes that formal model: "a set of
+//! access constraints that restrict information flow in a hierarchy of
+//! compartments to patterns consistent with the national security
+//! classification scheme" — the model that became Bell–LaPadula.
+//!
+//! This crate implements it: security [`Label`]s (a totally ordered *level*
+//! plus a set of *compartments*) form a lattice under [`Label::dominates`];
+//! the [`policy`] module states the two mandatory rules the kernel's bottom
+//! layer enforces on every access:
+//!
+//! * **simple security** (no read up): a process may read an object only if
+//!   the process's label dominates the object's;
+//! * **★-property** (no write down): a process may write an object only if
+//!   the object's label dominates the process's.
+//!
+//! The paper's layering proposal — "mechanisms to provide absolute
+//! compartmentalization of users and stored information be implemented at
+//! the bottom layer ..., and mechanisms to allow controlled sharing within
+//! the compartments be implemented at the next layer" — is realized in
+//! `mks-kernel`: the reference monitor checks these rules *before* any
+//! discretionary (ACL) check, so the sharing layer is common only within a
+//! compartment (experiment E10).
+
+pub mod label;
+pub mod policy;
+
+pub use label::{Compartments, Label, Level};
+pub use policy::{mls_check, AccessKind, MlsDenied};

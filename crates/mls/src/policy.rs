@@ -1,0 +1,143 @@
+//! The mandatory access rules the kernel's bottom layer enforces.
+
+use crate::label::Label;
+
+/// The kind of access being checked against the mandatory policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Observation: read or execute.
+    Read,
+    /// Modification only (append-style, no observation).
+    Write,
+    /// Both observation and modification.
+    ReadWrite,
+}
+
+/// A mandatory-policy denial, naming the rule that fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MlsDenied {
+    /// Simple-security violation: subject does not dominate object (read up).
+    ReadUp,
+    /// ★-property violation: object does not dominate subject (write down).
+    WriteDown,
+}
+
+impl core::fmt::Display for MlsDenied {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MlsDenied::ReadUp => write!(f, "simple-security violation (read up)"),
+            MlsDenied::WriteDown => write!(f, "*-property violation (write down)"),
+        }
+    }
+}
+
+impl std::error::Error for MlsDenied {}
+
+/// Checks `subject` performing `kind` on `object` against the mandatory
+/// rules. Note the consequence for [`AccessKind::ReadWrite`]: both rules
+/// must hold, which forces `subject == object` in the lattice — read-write
+/// sharing exists only *within* a compartment, exactly the paper's
+/// "mechanisms \[for\] controlled sharing within the compartments".
+pub fn mls_check(subject: &Label, object: &Label, kind: AccessKind) -> Result<(), MlsDenied> {
+    match kind {
+        AccessKind::Read => {
+            if subject.dominates(object) {
+                Ok(())
+            } else {
+                Err(MlsDenied::ReadUp)
+            }
+        }
+        AccessKind::Write => {
+            if object.dominates(subject) {
+                Ok(())
+            } else {
+                Err(MlsDenied::WriteDown)
+            }
+        }
+        AccessKind::ReadWrite => {
+            mls_check(subject, object, AccessKind::Read)?;
+            mls_check(subject, object, AccessKind::Write)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{Compartments, Level};
+    use proptest::prelude::*;
+
+    fn lab(level: u8, comps: &[u8]) -> Label {
+        Label::new(Level(level), Compartments::of(comps))
+    }
+
+    #[test]
+    fn read_up_is_denied() {
+        let subj = lab(1, &[]);
+        let obj = lab(2, &[]);
+        assert_eq!(mls_check(&subj, &obj, AccessKind::Read), Err(MlsDenied::ReadUp));
+        assert!(mls_check(&obj, &subj, AccessKind::Read).is_ok());
+    }
+
+    #[test]
+    fn write_down_is_denied() {
+        let subj = lab(2, &[]);
+        let obj = lab(1, &[]);
+        assert_eq!(mls_check(&subj, &obj, AccessKind::Write), Err(MlsDenied::WriteDown));
+        // Blind write-up is allowed by the *-property.
+        assert!(mls_check(&lab(1, &[]), &lab(2, &[]), AccessKind::Write).is_ok());
+    }
+
+    #[test]
+    fn compartments_block_reads_across() {
+        let subj = lab(3, &[1]);
+        let obj = lab(0, &[2]);
+        assert_eq!(mls_check(&subj, &obj, AccessKind::Read), Err(MlsDenied::ReadUp));
+    }
+
+    #[test]
+    fn read_write_requires_equal_labels() {
+        let a = lab(2, &[1]);
+        let b = lab(2, &[1]);
+        assert!(mls_check(&a, &b, AccessKind::ReadWrite).is_ok());
+        assert!(mls_check(&a, &lab(2, &[1, 2]), AccessKind::ReadWrite).is_err());
+        assert!(mls_check(&a, &lab(1, &[1]), AccessKind::ReadWrite).is_err());
+    }
+
+    fn arb_label() -> impl Strategy<Value = Label> {
+        (0u8..4, any::<u64>()).prop_map(|(l, c)| Label::new(Level(l), Compartments(c & 0x3f)))
+    }
+
+    proptest! {
+        #[test]
+        fn no_downward_flow_exists(a in arb_label(), b in arb_label()) {
+            // If information could flow from a to b (a readable by b, or a
+            // writes into b), then b's label must dominate a's.
+            let read_flow = mls_check(&b, &a, AccessKind::Read).is_ok();
+            let write_flow = mls_check(&a, &b, AccessKind::Write).is_ok();
+            if read_flow {
+                prop_assert!(b.dominates(&a));
+            }
+            if write_flow {
+                prop_assert!(b.dominates(&a));
+            }
+        }
+
+        #[test]
+        fn readwrite_implies_equality(a in arb_label(), b in arb_label()) {
+            if mls_check(&a, &b, AccessKind::ReadWrite).is_ok() {
+                prop_assert_eq!(a, b);
+            }
+        }
+
+        #[test]
+        fn incomparable_labels_share_nothing(a in arb_label(), b in arb_label()) {
+            if a.incomparable(&b) {
+                prop_assert!(mls_check(&a, &b, AccessKind::Read).is_err());
+                prop_assert!(mls_check(&a, &b, AccessKind::Write).is_err());
+                prop_assert!(mls_check(&b, &a, AccessKind::Read).is_err());
+                prop_assert!(mls_check(&b, &a, AccessKind::Write).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # mks-procs — the two-layer process implementation
+//!
+//! The paper proposes reimplementing Multics processes "using two layers of
+//! mechanism":
+//!
+//! 1. A first layer (the *traffic controller*) multiplexes the physical
+//!    processors into a **fixed** number of *virtual processors*. Because the
+//!    number is fixed, this layer needs no dynamic storage and therefore
+//!    **does not depend on the virtual-memory machinery** — which is why
+//!    page control itself can run on dedicated virtual processors without
+//!    circularity. (That independence is enforced structurally here: this
+//!    crate depends only on `mks-hw`, never on `mks-vm`.)
+//! 2. A second layer multiplexes the remaining (non-dedicated) virtual
+//!    processors among any desired number of full Multics *processes* that
+//!    execute in the virtual memory.
+//!
+//! The base-level IPC is the block/wakeup pair with *pending-wakeup*
+//! ("wakeup-waiting switch") semantics, on event channels that the kernel
+//! above can bind to memory words — the paper's observation that IPC use
+//! "can be controlled with the standard memory protection mechanisms".
+//!
+//! Execution is simulated: a job is a cooperative coroutine ([`Job::step`])
+//! polled by the scheduler, and every dispatch charges the machine's
+//! processor-swap cost, so scheduling behaviour is deterministic and
+//! cycle-accounted.
+
+pub mod ipc;
+pub mod step;
+pub mod tc;
+pub mod vproc;
+
+pub use ipc::{EventId, EventTable};
+pub use step::{Effects, FnJob, Job, Step};
+pub use tc::{ProcessId, RunOutcome, TcConfig, TcStats, TrafficController, Waiter};
+pub use vproc::{VpIndex, VpState};
+
+/// Trait a scheduler context must implement so the traffic controller can
+/// charge dispatch and wakeup costs against the simulated clock.
+pub trait HasMachine {
+    /// Borrows the machine (clock + cost model + memory).
+    fn machine(&mut self) -> &mut mks_hw::Machine;
+}
+
+impl HasMachine for mks_hw::Machine {
+    fn machine(&mut self) -> &mut mks_hw::Machine {
+        self
+    }
+}

@@ -1,0 +1,667 @@
+//! The traffic controller: both layers of processor multiplexing.
+//!
+//! **Layer 1** owns a fixed array of virtual processor slots and multiplexes
+//! the physical processors among the ready ones, round-robin with a step
+//! quantum. Slots are either *dedicated* — permanently bound at system
+//! initialization to a kernel job (page control's freeing daemons, interrupt
+//! handler processes, ...) — or *shared*, available to layer 2.
+//!
+//! **Layer 2** multiplexes the shared slots among any number of full
+//! processes: a ready, unbound process is bound to a free shared slot before
+//! each dispatch round; a process that blocks is unbound so its slot can
+//! serve another process.
+//!
+//! Both layers use the same [`EventTable`] channels, so a device interrupt
+//! (delivered by [`TrafficController::wakeup_external`]) can wake a dedicated
+//! kernel daemon or a user process identically — the uniformity the paper's
+//! interrupt-handling simplification relies on.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use crate::ipc::{EventId, EventTable};
+use crate::step::{Effects, Job, Step};
+use crate::vproc::{VProc, VpBinding, VpIndex, VpState};
+use crate::HasMachine;
+
+/// Identifier of a layer-2 process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// A party that can wait on an event channel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Waiter {
+    /// A dedicated virtual processor.
+    Dedicated(VpIndex),
+    /// A layer-2 process (bound or not).
+    Process(ProcessId),
+}
+
+/// Traffic-controller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TcConfig {
+    /// Number of physical processors.
+    pub nr_cpus: usize,
+    /// Fixed number of virtual processor slots (layer 1).
+    pub nr_vprocs: usize,
+    /// Steps a job may run per dispatch before preemption.
+    pub quantum: u32,
+}
+
+impl Default for TcConfig {
+    fn default() -> TcConfig {
+        TcConfig { nr_cpus: 2, nr_vprocs: 8, quantum: 8 }
+    }
+}
+
+/// Counters describing scheduler activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TcStats {
+    /// Processor dispatches (descriptor-base swaps).
+    pub dispatches: u64,
+    /// Total job steps executed.
+    pub steps: u64,
+    /// Wakeups delivered to waiters.
+    pub wakeups_delivered: u64,
+    /// Preemptions at quantum expiry.
+    pub preemptions: u64,
+    /// Processes created.
+    pub processes_created: u64,
+    /// Processes finished.
+    pub processes_finished: u64,
+    /// Processes destroyed before completion.
+    pub processes_killed: u64,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum PState {
+    Ready,
+    Bound(VpIndex),
+    Blocked(EventId),
+    Done,
+}
+
+struct ProcEntry<C> {
+    job: Box<dyn Job<C>>,
+    state: PState,
+}
+
+/// Result of a scheduling run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Dispatch rounds executed.
+    pub rounds: u64,
+    /// True if the system went quiescent (nothing ready) before the round
+    /// limit; false means the limit cut the run short.
+    pub quiescent: bool,
+}
+
+/// The two-layer scheduler.
+pub struct TrafficController<C> {
+    cfg: TcConfig,
+    vprocs: Vec<VProc>,
+    dedicated_jobs: Vec<Option<Box<dyn Job<C>>>>,
+    processes: HashMap<ProcessId, ProcEntry<C>>,
+    next_pid: u32,
+    proc_ready: VecDeque<ProcessId>,
+    vp_ready: VecDeque<VpIndex>,
+    events: EventTable<Waiter>,
+    stats: TcStats,
+}
+
+impl<C: HasMachine> TrafficController<C> {
+    /// Creates a controller with `cfg.nr_vprocs` idle slots.
+    pub fn new(cfg: TcConfig) -> TrafficController<C> {
+        assert!(cfg.nr_cpus >= 1 && cfg.nr_vprocs >= 1 && cfg.quantum >= 1);
+        TrafficController {
+            cfg,
+            vprocs: (0..cfg.nr_vprocs).map(|_| VProc::idle()).collect(),
+            dedicated_jobs: (0..cfg.nr_vprocs).map(|_| None).collect(),
+            processes: HashMap::new(),
+            next_pid: 1,
+            proc_ready: VecDeque::new(),
+            vp_ready: VecDeque::new(),
+            events: EventTable::new(),
+            stats: TcStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> TcConfig {
+        self.cfg
+    }
+
+    /// Scheduler activity counters.
+    pub fn stats(&self) -> TcStats {
+        self.stats
+    }
+
+    /// The event-channel table (for kernel-level inspection).
+    pub fn events(&self) -> &EventTable<Waiter> {
+        &self.events
+    }
+
+    /// Allocates a fresh event channel.
+    pub fn alloc_event(&mut self) -> EventId {
+        self.events.alloc()
+    }
+
+    /// Permanently binds `job` to a free slot as a dedicated kernel virtual
+    /// processor and makes it ready.
+    ///
+    /// # Panics
+    /// Panics if every slot is taken: the number of virtual processors is
+    /// fixed at configuration time, exactly as the paper requires.
+    pub fn add_dedicated(&mut self, job: Box<dyn Job<C>>) -> VpIndex {
+        let slot = self
+            .vprocs
+            .iter()
+            .position(|v| v.binding == VpBinding::Free)
+            .expect("no free virtual processor slot for dedicated job");
+        let vp = VpIndex(slot as u32);
+        self.vprocs[slot].binding = VpBinding::Dedicated;
+        self.vprocs[slot].state = VpState::Ready;
+        self.dedicated_jobs[slot] = Some(job);
+        self.vp_ready.push_back(vp);
+        vp
+    }
+
+    /// Creates a layer-2 process running `job`; it competes for the shared
+    /// virtual processors.
+    pub fn spawn(&mut self, job: Box<dyn Job<C>>) -> ProcessId {
+        let pid = ProcessId(self.next_pid);
+        self.next_pid += 1;
+        self.processes.insert(pid, ProcEntry { job, state: PState::Ready });
+        self.proc_ready.push_back(pid);
+        self.stats.processes_created += 1;
+        pid
+    }
+
+    /// True once `pid` has run to completion.
+    pub fn process_done(&self, pid: ProcessId) -> bool {
+        match self.processes.get(&pid) {
+            Some(p) => p.state == PState::Done,
+            None => true,
+        }
+    }
+
+    /// Destroys a process, whatever its state: a bound one loses its
+    /// virtual processor, a blocked one is removed from every wait queue.
+    /// Returns `false` if the process is unknown or already done.
+    pub fn kill(&mut self, pid: ProcessId) -> bool {
+        let Some(entry) = self.processes.get_mut(&pid) else { return false };
+        let prev = entry.state;
+        if prev == PState::Done {
+            return false;
+        }
+        entry.state = PState::Done;
+        self.stats.processes_killed += 1;
+        match prev {
+            PState::Bound(vp) => self.unbind(vp),
+            PState::Blocked(_) => self.events.cancel_waits(Waiter::Process(pid)),
+            PState::Ready | PState::Done => {} // stale queue entries are skipped
+        }
+        true
+    }
+
+    /// Diagnostic: every event channel somebody is blocked on, with its
+    /// waiters — what an operator reads when the system looks wedged.
+    pub fn blocked_report(&self) -> Vec<(EventId, Vec<Waiter>)> {
+        self.events.waiter_report()
+    }
+
+    /// Number of shared slots currently free.
+    pub fn free_shared_slots(&self) -> usize {
+        self.vprocs.iter().filter(|v| v.binding == VpBinding::Free).count()
+    }
+
+    /// Delivers an external wakeup (e.g. from a device interrupt) on
+    /// `event`, charging the wakeup cost.
+    pub fn wakeup_external(&mut self, ctx: &mut C, event: EventId) {
+        ctx.machine().charge_wakeup();
+        let woken = self.events.wakeup(event);
+        self.deliver(woken);
+    }
+
+    fn deliver(&mut self, woken: Vec<Waiter>) {
+        for w in woken {
+            self.stats.wakeups_delivered += 1;
+            match w {
+                Waiter::Dedicated(vp) => {
+                    let v = &mut self.vprocs[vp.0 as usize];
+                    if let VpState::Blocked(_) = v.state {
+                        v.state = VpState::Ready;
+                        self.vp_ready.push_back(vp);
+                    }
+                }
+                Waiter::Process(pid) => {
+                    if let Some(p) = self.processes.get_mut(&pid) {
+                        if let PState::Blocked(_) = p.state {
+                            p.state = PState::Ready;
+                            self.proc_ready.push_back(pid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Layer 2: bind ready, unbound processes to free shared slots.
+    fn bind_processes(&mut self) {
+        while let Some(&pid) = self.proc_ready.front() {
+            let slot = match self.vprocs.iter().position(|v| v.binding == VpBinding::Free) {
+                Some(s) => s,
+                None => break,
+            };
+            self.proc_ready.pop_front();
+            let entry = match self.processes.get_mut(&pid) {
+                Some(e) if e.state == PState::Ready => e,
+                _ => continue, // stale queue entry
+            };
+            let vp = VpIndex(slot as u32);
+            entry.state = PState::Bound(vp);
+            self.vprocs[slot].binding = VpBinding::Process(pid);
+            self.vprocs[slot].state = VpState::Ready;
+            self.vp_ready.push_back(vp);
+        }
+    }
+
+    fn unbind(&mut self, vp: VpIndex) {
+        let slot = vp.0 as usize;
+        self.vprocs[slot].binding = VpBinding::Free;
+        self.vprocs[slot].state = VpState::Idle;
+    }
+
+    /// Runs one job on one virtual processor for up to a quantum.
+    fn dispatch(&mut self, ctx: &mut C, vp: VpIndex) {
+        let slot = vp.0 as usize;
+        self.stats.dispatches += 1;
+        ctx.machine().charge_processor_swap();
+        for used in 0..self.cfg.quantum {
+            // Borrow the job out of its home so we can pass &mut self data
+            // into deliver() after the step.
+            let mut job = match self.vprocs[slot].binding {
+                VpBinding::Dedicated => {
+                    self.dedicated_jobs[slot].take().expect("dedicated job missing")
+                }
+                VpBinding::Process(pid) => {
+                    self.processes.get_mut(&pid).expect("bound process missing").job_take()
+                }
+                VpBinding::Free => return, // slot was freed mid-quantum
+            };
+            let mut eff = Effects::new(ctx);
+            let step = job.step(&mut eff);
+            let wakeups = std::mem::take(&mut eff.wakeups);
+            self.stats.steps += 1;
+            // Put the job back before delivering wakeups or changing state.
+            match self.vprocs[slot].binding {
+                VpBinding::Dedicated => self.dedicated_jobs[slot] = Some(job),
+                VpBinding::Process(pid) => {
+                    self.processes.get_mut(&pid).expect("process vanished").job_put(job);
+                }
+                VpBinding::Free => unreachable!(),
+            }
+            for e in wakeups {
+                ctx.machine().charge_wakeup();
+                let woken = self.events.wakeup(e);
+                self.deliver(woken);
+            }
+            match step {
+                Step::Continue => {
+                    if used + 1 == self.cfg.quantum {
+                        self.stats.preemptions += 1;
+                        self.vp_ready.push_back(vp);
+                    }
+                }
+                Step::Yield => {
+                    self.vp_ready.push_back(vp);
+                    return;
+                }
+                Step::Block(event) => {
+                    let waiter = match self.vprocs[slot].binding {
+                        VpBinding::Dedicated => Waiter::Dedicated(vp),
+                        VpBinding::Process(pid) => Waiter::Process(pid),
+                        VpBinding::Free => unreachable!(),
+                    };
+                    if self.events.block(waiter, event) {
+                        // Pending switch was set: keep running next round.
+                        self.vp_ready.push_back(vp);
+                    } else {
+                        match waiter {
+                            Waiter::Dedicated(_) => {
+                                self.vprocs[slot].state = VpState::Blocked(event);
+                            }
+                            Waiter::Process(pid) => {
+                                self.processes
+                                    .get_mut(&pid)
+                                    .expect("process vanished")
+                                    .state = PState::Blocked(event);
+                                self.unbind(vp);
+                            }
+                        }
+                    }
+                    return;
+                }
+                Step::Done => {
+                    match self.vprocs[slot].binding {
+                        VpBinding::Dedicated => {
+                            // A finished dedicated job retires its slot.
+                            self.dedicated_jobs[slot] = None;
+                            self.vprocs[slot].binding = VpBinding::Free;
+                            self.vprocs[slot].state = VpState::Idle;
+                        }
+                        VpBinding::Process(pid) => {
+                            self.processes.get_mut(&pid).expect("process vanished").state =
+                                PState::Done;
+                            self.stats.processes_finished += 1;
+                            self.unbind(vp);
+                        }
+                        VpBinding::Free => unreachable!(),
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One dispatch round: layer-2 binding, then up to `nr_cpus` dispatches.
+    ///
+    /// Returns `true` if any job ran.
+    pub fn tick(&mut self, ctx: &mut C) -> bool {
+        self.bind_processes();
+        let mut ran = false;
+        for _ in 0..self.cfg.nr_cpus {
+            let vp = loop {
+                match self.vp_ready.pop_front() {
+                    Some(vp) => {
+                        // Skip stale queue entries.
+                        let v = &self.vprocs[vp.0 as usize];
+                        if v.state == VpState::Ready && v.binding != VpBinding::Free {
+                            break Some(vp);
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            match vp {
+                Some(vp) => {
+                    ran = true;
+                    self.dispatch(ctx, vp);
+                    // Newly runnable processes may bind to freed slots for
+                    // the remaining CPUs this round.
+                    self.bind_processes();
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+
+    /// Runs dispatch rounds until the system is quiescent (no ready work)
+    /// or `max_rounds` is reached.
+    pub fn run_until_quiet(&mut self, ctx: &mut C, max_rounds: u64) -> RunOutcome {
+        for round in 0..max_rounds {
+            if !self.tick(ctx) {
+                return RunOutcome { rounds: round, quiescent: true };
+            }
+        }
+        // One more probe: quiescent only if nothing is ready now.
+        let quiescent = self.vp_ready.is_empty() && self.proc_ready.is_empty();
+        RunOutcome { rounds: max_rounds, quiescent }
+    }
+}
+
+impl<C> ProcEntry<C> {
+    fn job_take(&mut self) -> Box<dyn Job<C>> {
+        std::mem::replace(&mut self.job, Box::new(Tombstone))
+    }
+
+    fn job_put(&mut self, job: Box<dyn Job<C>>) {
+        self.job = job;
+    }
+}
+
+/// Placeholder job occupying a process entry while its real job is being
+/// stepped; stepping it indicates a scheduler bug.
+struct Tombstone;
+
+impl<C> Job<C> for Tombstone {
+    fn step(&mut self, _eff: &mut Effects<'_, C>) -> Step {
+        unreachable!("tombstone job stepped: job was not returned to its slot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::FnJob;
+    use mks_hw::{CpuModel, Machine};
+
+    fn machine() -> Machine {
+        Machine::new(CpuModel::H6180, 4)
+    }
+
+    fn counter_job(
+        n: u32,
+        counter: std::rc::Rc<std::cell::Cell<u32>>,
+    ) -> Box<dyn Job<Machine>> {
+        let mut left = n;
+        Box::new(FnJob::new("counter", move |_eff: &mut Effects<'_, Machine>| {
+            counter.set(counter.get() + 1);
+            left -= 1;
+            if left == 0 {
+                Step::Done
+            } else {
+                Step::Continue
+            }
+        }))
+    }
+
+    #[test]
+    fn processes_run_to_completion() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let pid = tc.spawn(counter_job(10, c.clone()));
+        let out = tc.run_until_quiet(&mut m, 1000);
+        assert!(out.quiescent);
+        assert!(tc.process_done(pid));
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn more_processes_than_vprocs_all_finish() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 3, quantum: 2 });
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let pids: Vec<_> = (0..10).map(|_| tc.spawn(counter_job(5, c.clone()))).collect();
+        let out = tc.run_until_quiet(&mut m, 10_000);
+        assert!(out.quiescent);
+        assert!(pids.iter().all(|p| tc.process_done(*p)));
+        assert_eq!(c.get(), 50);
+    }
+
+    #[test]
+    fn block_and_wakeup_between_processes() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig::default());
+        let event = tc.alloc_event();
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+
+        let log1 = log.clone();
+        let mut phase = 0;
+        let consumer = Box::new(FnJob::new("consumer", move |_eff: &mut Effects<'_, Machine>| {
+            match phase {
+                0 => {
+                    phase = 1;
+                    Step::Block(event)
+                }
+                _ => {
+                    log1.borrow_mut().push("consumed");
+                    Step::Done
+                }
+            }
+        }));
+        let log2 = log.clone();
+        let mut produced = false;
+        let producer = Box::new(FnJob::new("producer", move |eff: &mut Effects<'_, Machine>| {
+            if !produced {
+                produced = true;
+                log2.borrow_mut().push("produced");
+                eff.notify(event);
+                Step::Done
+            } else {
+                Step::Done
+            }
+        }));
+
+        let cons = tc.spawn(consumer);
+        let prod = tc.spawn(producer);
+        let out = tc.run_until_quiet(&mut m, 1000);
+        assert!(out.quiescent);
+        assert!(tc.process_done(cons) && tc.process_done(prod));
+        assert_eq!(*log.borrow(), vec!["produced", "consumed"]);
+    }
+
+    #[test]
+    fn pending_wakeup_lets_block_fall_through() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let event = tc.alloc_event();
+        // Wakeup arrives before anyone blocks (e.g. an early interrupt).
+        tc.wakeup_external(&mut m, event);
+        let mut phase = 0;
+        let done = std::rc::Rc::new(std::cell::Cell::new(false));
+        let d = done.clone();
+        let pid = tc.spawn(Box::new(FnJob::new("late", move |_eff: &mut Effects<'_, Machine>| {
+            match phase {
+                0 => {
+                    phase = 1;
+                    Step::Block(event) // must not deadlock: switch is pending
+                }
+                _ => {
+                    d.set(true);
+                    Step::Done
+                }
+            }
+        })));
+        let out = tc.run_until_quiet(&mut m, 1000);
+        assert!(out.quiescent);
+        assert!(tc.process_done(pid));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn dedicated_jobs_occupy_fixed_slots() {
+        let mut m = machine();
+        let mut tc: TrafficController<Machine> =
+            TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let event = tc.alloc_event();
+        // A daemon that waits for work forever.
+        let served = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let s = served.clone();
+        tc.add_dedicated(Box::new(FnJob::new("daemon", move |_eff: &mut Effects<'_, Machine>| {
+            s.set(s.get() + 1);
+            Step::Block(event)
+        })));
+        assert_eq!(tc.free_shared_slots(), 1);
+        let out = tc.run_until_quiet(&mut m, 100);
+        assert!(out.quiescent);
+        assert_eq!(served.get(), 1);
+        // Interrupt-style wakeups re-run the daemon.
+        tc.wakeup_external(&mut m, event);
+        tc.run_until_quiet(&mut m, 100);
+        assert_eq!(served.get(), 2);
+    }
+
+    #[test]
+    fn quantum_preempts_long_runners_fairly() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 2 });
+        let c1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let c2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        tc.spawn(counter_job(20, c1.clone()));
+        tc.spawn(counter_job(20, c2.clone()));
+        // After a few rounds both have progressed — neither starves.
+        for _ in 0..6 {
+            tc.tick(&mut m);
+        }
+        assert!(c1.get() > 0 && c2.get() > 0, "{} {}", c1.get(), c2.get());
+        assert!(tc.stats().preemptions > 0);
+        tc.run_until_quiet(&mut m, 1000);
+        assert_eq!(c1.get() + c2.get(), 40);
+    }
+
+    #[test]
+    fn dispatches_charge_the_clock() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        tc.spawn(counter_job(4, c));
+        let t0 = m.clock.now();
+        tc.run_until_quiet(&mut m, 100);
+        assert!(m.clock.now() > t0);
+        assert!(tc.stats().dispatches >= 1);
+    }
+
+    #[test]
+    fn kill_stops_ready_blocked_and_bound_processes() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 3, quantum: 2 });
+        let event = tc.alloc_event();
+        let ran = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        // A blocked process.
+        let blocked = tc.spawn(Box::new(FnJob::new("b", move |_e: &mut Effects<'_, Machine>| {
+            Step::Block(event)
+        })));
+        // A long runner.
+        let r = ran.clone();
+        let runner = tc.spawn(Box::new(FnJob::new("r", move |_e: &mut Effects<'_, Machine>| {
+            r.set(r.get() + 1);
+            Step::Continue
+        })));
+        for _ in 0..3 {
+            tc.tick(&mut m);
+        }
+        let progress = ran.get();
+        assert!(progress > 0);
+        assert!(tc.kill(runner));
+        assert!(tc.kill(blocked));
+        assert!(!tc.kill(runner), "double kill reports false");
+        let out = tc.run_until_quiet(&mut m, 1000);
+        assert!(out.quiescent);
+        assert_eq!(ran.get(), progress, "killed process must not run again");
+        assert!(tc.process_done(runner) && tc.process_done(blocked));
+        // A wakeup for the killed waiter goes nowhere (pending switch set).
+        tc.wakeup_external(&mut m, event);
+        assert!(tc.run_until_quiet(&mut m, 100).quiescent);
+        assert_eq!(tc.stats().processes_killed, 2);
+    }
+
+    #[test]
+    fn killed_ready_process_is_skipped_by_the_queue() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 2 });
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let pid = tc.spawn(counter_job(10, c.clone()));
+        assert!(tc.kill(pid), "kill before first dispatch");
+        tc.run_until_quiet(&mut m, 100);
+        assert_eq!(c.get(), 0, "never dispatched");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let trace = || {
+            let mut m = machine();
+            let mut tc =
+                TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 4, quantum: 3 });
+            let c = std::rc::Rc::new(std::cell::Cell::new(0));
+            for _ in 0..6 {
+                tc.spawn(counter_job(7, c.clone()));
+            }
+            tc.run_until_quiet(&mut m, 10_000);
+            (m.clock.now(), tc.stats().dispatches, tc.stats().steps, c.get())
+        };
+        assert_eq!(trace(), trace());
+    }
+}

@@ -1,0 +1,60 @@
+//! Virtual processors: the fixed-size first layer.
+
+use crate::ipc::EventId;
+use crate::tc::ProcessId;
+
+/// Index of a virtual processor slot in the traffic controller.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VpIndex(pub u32);
+
+/// Scheduling state of a virtual processor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VpState {
+    /// No work bound to this slot.
+    Idle,
+    /// Bound and runnable.
+    Ready,
+    /// Blocked awaiting an event.
+    Blocked(EventId),
+}
+
+/// What is bound to a virtual processor slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VpBinding {
+    /// Nothing.
+    Free,
+    /// A dedicated kernel job (bound for the life of the system; the paper's
+    /// "virtual processors ... permanently assigned to implement processes
+    /// for the dedicated use of other kernel mechanisms").
+    Dedicated,
+    /// A level-2 process currently holding this slot.
+    Process(ProcessId),
+}
+
+/// One virtual processor slot.
+#[derive(Debug)]
+pub struct VProc {
+    /// Scheduling state.
+    pub state: VpState,
+    /// What occupies the slot.
+    pub binding: VpBinding,
+}
+
+impl VProc {
+    /// A fresh idle slot.
+    pub fn idle() -> VProc {
+        VProc { state: VpState::Idle, binding: VpBinding::Free }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_slot_is_idle_and_free() {
+        let v = VProc::idle();
+        assert_eq!(v.state, VpState::Idle);
+        assert_eq!(v.binding, VpBinding::Free);
+    }
+}

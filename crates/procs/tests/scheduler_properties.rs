@@ -1,0 +1,131 @@
+//! Property tests on the traffic controller: liveness (every spawned job
+//! finishes under any mix), work conservation, wakeup soundness, and
+//! determinism under arbitrary configurations.
+
+use mks_hw::{CpuModel, Machine};
+use mks_procs::{Effects, FnJob, Step, TcConfig, TrafficController};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn arb_cfg() -> impl Strategy<Value = TcConfig> {
+    (1usize..4, 1usize..8, 1u32..6).prop_map(|(nr_cpus, nr_vprocs, quantum)| TcConfig {
+        nr_cpus,
+        nr_vprocs,
+        quantum,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any number of finite jobs on any configuration all run to
+    /// completion, and the step counts are exactly conserved.
+    #[test]
+    fn all_finite_jobs_complete(cfg in arb_cfg(), lens in prop::collection::vec(1u32..30, 1..12)) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(cfg);
+        let done = Rc::new(Cell::new(0u32));
+        let total: u32 = lens.iter().sum();
+        let mut pids = Vec::new();
+        for len in &lens {
+            let mut left = *len;
+            let d = done.clone();
+            pids.push(tc.spawn(Box::new(FnJob::new("w", move |_e: &mut Effects<'_, Machine>| {
+                d.set(d.get() + 1);
+                left -= 1;
+                if left == 0 { Step::Done } else { Step::Continue }
+            }))));
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent);
+        for pid in pids {
+            prop_assert!(tc.process_done(pid));
+        }
+        prop_assert_eq!(done.get(), total);
+        prop_assert_eq!(tc.stats().processes_finished, lens.len() as u64);
+    }
+
+    /// Ping-pong over a random chain of events always converges: each job
+    /// waits on its own channel and wakes the next one a fixed number of
+    /// times, in a ring.
+    #[test]
+    fn wakeup_rings_always_drain(cfg in arb_cfg(), n in 2usize..6, rounds in 1u32..10) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(cfg);
+        let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
+        let fired = Rc::new(Cell::new(0u32));
+        for i in 0..n {
+            let my = events[i];
+            let next = events[(i + 1) % n];
+            let f = fired.clone();
+            let mut remaining = rounds;
+            let starter = i == 0;
+            let mut started = false;
+            tc.spawn(Box::new(FnJob::new("ring", move |eff: &mut Effects<'_, Machine>| {
+                if starter && !started {
+                    started = true;
+                    eff.notify(next);
+                    f.set(f.get() + 1);
+                    remaining -= 1;
+                    if remaining == 0 { return Step::Done; }
+                    return Step::Block(my);
+                }
+                // Woken: pass the baton.
+                if !started {
+                    started = true;
+                    return Step::Block(my);
+                }
+                eff.notify(next);
+                f.set(f.get() + 1);
+                remaining -= 1;
+                if remaining == 0 { Step::Done } else { Step::Block(my) }
+            })));
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent, "ring wedged: fired {}", fired.get());
+        prop_assert!(fired.get() >= rounds, "baton never circulated");
+    }
+
+    /// Determinism: identical runs give identical clocks and stats.
+    #[test]
+    fn runs_are_deterministic(cfg in arb_cfg(), lens in prop::collection::vec(1u32..20, 1..8)) {
+        let run = || {
+            let mut m = Machine::new(CpuModel::H6180, 2);
+            let mut tc = TrafficController::new(cfg);
+            for len in &lens {
+                let mut left = *len;
+                tc.spawn(Box::new(FnJob::new("w", move |_e: &mut Effects<'_, Machine>| {
+                    left -= 1;
+                    if left == 0 { Step::Done } else { Step::Continue }
+                })));
+            }
+            tc.run_until_quiet(&mut m, 1_000_000);
+            (m.clock.now(), tc.stats().dispatches, tc.stats().steps)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// No starvation: with a single CPU and many equal jobs, the spread of
+    /// completion (in dispatch rounds) is bounded by the round-robin.
+    #[test]
+    fn round_robin_is_fair(quantum in 1u32..5, njobs in 2usize..6) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: njobs + 1, quantum });
+        let counters: Vec<Rc<Cell<u32>>> = (0..njobs).map(|_| Rc::new(Cell::new(0))).collect();
+        for c in &counters {
+            let c = c.clone();
+            tc.spawn(Box::new(FnJob::new("fair", move |_e: &mut Effects<'_, Machine>| {
+                c.set(c.get() + 1);
+                if c.get() >= 50 { Step::Done } else { Step::Continue }
+            })));
+        }
+        // After a prefix of the run, progress must be spread across jobs.
+        for _ in 0..njobs * 8 {
+            tc.tick(&mut m);
+        }
+        let values: Vec<u32> = counters.iter().map(|c| c.get()).collect();
+        let min = *values.iter().min().unwrap();
+        prop_assert!(min > 0, "a job was starved: {values:?}");
+    }
+}

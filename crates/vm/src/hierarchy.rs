@@ -1,0 +1,201 @@
+//! The lower levels of the memory hierarchy: bulk store and disk.
+//!
+//! Both are page-addressed stores keyed by `(segment uid, page number)`. The
+//! bulk store has a fixed number of *records* (its scarcity drives the
+//! second stage of the eviction cascade); the disk is effectively unbounded.
+//! Transfer latencies are charged by the page-control code that commands the
+//! moves, not here — these types are pure state.
+
+use std::collections::HashMap;
+
+use mks_hw::mem::FrameData;
+use mks_hw::SegUid;
+
+/// Address of a page within a segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct PageAddr {
+    /// Owning segment.
+    pub uid: SegUid,
+    /// Page number within the segment.
+    pub page: usize,
+}
+
+/// The bulk store: a fixed pool of page records.
+#[derive(Debug)]
+pub struct BulkStore {
+    capacity: usize,
+    pages: HashMap<PageAddr, FrameData>,
+    /// FIFO of resident pages, for the default bulk-eviction order.
+    order: std::collections::VecDeque<PageAddr>,
+}
+
+impl BulkStore {
+    /// Creates a bulk store of `capacity` records.
+    pub fn new(capacity: usize) -> BulkStore {
+        BulkStore { capacity, pages: HashMap::new(), order: std::collections::VecDeque::new() }
+    }
+
+    /// Total records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records still free.
+    pub fn free_records(&self) -> usize {
+        self.capacity - self.pages.len()
+    }
+
+    /// Is a copy of `addr` resident here?
+    pub fn contains(&self, addr: PageAddr) -> bool {
+        self.pages.contains_key(&addr)
+    }
+
+    /// Stores a page copy. Fails (returning the data back) if the store is
+    /// full and `addr` is not already resident.
+    pub fn store(&mut self, addr: PageAddr, data: FrameData) -> Result<(), FrameData> {
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.pages.entry(addr) {
+            e.insert(data);
+            return Ok(());
+        }
+        if self.pages.len() >= self.capacity {
+            return Err(data);
+        }
+        self.pages.insert(addr, data);
+        self.order.push_back(addr);
+        Ok(())
+    }
+
+    /// Reads a copy of `addr` without removing it.
+    pub fn read(&self, addr: PageAddr) -> Option<FrameData> {
+        self.pages.get(&addr).cloned()
+    }
+
+    /// Removes and returns the copy of `addr`.
+    pub fn remove(&mut self, addr: PageAddr) -> Option<FrameData> {
+        let data = self.pages.remove(&addr)?;
+        self.order.retain(|a| *a != addr);
+        Some(data)
+    }
+
+    /// The oldest resident page (default victim for bulk eviction).
+    pub fn oldest(&self) -> Option<PageAddr> {
+        self.order.front().copied()
+    }
+
+    /// Iterates over resident page addresses.
+    pub fn resident(&self) -> impl Iterator<Item = PageAddr> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+/// The disk level: unbounded page store.
+#[derive(Debug, Default)]
+pub struct Disk {
+    pages: HashMap<PageAddr, FrameData>,
+    writes: u64,
+    reads: u64,
+}
+
+impl Disk {
+    /// Creates an empty disk.
+    pub fn new() -> Disk {
+        Disk::default()
+    }
+
+    /// Is a copy of `addr` on disk?
+    pub fn contains(&self, addr: PageAddr) -> bool {
+        self.pages.contains_key(&addr)
+    }
+
+    /// Writes a page copy (overwrites any previous one).
+    pub fn store(&mut self, addr: PageAddr, data: FrameData) {
+        self.writes += 1;
+        self.pages.insert(addr, data);
+    }
+
+    /// Reads a copy of `addr`.
+    pub fn read(&mut self, addr: PageAddr) -> Option<FrameData> {
+        self.reads += 1;
+        self.pages.get(&addr).cloned()
+    }
+
+    /// Removes the copy of `addr` (segment deletion).
+    pub fn remove(&mut self, addr: PageAddr) -> Option<FrameData> {
+        self.pages.remove(&addr)
+    }
+
+    /// Number of pages stored.
+    pub fn nr_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mks_hw::mem::zeroed_frame;
+    use mks_hw::Word;
+
+    fn addr(u: u64, p: usize) -> PageAddr {
+        PageAddr { uid: SegUid(u), page: p }
+    }
+
+    fn frame_with(v: u64) -> FrameData {
+        let mut f = zeroed_frame();
+        f[0] = Word::new(v);
+        f
+    }
+
+    #[test]
+    fn bulk_store_respects_capacity() {
+        let mut b = BulkStore::new(2);
+        assert!(b.store(addr(1, 0), frame_with(1)).is_ok());
+        assert!(b.store(addr(1, 1), frame_with(2)).is_ok());
+        assert_eq!(b.free_records(), 0);
+        assert!(b.store(addr(1, 2), frame_with(3)).is_err());
+        // Overwriting a resident page is allowed even when full.
+        assert!(b.store(addr(1, 0), frame_with(9)).is_ok());
+        assert_eq!(b.read(addr(1, 0)).unwrap()[0], Word::new(9));
+    }
+
+    #[test]
+    fn bulk_oldest_is_fifo_order() {
+        let mut b = BulkStore::new(3);
+        b.store(addr(1, 0), frame_with(1)).unwrap();
+        b.store(addr(1, 1), frame_with(2)).unwrap();
+        assert_eq!(b.oldest(), Some(addr(1, 0)));
+        b.remove(addr(1, 0)).unwrap();
+        assert_eq!(b.oldest(), Some(addr(1, 1)));
+    }
+
+    #[test]
+    fn disk_round_trips_and_counts() {
+        let mut d = Disk::new();
+        d.store(addr(2, 5), frame_with(7));
+        assert!(d.contains(addr(2, 5)));
+        assert_eq!(d.read(addr(2, 5)).unwrap()[0], Word::new(7));
+        assert_eq!(d.writes(), 1);
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.nr_pages(), 1);
+    }
+
+    #[test]
+    fn remove_clears_residency() {
+        let mut b = BulkStore::new(1);
+        b.store(addr(1, 0), frame_with(1)).unwrap();
+        assert!(b.remove(addr(1, 0)).is_some());
+        assert!(!b.contains(addr(1, 0)));
+        assert_eq!(b.free_records(), 1);
+        assert!(b.remove(addr(1, 0)).is_none());
+    }
+}

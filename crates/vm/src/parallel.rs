@@ -1,0 +1,419 @@
+//! The **parallel** page-control design: dedicated freeing processes.
+//!
+//! "One process runs in a loop making sure that some small number of free
+//! primary memory blocks always exist. ... Another keeps space free on the
+//! bulk store by moving pages to disk when required. The primary memory
+//! freeing process is activated by wakeups from processes that have taken a
+//! page fault and discovered a lack of free primary memory blocks. The bulk
+//! store freeing process is driven in a similar manner by the primary memory
+//! freeing process. The path taken by a user process on a page fault is
+//! greatly simplified."
+//!
+//! [`CoreFreerJob`] and [`BulkFreerJob`] are those two kernel processes,
+//! bound to *dedicated* layer-1 virtual processors
+//! ([`mks_procs::TrafficController::add_dedicated`]). The faulting process's
+//! whole path is [`try_resolve_fault`]: check for a free frame; if none,
+//! wake the core freer and wait; otherwise initiate the transfer. Compare
+//! with the branching cascade in [`crate::sequential`].
+
+use mks_hw::{Cycles, FrameId, Machine, SegUid};
+use mks_procs::{Effects, EventId, HasMachine, Job, Step, TrafficController};
+
+use crate::mechanism::{self, MechError};
+use crate::policy::ReplacePolicy;
+use crate::VmWorld;
+
+/// Watermarks for the two freeing daemons.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Wake the core freer when free frames drop below this.
+    pub core_low: usize,
+    /// The core freer stops once this many frames are free.
+    pub core_target: usize,
+    /// Wake the bulk freer when free bulk records drop below this.
+    pub bulk_low: usize,
+    /// The bulk freer stops once this many records are free.
+    pub bulk_target: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig { core_low: 2, core_target: 4, bulk_low: 4, bulk_target: 8 }
+    }
+}
+
+/// Shared state of the parallel design: configuration plus the four event
+/// channels that connect faulting processes and the two daemons.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelPageControl {
+    /// Watermarks.
+    pub cfg: ParallelConfig,
+    /// Notified by faulting processes when frames run short.
+    pub core_needed: EventId,
+    /// Notified by the core freer each time it frees a frame.
+    pub core_avail: EventId,
+    /// Notified when bulk records run short.
+    pub bulk_needed: EventId,
+    /// Notified by the bulk freer each time it frees a record.
+    pub bulk_avail: EventId,
+}
+
+impl ParallelPageControl {
+    /// Allocates the event channels on `tc` and returns the shared state.
+    pub fn new<C: HasMachine>(
+        cfg: ParallelConfig,
+        tc: &mut TrafficController<C>,
+    ) -> ParallelPageControl {
+        ParallelPageControl {
+            cfg,
+            core_needed: tc.alloc_event(),
+            core_avail: tc.alloc_event(),
+            bulk_needed: tc.alloc_event(),
+            bulk_avail: tc.alloc_event(),
+        }
+    }
+}
+
+/// Context trait: anything that contains a [`VmWorld`] and the parallel
+/// page-control state (the kernel's world type implements this).
+pub trait VmAccess: HasMachine {
+    /// Borrows both parts at once.
+    fn vm_parts(&mut self) -> (&mut VmWorld, &mut ParallelPageControl);
+}
+
+/// A self-contained context for tests and the page-control experiments.
+#[derive(Debug)]
+pub struct VmSystem {
+    /// The memory world.
+    pub world: VmWorld,
+    /// The parallel page-control state.
+    pub pc: ParallelPageControl,
+}
+
+impl HasMachine for VmSystem {
+    fn machine(&mut self) -> &mut Machine {
+        &mut self.world.machine
+    }
+}
+
+impl VmAccess for VmSystem {
+    fn vm_parts(&mut self) -> (&mut VmWorld, &mut ParallelPageControl) {
+        (&mut self.world, &mut self.pc)
+    }
+}
+
+/// Outcome of a faulting process's (short) page-fault path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelFault {
+    /// The page is now resident.
+    Loaded {
+        /// Frame it landed in.
+        frame: FrameId,
+        /// Path steps (always 2: check + initiate — the paper's point).
+        steps: u32,
+    },
+    /// No free frame: the caller should notify `core_needed` and block on
+    /// `core_avail`, then retry.
+    MustWait,
+}
+
+/// The faulting process's entire page-fault path under the parallel design.
+///
+/// `t0` is the cycle at which the fault was first taken (so that fault
+/// latency, including any waits, is recorded once, on completion).
+pub fn try_resolve_fault(
+    w: &mut VmWorld,
+    _pc: &ParallelPageControl,
+    uid: SegUid,
+    page: usize,
+    t0: Cycles,
+) -> Result<ParallelFault, MechError> {
+    if w.nr_free_frames() == 0 {
+        w.stats.fault_waits += 1;
+        return Ok(ParallelFault::MustWait);
+    }
+    let frame = mechanism::load_page(w, uid, page)?;
+    let latency = w.machine.clock.now() - t0;
+    w.stats.record_fault_path(2, latency);
+    Ok(ParallelFault::Loaded { frame, steps: 2 })
+}
+
+/// The dedicated primary-memory freeing process.
+pub struct CoreFreerJob {
+    policy: Box<dyn ReplacePolicy>,
+}
+
+impl CoreFreerJob {
+    /// Creates the daemon with the given replacement policy.
+    pub fn new(policy: Box<dyn ReplacePolicy>) -> CoreFreerJob {
+        CoreFreerJob { policy }
+    }
+}
+
+impl<C: VmAccess> Job<C> for CoreFreerJob {
+    fn step(&mut self, eff: &mut Effects<'_, C>) -> Step {
+        let mut to_notify: [Option<EventId>; 2] = [None, None];
+        let ret = {
+            let (w, pc) = eff.ctx.vm_parts();
+            let pc = *pc;
+            if w.nr_free_frames() >= pc.cfg.core_target {
+                Step::Block(pc.core_needed)
+            } else {
+                let usage = mechanism::usage_stats(w);
+                match self.policy.victim(&usage) {
+                    None => Step::Block(pc.core_needed), // nothing resident to evict
+                    Some(i) => {
+                        let v = usage[i];
+                        match mechanism::evict_to_bulk(w, v.uid, v.page) {
+                            Ok(()) => {
+                                to_notify[0] = Some(pc.core_avail);
+                                if w.bulk.free_records() < pc.cfg.bulk_low {
+                                    to_notify[1] = Some(pc.bulk_needed);
+                                }
+                                Step::Continue
+                            }
+                            Err(MechError::BulkFull) => {
+                                to_notify[0] = Some(pc.bulk_needed);
+                                Step::Block(pc.bulk_avail)
+                            }
+                            Err(_) => Step::Continue, // stale victim; resample
+                        }
+                    }
+                }
+            }
+        };
+        for e in to_notify.into_iter().flatten() {
+            eff.notify(e);
+        }
+        ret
+    }
+
+    fn name(&self) -> &str {
+        "core-freer"
+    }
+}
+
+/// The dedicated bulk-store freeing process.
+pub struct BulkFreerJob;
+
+impl<C: VmAccess> Job<C> for BulkFreerJob {
+    fn step(&mut self, eff: &mut Effects<'_, C>) -> Step {
+        let mut notify = None;
+        let ret = {
+            let (w, pc) = eff.ctx.vm_parts();
+            let pc = *pc;
+            if w.bulk.free_records() >= pc.cfg.bulk_target {
+                Step::Block(pc.bulk_needed)
+            } else {
+                match w.bulk.oldest() {
+                    None => Step::Block(pc.bulk_needed),
+                    Some(addr) => match mechanism::evict_bulk_to_disk(w, addr) {
+                        Ok(()) => {
+                            notify = Some(pc.bulk_avail);
+                            Step::Continue
+                        }
+                        Err(_) => Step::Continue,
+                    },
+                }
+            }
+        };
+        if let Some(e) = notify {
+            eff.notify(e);
+        }
+        ret
+    }
+
+    fn name(&self) -> &str {
+        "bulk-freer"
+    }
+}
+
+/// A process job that walks a reference trace under the parallel design —
+/// the workhorse of experiment E5 and the integration tests. Every
+/// `write_every`-th reference dirties the page.
+pub struct TraceJob {
+    refs: Vec<(SegUid, usize)>,
+    pos: usize,
+    write_every: usize,
+    pending_t0: Option<Cycles>,
+    /// References completed so far.
+    pub completed: usize,
+}
+
+impl TraceJob {
+    /// Creates a job that touches `refs` in order.
+    pub fn new(refs: Vec<(SegUid, usize)>, write_every: usize) -> TraceJob {
+        TraceJob { refs, pos: 0, write_every: write_every.max(1), pending_t0: None, completed: 0 }
+    }
+}
+
+impl<C: VmAccess> Job<C> for TraceJob {
+    fn step(&mut self, eff: &mut Effects<'_, C>) -> Step {
+        let (uid, page) = match self.refs.get(self.pos) {
+            Some(r) => *r,
+            None => return Step::Done,
+        };
+        let mut notify = None;
+        let ret = {
+            let (w, pc) = eff.ctx.vm_parts();
+            let pc = *pc;
+            // Already resident? Just touch it.
+            let astx = w.machine.ast.find(uid);
+            let resident = astx.is_some_and(|a| {
+                matches!(
+                    w.machine.ast.entry(a).pt.ptw(page).state,
+                    mks_hw::ast::PageState::InCore(_)
+                )
+            });
+            if resident {
+                let a = astx.expect("resident implies active");
+                let ptw = w.machine.ast.entry_mut(a).pt.ptw_mut(page);
+                ptw.used = true;
+                if self.pos % self.write_every == 0 {
+                    ptw.modified = true;
+                }
+                self.pos += 1;
+                self.completed += 1;
+                self.pending_t0 = None;
+                Step::Continue
+            } else {
+                let t0 = *self.pending_t0.get_or_insert_with(|| w.machine.clock.now());
+                match try_resolve_fault(w, &pc, uid, page, t0) {
+                    Ok(ParallelFault::Loaded { .. }) => {
+                        if w.nr_free_frames() < pc.cfg.core_low {
+                            notify = Some(pc.core_needed);
+                        }
+                        // The reference itself completes on the next step
+                        // (retry will find the page resident).
+                        Step::Continue
+                    }
+                    Ok(ParallelFault::MustWait) => {
+                        notify = Some(pc.core_needed);
+                        Step::Block(pc.core_avail)
+                    }
+                    Err(e) => panic!("trace referenced an invalid page: {e}"),
+                }
+            }
+        };
+        if let Some(e) = notify {
+            eff.notify(e);
+        }
+        ret
+    }
+
+    fn name(&self) -> &str {
+        "trace-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FifoPolicy;
+    use mks_hw::{CpuModel, PAGE_WORDS};
+    use mks_procs::TcConfig;
+
+    fn system(frames: usize, bulk: usize) -> (VmSystem, TrafficController<VmSystem>) {
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 6, quantum: 4 });
+        let world = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
+        let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
+        (VmSystem { world, pc }, tc)
+    }
+
+    fn activate(sys: &mut VmSystem, uid: u64, pages: usize) -> SegUid {
+        let uid = SegUid(uid);
+        sys.world.machine.ast.activate(uid, pages * PAGE_WORDS);
+        uid
+    }
+
+    fn install_daemons(tc: &mut TrafficController<VmSystem>) {
+        tc.add_dedicated(Box::new(CoreFreerJob::new(Box::new(FifoPolicy))));
+        tc.add_dedicated(Box::new(BulkFreerJob));
+    }
+
+    #[test]
+    fn trace_completes_without_pressure() {
+        let (mut sys, mut tc) = system(8, 16);
+        install_daemons(&mut tc);
+        let uid = activate(&mut sys, 1, 4);
+        let refs: Vec<_> = (0..4).map(|p| (uid, p)).collect();
+        let pid = tc.spawn(Box::new(TraceJob::new(refs, 2)));
+        let out = tc.run_until_quiet(&mut sys, 10_000);
+        assert!(out.quiescent);
+        assert!(tc.process_done(pid));
+        assert_eq!(sys.world.stats.faults, 4);
+    }
+
+    #[test]
+    fn daemons_relieve_memory_pressure() {
+        // 4 frames, working set of 12 pages: without the freer this would
+        // deadlock at the fourth fault.
+        let (mut sys, mut tc) = system(4, 32);
+        install_daemons(&mut tc);
+        let uid = activate(&mut sys, 1, 12);
+        let refs: Vec<_> = (0..12).map(|p| (uid, p)).collect();
+        let pid = tc.spawn(Box::new(TraceJob::new(refs, 3)));
+        let out = tc.run_until_quiet(&mut sys, 100_000);
+        assert!(out.quiescent, "system wedged");
+        assert!(tc.process_done(pid), "trace did not finish");
+        assert!(sys.world.stats.evictions_core + sys.world.stats.clean_drops > 0);
+    }
+
+    #[test]
+    fn bulk_freer_cascades_to_disk() {
+        // Tiny bulk store forces the bulk freer into action.
+        let (mut sys, mut tc) = system(3, 4);
+        sys.pc.cfg = ParallelConfig { core_low: 1, core_target: 2, bulk_low: 2, bulk_target: 3 };
+        install_daemons(&mut tc);
+        let uid = activate(&mut sys, 1, 16);
+        let refs: Vec<_> = (0..16).map(|p| (uid, p)).collect();
+        let pid = tc.spawn(Box::new(TraceJob::new(refs, 1))); // all writes
+        let out = tc.run_until_quiet(&mut sys, 200_000);
+        assert!(out.quiescent);
+        assert!(tc.process_done(pid));
+        assert!(sys.world.stats.evictions_bulk > 0, "bulk freer never ran");
+        assert!(sys.world.disk.nr_pages() > 0);
+    }
+
+    #[test]
+    fn fault_path_is_two_steps() {
+        let (mut sys, mut tc) = system(6, 8);
+        install_daemons(&mut tc);
+        let uid = activate(&mut sys, 1, 3);
+        let refs: Vec<_> = (0..3).map(|p| (uid, p)).collect();
+        tc.spawn(Box::new(TraceJob::new(refs, 2)));
+        tc.run_until_quiet(&mut sys, 10_000);
+        assert_eq!(sys.world.stats.mean_fault_steps(), 2.0, "the paper's simplified path");
+    }
+
+    #[test]
+    fn several_processes_share_the_daemons() {
+        let (mut sys, mut tc) = system(6, 64);
+        install_daemons(&mut tc);
+        let mut pids = Vec::new();
+        for s in 0..3 {
+            let uid = activate(&mut sys, 10 + s, 8);
+            let refs: Vec<_> = (0..8).map(|p| (uid, p)).collect();
+            pids.push(tc.spawn(Box::new(TraceJob::new(refs, 2))));
+        }
+        let out = tc.run_until_quiet(&mut sys, 500_000);
+        assert!(out.quiescent);
+        for pid in pids {
+            assert!(tc.process_done(pid));
+        }
+        assert_eq!(sys.world.stats.faults, 24);
+    }
+
+    #[test]
+    fn waits_are_counted_under_pressure() {
+        let (mut sys, mut tc) = system(2, 32);
+        sys.pc.cfg = ParallelConfig { core_low: 1, core_target: 1, bulk_low: 4, bulk_target: 8 };
+        install_daemons(&mut tc);
+        let uid = activate(&mut sys, 1, 10);
+        let refs: Vec<_> = (0..10).map(|p| (uid, p)).collect();
+        tc.spawn(Box::new(TraceJob::new(refs, 2)));
+        let out = tc.run_until_quiet(&mut sys, 200_000);
+        assert!(out.quiescent);
+        assert!(sys.world.stats.fault_waits > 0, "expected at least one wait");
+    }
+}

@@ -1,0 +1,135 @@
+//! Page-replacement policies.
+//!
+//! A policy sees only [`crate::mechanism::PageUsage`] records —
+//! residency metadata, never contents — and returns the index of its chosen
+//! victim in the presented list. This narrow interface *is* the paper's
+//! point: everything a replacement algorithm legitimately needs fits through
+//! a read-only statistics gate plus a "move this one" gate, so the algorithm
+//! itself can live outside ring 0.
+
+use crate::mechanism::PageUsage;
+
+/// A replacement policy: chooses a victim among the resident pages.
+pub trait ReplacePolicy {
+    /// Returns the index (into `usage`) of the page to evict, or `None` if
+    /// `usage` is empty.
+    fn victim(&mut self, usage: &[PageUsage]) -> Option<usize>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// FIFO: evict the page loaded longest ago (uses the `loaded_at` stamp).
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl ReplacePolicy for FifoPolicy {
+    fn victim(&mut self, usage: &[PageUsage]) -> Option<usize> {
+        usage.iter().enumerate().min_by_key(|(_, u)| u.loaded_at).map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+/// LRU approximation: evict the page with the oldest `last_used` stamp.
+#[derive(Debug, Default)]
+pub struct LruPolicy;
+
+impl ReplacePolicy for LruPolicy {
+    fn victim(&mut self, usage: &[PageUsage]) -> Option<usize> {
+        usage.iter().enumerate().min_by_key(|(_, u)| u.last_used).map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+}
+
+/// The classic clock (second-chance) algorithm over the hardware used bits,
+/// which is what Multics page control actually ran.
+#[derive(Debug, Default)]
+pub struct ClockPolicy {
+    hand: usize,
+}
+
+impl ReplacePolicy for ClockPolicy {
+    fn victim(&mut self, usage: &[PageUsage]) -> Option<usize> {
+        if usage.is_empty() {
+            return None;
+        }
+        // Sweep at most two full turns: the first pass may clear used bits
+        // conceptually (the mechanism clears them when it reports), so pick
+        // the first not-recently-used page; if all are used, fall back to
+        // the hand position.
+        let n = usage.len();
+        for i in 0..n {
+            let idx = (self.hand + i) % n;
+            if !usage[idx].used {
+                self.hand = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        let idx = self.hand % n;
+        self.hand = (idx + 1) % n;
+        Some(idx)
+    }
+
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mks_hw::{AstIndex, SegUid};
+
+    fn usage(loaded: u64, last: u64, used: bool) -> PageUsage {
+        PageUsage {
+            astx: AstIndex(0),
+            uid: SegUid(1),
+            page: 0,
+            used,
+            modified: false,
+            loaded_at: loaded,
+            last_used: last,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_oldest_load() {
+        let u = vec![usage(10, 99, true), usage(5, 98, true), usage(20, 1, true)];
+        assert_eq!(FifoPolicy.victim(&u), Some(1));
+    }
+
+    #[test]
+    fn lru_picks_oldest_use() {
+        let u = vec![usage(10, 99, true), usage(5, 98, true), usage(20, 1, true)];
+        assert_eq!(LruPolicy.victim(&u), Some(2));
+    }
+
+    #[test]
+    fn clock_prefers_unused_pages() {
+        let mut p = ClockPolicy::default();
+        let u = vec![usage(0, 0, true), usage(0, 0, false), usage(0, 0, true)];
+        assert_eq!(p.victim(&u), Some(1));
+    }
+
+    #[test]
+    fn clock_falls_back_when_all_used() {
+        let mut p = ClockPolicy::default();
+        let u = vec![usage(0, 0, true), usage(0, 0, true)];
+        let v1 = p.victim(&u).unwrap();
+        let v2 = p.victim(&u).unwrap();
+        assert_ne!(v1, v2, "hand advances");
+    }
+
+    #[test]
+    fn empty_usage_has_no_victim() {
+        assert_eq!(FifoPolicy.victim(&[]), None);
+        assert_eq!(LruPolicy.victim(&[]), None);
+        assert_eq!(ClockPolicy::default().victim(&[]), None);
+    }
+}

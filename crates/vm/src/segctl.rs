@@ -1,0 +1,228 @@
+//! Segment control: activation, deactivation, growth, truncation, deletion.
+//!
+//! These are the supervisor operations that connect the file system's notion
+//! of a segment (a uid plus contents that persist in the hierarchy) with the
+//! hardware's notion (an AST entry with a page table). Everything here is
+//! ring-0 kernel mechanism: it moves and scrubs pages but makes no naming or
+//! access-control decisions — those belong to `mks-fs` and `mks-kernel`.
+
+use mks_hw::ast::PageState;
+use mks_hw::{AstIndex, SegUid};
+
+use crate::hierarchy::PageAddr;
+use crate::mechanism::{self, MechError};
+use crate::VmWorld;
+
+/// Namespace for segment-control operations.
+pub struct SegControl;
+
+impl SegControl {
+    /// Activates `uid` with room for `len_words`, or returns its existing
+    /// AST slot if already active.
+    pub fn activate(w: &mut VmWorld, uid: SegUid, len_words: usize) -> AstIndex {
+        match w.machine.ast.find(uid) {
+            Some(idx) => {
+                w.machine.ast.entry_mut(idx).pt.grow(len_words);
+                let e = w.machine.ast.entry_mut(idx);
+                if len_words > e.len_words {
+                    e.len_words = len_words;
+                }
+                idx
+            }
+            None => w.machine.ast.activate(uid, len_words),
+        }
+    }
+
+    /// Deactivates `uid`, flushing every resident page to the lower levels
+    /// first (cascading bulk→disk moves as needed).
+    ///
+    /// # Errors
+    /// Propagates mechanism refusals other than the recoverable
+    /// [`MechError::BulkFull`] cascade.
+    pub fn deactivate(w: &mut VmWorld, uid: SegUid) -> Result<(), MechError> {
+        let Some(idx) = w.machine.ast.find(uid) else {
+            return Err(MechError::InactiveSegment(uid));
+        };
+        // Flush resident pages of this segment.
+        loop {
+            let next =
+                w.resident.iter().find(|r| r.uid == uid).map(|r| (r.uid, r.page));
+            let Some((u, p)) = next else { break };
+            match mechanism::evict_to_bulk(w, u, p) {
+                Ok(()) => {}
+                Err(MechError::BulkFull) => {
+                    let oldest = w.bulk.oldest().expect("full bulk has pages");
+                    mechanism::evict_bulk_to_disk(w, oldest)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        w.machine.ast.deactivate(idx);
+        Ok(())
+    }
+
+    /// Grows `uid` to at least `len_words`.
+    pub fn grow(w: &mut VmWorld, uid: SegUid, len_words: usize) -> Result<(), MechError> {
+        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let e = w.machine.ast.entry_mut(idx);
+        e.pt.grow(len_words);
+        if len_words > e.len_words {
+            e.len_words = len_words;
+        }
+        Ok(())
+    }
+
+    /// Truncates `uid` to `len_words`: pages wholly beyond the new length
+    /// are discarded everywhere (frames scrubbed, lower copies dropped).
+    pub fn truncate(w: &mut VmWorld, uid: SegUid, len_words: usize) -> Result<(), MechError> {
+        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let first_dead_page = len_words.div_ceil(mks_hw::PAGE_WORDS);
+        let nr_pages = w.machine.ast.entry(idx).pt.nr_pages();
+        for page in first_dead_page..nr_pages {
+            Self::discard_page(w, idx, uid, page);
+        }
+        w.machine.ast.entry_mut(idx).len_words = len_words;
+        Ok(())
+    }
+
+    /// Deletes `uid` outright: every copy at every level is destroyed and
+    /// frames are scrubbed. (The paper's threat model makes scrubbing a
+    /// kernel duty: storage residue is an unauthorized-release channel.)
+    pub fn delete(w: &mut VmWorld, uid: SegUid) -> Result<(), MechError> {
+        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let nr_pages = w.machine.ast.entry(idx).pt.nr_pages();
+        for page in 0..nr_pages {
+            Self::discard_page(w, idx, uid, page);
+        }
+        w.machine.ast.deactivate(idx);
+        Ok(())
+    }
+
+    fn discard_page(w: &mut VmWorld, idx: AstIndex, uid: SegUid, page: usize) {
+        let ptw = *w.machine.ast.entry(idx).pt.ptw(page);
+        if let PageState::InCore(frame) = ptw.state {
+            if let Some(r) = w.resident.iter().position(|r| r.uid == uid && r.page == page) {
+                w.resident.remove(r);
+            }
+            let p = w.machine.ast.entry_mut(idx).pt.ptw_mut(page);
+            p.state = PageState::NotInCore;
+            p.used = false;
+            p.modified = false;
+            w.release_frame(frame);
+        }
+        let addr = PageAddr { uid, page };
+        w.bulk.remove(addr);
+        w.disk.remove(addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FifoPolicy;
+    use crate::sequential::SequentialPageControl;
+    use mks_hw::{CpuModel, Machine, Word, PAGE_WORDS};
+
+    fn world(frames: usize, bulk: usize) -> VmWorld {
+        VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk)
+    }
+
+    #[test]
+    fn activate_is_idempotent_and_grows() {
+        let mut w = world(4, 4);
+        let uid = SegUid(1);
+        let a = SegControl::activate(&mut w, uid, PAGE_WORDS);
+        let b = SegControl::activate(&mut w, uid, 3 * PAGE_WORDS);
+        assert_eq!(a, b);
+        assert_eq!(w.machine.ast.entry(a).pt.nr_pages(), 3);
+        assert_eq!(w.machine.ast.entry(a).len_words, 3 * PAGE_WORDS);
+    }
+
+    #[test]
+    fn deactivate_flushes_dirty_pages_and_preserves_data() {
+        let mut w = world(4, 4);
+        let uid = SegUid(1);
+        SegControl::activate(&mut w, uid, PAGE_WORDS);
+        let f = mechanism::load_page(&mut w, uid, 0).unwrap();
+        w.machine.mem.write(f, 9, Word::new(77));
+        let astx = w.machine.ast.find(uid).unwrap();
+        w.machine.ast.entry_mut(astx).pt.ptw_mut(0).modified = true;
+        SegControl::deactivate(&mut w, uid).unwrap();
+        assert!(w.machine.ast.find(uid).is_none());
+        // Reactivate and reload: data must come back.
+        SegControl::activate(&mut w, uid, PAGE_WORDS);
+        let f2 = mechanism::load_page(&mut w, uid, 0).unwrap();
+        assert_eq!(w.machine.mem.read(f2, 9), Word::new(77));
+    }
+
+    #[test]
+    fn deactivate_cascades_when_bulk_is_full() {
+        let mut w = world(3, 1);
+        let a = SegUid(1);
+        let b = SegUid(2);
+        SegControl::activate(&mut w, a, PAGE_WORDS);
+        SegControl::activate(&mut w, b, 2 * PAGE_WORDS);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        pc.touch(&mut w, a, 0).unwrap();
+        pc.touch(&mut w, b, 0).unwrap();
+        pc.touch(&mut w, b, 1).unwrap();
+        // Dirty everything so flushes need records.
+        for uid in [a, b] {
+            let astx = w.machine.ast.find(uid).unwrap();
+            let e = w.machine.ast.entry_mut(astx);
+            for p in 0..e.pt.nr_pages() {
+                e.pt.ptw_mut(p).modified = true;
+            }
+        }
+        SegControl::deactivate(&mut w, b).unwrap();
+        assert!(w.machine.ast.find(b).is_none());
+        assert!(w.disk.nr_pages() > 0, "cascade must have pushed to disk");
+    }
+
+    #[test]
+    fn truncate_discards_tail_pages_everywhere() {
+        let mut w = world(4, 8);
+        let uid = SegUid(1);
+        SegControl::activate(&mut w, uid, 3 * PAGE_WORDS);
+        for p in 0..3 {
+            mechanism::load_page(&mut w, uid, p).unwrap();
+        }
+        // Push page 2 to bulk so a lower copy exists.
+        let astx = w.machine.ast.find(uid).unwrap();
+        w.machine.ast.entry_mut(astx).pt.ptw_mut(2).modified = true;
+        mechanism::evict_to_bulk(&mut w, uid, 2).unwrap();
+        SegControl::truncate(&mut w, uid, PAGE_WORDS).unwrap();
+        assert!(!w.bulk.contains(PageAddr { uid, page: 2 }));
+        assert_eq!(w.resident.iter().filter(|r| r.uid == uid).count(), 1);
+        assert_eq!(w.machine.ast.entry(astx).len_words, PAGE_WORDS);
+    }
+
+    #[test]
+    fn delete_scrubs_all_levels() {
+        let mut w = world(2, 4);
+        let uid = SegUid(1);
+        SegControl::activate(&mut w, uid, 2 * PAGE_WORDS);
+        let f = mechanism::load_page(&mut w, uid, 0).unwrap();
+        w.machine.mem.write(f, 0, Word::new(0o666));
+        let astx = w.machine.ast.find(uid).unwrap();
+        w.machine.ast.entry_mut(astx).pt.ptw_mut(0).modified = true;
+        mechanism::evict_to_bulk(&mut w, uid, 0).unwrap();
+        mechanism::load_page(&mut w, uid, 1).unwrap();
+        SegControl::delete(&mut w, uid).unwrap();
+        assert!(w.machine.ast.find(uid).is_none());
+        assert!(!w.bulk.contains(PageAddr { uid, page: 0 }));
+        assert_eq!(w.nr_free_frames(), 2);
+        // Frames really are scrubbed: take one and inspect.
+        let f = w.take_free_frame().unwrap();
+        assert_eq!(w.machine.mem.read(f, 0), Word::ZERO);
+    }
+
+    #[test]
+    fn operations_on_inactive_segments_are_refused() {
+        let mut w = world(2, 2);
+        let uid = SegUid(9);
+        assert_eq!(SegControl::deactivate(&mut w, uid), Err(MechError::InactiveSegment(uid)));
+        assert_eq!(SegControl::truncate(&mut w, uid, 0), Err(MechError::InactiveSegment(uid)));
+        assert_eq!(SegControl::delete(&mut w, uid), Err(MechError::InactiveSegment(uid)));
+    }
+}

@@ -1,0 +1,214 @@
+//! The **sequential** page-control design (the baseline the paper critiques).
+//!
+//! "With the current system design, this complex series of steps occurs
+//! sequentially with page control executing in the process which took the
+//! page fault": the fault handler itself must, in the worst case,
+//!
+//! 1. discover there is no free primary frame,
+//! 2. sample usage and pick a victim (the policy runs inline, in ring 0 —
+//!    the monolithic arrangement experiment E9 contrasts with the split),
+//! 3. write the victim to the bulk store — unless the bulk store is full,
+//!    in which case it must first
+//! 4. move a bulk page, via primary memory, to disk, and retry,
+//! 5. finally initiate the transfer of the wanted page.
+//!
+//! [`SequentialPageControl::handle_fault`] runs that whole cascade
+//! synchronously and records how many distinct steps the path took, which is
+//! the complexity metric experiment E5 reports.
+
+use mks_hw::{Cycles, FrameId, SegUid};
+
+use crate::mechanism::{self, MechError};
+use crate::policy::ReplacePolicy;
+use crate::VmWorld;
+
+/// Outcome of a serviced fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultResolution {
+    /// Frame the page now occupies.
+    pub frame: FrameId,
+    /// Distinct page-control actions the path performed.
+    pub steps: u32,
+    /// Cycles the service took.
+    pub latency: Cycles,
+}
+
+/// The sequential (in-fault-handler) page control.
+pub struct SequentialPageControl {
+    policy: Box<dyn ReplacePolicy>,
+}
+
+impl SequentialPageControl {
+    /// Creates a sequential page control using `policy` for replacement.
+    pub fn new(policy: Box<dyn ReplacePolicy>) -> SequentialPageControl {
+        SequentialPageControl { policy }
+    }
+
+    /// Name of the replacement policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Services a missing-page fault for `(uid, page)`, running the full
+    /// eviction cascade if required.
+    ///
+    /// # Errors
+    /// Propagates mechanism refusals that the cascade cannot fix — a bad
+    /// target segment/page, or a system with no evictable pages at all.
+    pub fn handle_fault(
+        &mut self,
+        w: &mut VmWorld,
+        uid: SegUid,
+        page: usize,
+    ) -> Result<FaultResolution, MechError> {
+        let t0 = w.machine.clock.now();
+        let mut steps: u32 = 1; // fault entry / lookup
+        // Make a frame available.
+        while w.nr_free_frames() == 0 {
+            let usage = mechanism::usage_stats(w);
+            steps += 1;
+            let victim = match self.policy.victim(&usage) {
+                Some(i) => usage[i],
+                None => return Err(MechError::NoFreeFrame), // nothing resident anywhere
+            };
+            match mechanism::evict_to_bulk(w, victim.uid, victim.page) {
+                Ok(()) => {
+                    steps += 1;
+                }
+                Err(MechError::BulkFull) => {
+                    // Deeper cascade: free a bulk record first (the move
+                    // stages via primary memory — two transfers).
+                    let oldest = w.bulk.oldest().expect("full bulk store has pages");
+                    mechanism::evict_bulk_to_disk(w, oldest)?;
+                    steps += 2;
+                    // Retry the core eviction on the next loop turn.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let frame = mechanism::load_page(w, uid, page)?;
+        steps += 1;
+        let latency = w.machine.clock.now() - t0;
+        w.stats.record_fault_path(steps, latency);
+        Ok(FaultResolution { frame, steps, latency })
+    }
+
+    /// Touches `(uid, page)`, faulting it in if needed; convenience for
+    /// tests and trace-driven experiments. Returns the steps taken (0 if the
+    /// page was already resident).
+    pub fn touch(&mut self, w: &mut VmWorld, uid: SegUid, page: usize) -> Result<u32, MechError> {
+        let astx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        if page >= w.machine.ast.entry(astx).pt.nr_pages() {
+            return Err(MechError::BadPage(uid, page));
+        }
+        let resident = matches!(
+            w.machine.ast.entry(astx).pt.ptw(page).state,
+            mks_hw::ast::PageState::InCore(_)
+        );
+        if resident {
+            let e = w.machine.ast.entry_mut(astx);
+            e.pt.ptw_mut(page).used = true;
+            return Ok(0);
+        }
+        let res = self.handle_fault(w, uid, page)?;
+        Ok(res.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ClockPolicy, FifoPolicy};
+    use mks_hw::{CpuModel, Machine, PAGE_WORDS};
+
+    fn world(frames: usize, bulk: usize) -> VmWorld {
+        VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk)
+    }
+
+    fn seg(w: &mut VmWorld, uid: u64, pages: usize) -> SegUid {
+        let uid = SegUid(uid);
+        w.machine.ast.activate(uid, pages * PAGE_WORDS);
+        uid
+    }
+
+    #[test]
+    fn fault_with_free_frame_is_short() {
+        let mut w = world(4, 4);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        let uid = seg(&mut w, 1, 2);
+        let r = pc.handle_fault(&mut w, uid, 0).unwrap();
+        assert_eq!(r.steps, 2, "lookup + load");
+    }
+
+    #[test]
+    fn fault_under_pressure_runs_the_cascade() {
+        // 2 frames, ample bulk: third page forces one eviction.
+        let mut w = world(2, 8);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        let uid = seg(&mut w, 1, 3);
+        pc.handle_fault(&mut w, uid, 0).unwrap();
+        pc.handle_fault(&mut w, uid, 1).unwrap();
+        let r = pc.handle_fault(&mut w, uid, 2).unwrap();
+        assert!(r.steps >= 4, "stats + evict + load, got {}", r.steps);
+        assert_eq!(w.stats.evictions_core + w.stats.clean_drops, 1);
+    }
+
+    #[test]
+    fn fault_with_full_bulk_runs_the_deep_cascade() {
+        // 1 frame, 1 bulk record: every new page triggers core+bulk cascade.
+        let mut w = world(1, 1);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        let uid = seg(&mut w, 1, 3);
+        pc.handle_fault(&mut w, uid, 0).unwrap();
+        pc.handle_fault(&mut w, uid, 1).unwrap(); // fills bulk
+        let r = pc.handle_fault(&mut w, uid, 2).unwrap();
+        assert!(r.steps >= 6, "deep cascade, got {}", r.steps);
+        assert!(w.stats.evictions_bulk >= 1);
+        assert!(w.disk.nr_pages() >= 1);
+    }
+
+    #[test]
+    fn data_survives_the_full_hierarchy_round_trip() {
+        let mut w = world(1, 1);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        let uid = seg(&mut w, 1, 3);
+        // Write a distinctive word into page 0, then force it to disk.
+        let f = pc.handle_fault(&mut w, uid, 0).unwrap().frame;
+        w.machine.mem.write(f, 17, mks_hw::Word::new(0o1234));
+        let astx = w.machine.ast.find(uid).unwrap();
+        w.machine.ast.entry_mut(astx).pt.ptw_mut(0).modified = true;
+        pc.handle_fault(&mut w, uid, 1).unwrap(); // evicts page 0 to bulk
+        pc.handle_fault(&mut w, uid, 2).unwrap(); // pushes page 0 to disk
+        let f0 = pc.handle_fault(&mut w, uid, 0).unwrap().frame; // back from disk
+        assert_eq!(w.machine.mem.read(f0, 17), mks_hw::Word::new(0o1234));
+    }
+
+    #[test]
+    fn touch_is_free_for_resident_pages() {
+        let mut w = world(2, 4);
+        let mut pc = SequentialPageControl::new(Box::new(ClockPolicy::default()));
+        let uid = seg(&mut w, 1, 1);
+        assert!(pc.touch(&mut w, uid, 0).unwrap() > 0);
+        assert_eq!(pc.touch(&mut w, uid, 0).unwrap(), 0);
+        assert_eq!(w.stats.faults, 1);
+    }
+
+    #[test]
+    fn latency_grows_with_cascade_depth() {
+        let shallow = {
+            let mut w = world(8, 8);
+            let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+            let uid = seg(&mut w, 1, 1);
+            pc.handle_fault(&mut w, uid, 0).unwrap().latency
+        };
+        let deep = {
+            let mut w = world(1, 1);
+            let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+            let uid = seg(&mut w, 1, 3);
+            pc.handle_fault(&mut w, uid, 0).unwrap();
+            pc.handle_fault(&mut w, uid, 1).unwrap();
+            pc.handle_fault(&mut w, uid, 2).unwrap().latency
+        };
+        assert!(deep > shallow, "deep {deep} <= shallow {shallow}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Page-control activity counters and fault-path metrics.
+
+use mks_hw::Cycles;
+
+/// Counters kept by both page-control designs. Experiment E5 compares the
+//  two designs' `fault_path_steps` distributions and latencies.
+#[derive(Debug, Default, Clone)]
+pub struct VmStats {
+    /// Missing-page faults serviced.
+    pub faults: u64,
+    /// Pages loaded into primary memory.
+    pub loads: u64,
+    /// Pages created by zero-fill (first touch).
+    pub zero_fills: u64,
+    /// Evictions from primary memory to the bulk store.
+    pub evictions_core: u64,
+    /// Evictions from the bulk store to disk.
+    pub evictions_bulk: u64,
+    /// Clean drops (frame freed without a write-back).
+    pub clean_drops: u64,
+    /// Times a faulting process had to wait for a free frame.
+    pub fault_waits: u64,
+    /// Sum of per-fault path step counts (see [`VmStats::record_fault_path`]).
+    pub fault_path_steps_total: u64,
+    /// Worst per-fault path step count observed.
+    pub fault_path_steps_max: u32,
+    /// Sum of per-fault service latency in cycles.
+    pub fault_latency_total: Cycles,
+    /// Worst per-fault service latency.
+    pub fault_latency_max: Cycles,
+}
+
+impl VmStats {
+    /// Records the completion of one fault service that took `steps`
+    /// distinct actions and `latency` cycles.
+    pub fn record_fault_path(&mut self, steps: u32, latency: Cycles) {
+        self.faults += 1;
+        self.fault_path_steps_total += u64::from(steps);
+        self.fault_path_steps_max = self.fault_path_steps_max.max(steps);
+        self.fault_latency_total += latency;
+        self.fault_latency_max = self.fault_latency_max.max(latency);
+    }
+
+    /// Mean steps per fault path.
+    pub fn mean_fault_steps(&self) -> f64 {
+        if self.faults == 0 {
+            0.0
+        } else {
+            self.fault_path_steps_total as f64 / self.faults as f64
+        }
+    }
+
+    /// Mean fault service latency in cycles.
+    pub fn mean_fault_latency(&self) -> f64 {
+        if self.faults == 0 {
+            0.0
+        } else {
+            self.fault_latency_total as f64 / self.faults as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fault_path_accumulates() {
+        let mut s = VmStats::default();
+        s.record_fault_path(3, 100);
+        s.record_fault_path(7, 50);
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.mean_fault_steps(), 5.0);
+        assert_eq!(s.fault_path_steps_max, 7);
+        assert_eq!(s.fault_latency_max, 100);
+        assert_eq!(s.mean_fault_latency(), 75.0);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_means() {
+        let s = VmStats::default();
+        assert_eq!(s.mean_fault_steps(), 0.0);
+        assert_eq!(s.mean_fault_latency(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Synthetic reference-trace generators for the paging experiments.
+//!
+//! The paper's authors measured a production Multics load; we do not have
+//! it, so experiment E5 drives both page-control designs with synthetic
+//! traces whose two salient properties — skewed popularity (a few hot
+//! pages) and phase locality (working sets that shift over time) — are the
+//! ones that create the memory pressure the designs differ under. The
+//! generators are seeded and fully deterministic.
+
+use mks_hw::SegUid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a synthetic reference trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of segments referenced.
+    pub nr_segments: usize,
+    /// Pages per segment.
+    pub pages_per_segment: usize,
+    /// Total references to generate.
+    pub length: usize,
+    /// Zipf skew parameter (0.0 = uniform; ~0.8–1.2 typical).
+    pub theta: f64,
+    /// References per locality phase (the working set re-randomizes between
+    /// phases); `0` disables phasing.
+    pub phase_len: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            seed: 42,
+            nr_segments: 4,
+            pages_per_segment: 16,
+            length: 1_000,
+            theta: 0.9,
+            phase_len: 0,
+        }
+    }
+}
+
+/// A generated reference trace.
+#[derive(Clone, Debug)]
+pub struct RefTrace {
+    /// `(segment, page)` references in order.
+    pub refs: Vec<(SegUid, usize)>,
+    /// The distinct segment uids the trace touches.
+    pub segments: Vec<SegUid>,
+    /// Pages per segment (for activation).
+    pub pages_per_segment: usize,
+}
+
+impl RefTrace {
+    /// Generates a trace per `cfg`. Segment uids are `1000..1000+n`.
+    pub fn generate(cfg: &TraceConfig) -> RefTrace {
+        assert!(cfg.nr_segments > 0 && cfg.pages_per_segment > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let segments: Vec<SegUid> =
+            (0..cfg.nr_segments as u64).map(|i| SegUid(1000 + i)).collect();
+        let total_pages = cfg.nr_segments * cfg.pages_per_segment;
+
+        // Zipf CDF over a permutation of all pages; the permutation changes
+        // per phase to model shifting locality.
+        let weights: Vec<f64> = (1..=total_pages)
+            .map(|rank| 1.0 / (rank as f64).powf(cfg.theta))
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let cdf: Vec<f64> = weights
+            .iter()
+            .scan(0.0, |acc, w| {
+                *acc += w / total_w;
+                Some(*acc)
+            })
+            .collect();
+
+        let mut perm: Vec<usize> = (0..total_pages).collect();
+        let mut refs = Vec::with_capacity(cfg.length);
+        for i in 0..cfg.length {
+            if cfg.phase_len > 0 && i % cfg.phase_len == 0 {
+                // New phase: reshuffle which pages are hot.
+                for j in (1..perm.len()).rev() {
+                    let k = rng.gen_range(0..=j);
+                    perm.swap(j, k);
+                }
+            }
+            let u: f64 = rng.gen();
+            let rank = cdf.partition_point(|c| *c < u).min(total_pages - 1);
+            let flat = perm[rank];
+            let seg = segments[flat / cfg.pages_per_segment];
+            let page = flat % cfg.pages_per_segment;
+            refs.push((seg, page));
+        }
+        RefTrace { refs, segments, pages_per_segment: cfg.pages_per_segment }
+    }
+
+    /// Splits the trace round-robin into `n` per-process sub-traces.
+    pub fn split(&self, n: usize) -> Vec<Vec<(SegUid, usize)>> {
+        let mut out = vec![Vec::new(); n.max(1)];
+        for (i, r) in self.refs.iter().enumerate() {
+            out[i % n.max(1)].push(*r);
+        }
+        out
+    }
+
+    /// Number of distinct pages referenced.
+    pub fn distinct_pages(&self) -> usize {
+        let mut seen: Vec<(SegUid, usize)> = self.refs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::default();
+        let a = RefTrace::generate(&cfg);
+        let b = RefTrace::generate(&cfg);
+        assert_eq!(a.refs, b.refs);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RefTrace::generate(&TraceConfig { seed: 1, ..TraceConfig::default() });
+        let b = RefTrace::generate(&TraceConfig { seed: 2, ..TraceConfig::default() });
+        assert_ne!(a.refs, b.refs);
+    }
+
+    #[test]
+    fn references_stay_in_range() {
+        let cfg = TraceConfig { nr_segments: 3, pages_per_segment: 8, ..TraceConfig::default() };
+        let t = RefTrace::generate(&cfg);
+        assert_eq!(t.refs.len(), cfg.length);
+        for (uid, page) in &t.refs {
+            assert!(t.segments.contains(uid));
+            assert!(*page < 8);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_references() {
+        let cfg = TraceConfig { theta: 1.2, length: 5_000, ..TraceConfig::default() };
+        let t = RefTrace::generate(&cfg);
+        let mut counts = std::collections::HashMap::new();
+        for r in &t.refs {
+            *counts.entry(*r).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u32 = freqs.iter().take(6).sum();
+        assert!(
+            f64::from(top) > 0.4 * t.refs.len() as f64,
+            "top-6 pages got {top} of {} refs",
+            t.refs.len()
+        );
+    }
+
+    #[test]
+    fn phases_shift_the_hot_set() {
+        let cfg = TraceConfig {
+            phase_len: 500,
+            length: 1_000,
+            theta: 1.2,
+            ..TraceConfig::default()
+        };
+        let t = RefTrace::generate(&cfg);
+        let hot = |slice: &[(SegUid, usize)]| {
+            let mut counts = std::collections::HashMap::new();
+            for r in slice {
+                *counts.entry(*r).or_insert(0u32) += 1;
+            }
+            let mut v: Vec<_> = counts.into_iter().collect();
+            v.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+            v.into_iter().take(3).map(|(r, _)| r).collect::<Vec<_>>()
+        };
+        let h1 = hot(&t.refs[..500]);
+        let h2 = hot(&t.refs[500..]);
+        assert_ne!(h1, h2, "hot sets should shift between phases");
+    }
+
+    #[test]
+    fn split_preserves_every_reference() {
+        let t = RefTrace::generate(&TraceConfig { length: 100, ..TraceConfig::default() });
+        let parts = t.split(3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+}

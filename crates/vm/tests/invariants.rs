@@ -1,0 +1,161 @@
+//! Invariant checking for page control: after *any* sequence of mechanism
+//! operations, the bookkeeping must be globally consistent.
+//!
+//! Checked invariants:
+//!  I1  frame conservation: free frames + resident pages = total frames;
+//!  I2  no frame is mapped twice;
+//!  I3  the core map (`resident`) matches the PTWs exactly;
+//!  I4  a page is never simultaneously "resident" and counted free;
+//!  I5  bulk occupancy never exceeds capacity.
+
+use mks_hw::ast::PageState;
+use mks_hw::{CpuModel, FrameId, Machine, SegUid, PAGE_WORDS};
+use mks_vm::{mechanism, PageAddr, VmWorld};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const SEGS: u64 = 3;
+const PAGES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Load(u64, usize),
+    EvictCore(u64, usize),
+    EvictBulk(u64, usize),
+    Stats,
+    Touch(u64, usize),
+}
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    (0u64..SEGS + 1, 0usize..PAGES + 1, 0u8..5).prop_map(|(s, p, k)| match k {
+        0 => OpKind::Load(s, p),
+        1 => OpKind::EvictCore(s, p),
+        2 => OpKind::EvictBulk(s, p),
+        3 => OpKind::Stats,
+        _ => OpKind::Touch(s, p),
+    })
+}
+
+fn check_invariants(w: &mut VmWorld) -> Result<(), String> {
+    let total = w.machine.mem.nr_frames();
+    // Collect mapped frames from the PTWs.
+    let mut mapped: Vec<(FrameId, SegUid, usize)> = Vec::new();
+    let entries: Vec<_> = w.machine.ast.iter().map(|(i, e)| (i, e.uid)).collect();
+    for (idx, uid) in entries {
+        let e = w.machine.ast.entry(idx);
+        for (p, ptw) in e.pt.iter() {
+            if let PageState::InCore(f) = ptw.state {
+                mapped.push((f, uid, p));
+            }
+        }
+    }
+    // I2: no double mapping.
+    let frames: HashSet<FrameId> = mapped.iter().map(|(f, _, _)| *f).collect();
+    if frames.len() != mapped.len() {
+        return Err(format!("double-mapped frame: {mapped:?}"));
+    }
+    // I1/I4: conservation and disjointness with the free list.
+    let free: HashSet<FrameId> = (0..w.nr_free_frames())
+        .map(|_| w.take_free_frame().unwrap())
+        .collect();
+    for f in &free {
+        w.free_frames.push(*f); // put them back (scrub already done)
+        if frames.contains(f) {
+            return Err(format!("frame {f:?} both free and mapped"));
+        }
+    }
+    if free.len() + mapped.len() != total {
+        return Err(format!(
+            "conservation: {} free + {} mapped != {total}",
+            free.len(),
+            mapped.len()
+        ));
+    }
+    // I3: core map == PTWs.
+    if w.resident.len() != mapped.len() {
+        return Err(format!(
+            "core map has {} entries, PTWs say {}",
+            w.resident.len(),
+            mapped.len()
+        ));
+    }
+    for r in &w.resident {
+        if !mapped.iter().any(|(_, uid, p)| *uid == r.uid && *p == r.page) {
+            return Err(format!("core map entry {r:?} not in PTWs"));
+        }
+    }
+    // I5: bulk occupancy.
+    if w.bulk.free_records() > w.bulk.capacity() {
+        return Err("bulk accounting underflow".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mechanism_preserves_all_invariants(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut w = VmWorld::new(Machine::new(CpuModel::H6180, 4), 4);
+        for s in 0..SEGS {
+            w.machine.ast.activate(SegUid(100 + s), PAGES * PAGE_WORDS);
+        }
+        for op in &ops {
+            // Every call may succeed or be refused; both must preserve
+            // the invariants. Out-of-range uids/pages exercise refusals.
+            match op {
+                OpKind::Load(s, p) => {
+                    let _ = mechanism::load_page(&mut w, SegUid(100 + s), *p);
+                }
+                OpKind::EvictCore(s, p) => {
+                    let _ = mechanism::evict_to_bulk(&mut w, SegUid(100 + s), *p);
+                }
+                OpKind::EvictBulk(s, p) => {
+                    let _ = mechanism::evict_bulk_to_disk(
+                        &mut w,
+                        PageAddr { uid: SegUid(100 + s), page: *p },
+                    );
+                }
+                OpKind::Stats => {
+                    let _ = mechanism::usage_stats(&mut w);
+                }
+                OpKind::Touch(s, p) => {
+                    // Simulate a user touch through the hardware when the
+                    // page happens to be resident.
+                    if let Some(astx) = w.machine.ast.find(SegUid(100 + s)) {
+                        let e = w.machine.ast.entry_mut(astx);
+                        if *p < e.pt.nr_pages() {
+                            let ptw = e.pt.ptw_mut(*p);
+                            if matches!(ptw.state, PageState::InCore(_)) {
+                                ptw.used = true;
+                                ptw.modified = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Err(e) = check_invariants(&mut w) {
+                prop_assert!(false, "after {op:?}: {e}");
+            }
+        }
+    }
+
+    /// Stats sampling is read-only with respect to the invariant state.
+    #[test]
+    fn usage_stats_changes_only_bits(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut w = VmWorld::new(Machine::new(CpuModel::H6180, 4), 4);
+        for s in 0..SEGS {
+            w.machine.ast.activate(SegUid(100 + s), PAGES * PAGE_WORDS);
+        }
+        for op in &ops {
+            if let OpKind::Load(s, p) = op {
+                let _ = mechanism::load_page(&mut w, SegUid(100 + s), *p);
+            }
+        }
+        let free_before = w.nr_free_frames();
+        let resident_before = w.resident.len();
+        let _ = mechanism::usage_stats(&mut w);
+        prop_assert_eq!(w.nr_free_frames(), free_before);
+        prop_assert_eq!(w.resident.len(), resident_before);
+    }
+}

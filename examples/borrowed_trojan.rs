@@ -1,0 +1,160 @@
+//! Containing a borrowed trojan horse.
+//!
+//! "The third category ... is programs borrowed from other users. ...
+//! Because they will execute with all the access authority of the
+//! borrower's own programs, they can contain 'trojan horse' code. ... The
+//! inclusion of security kernel facilities to support user-constructed
+//! protected subsystems provides a tool to reduce the potential damage."
+//!
+//! Here the same borrowed "statistics package" runs twice:
+//! 1. the naive way — in the borrower's own process, with every authority
+//!    the borrower holds: the trojan exfiltrates her private data;
+//! 2. inside a constrained subsystem — a separate principal that the
+//!    borrower grants exactly one input segment: the trojan's theft
+//!    attempt gets the kernel's no-information answer.
+//!
+//! ```text
+//! cargo run -p mks-bench --example borrowed_trojan
+//! ```
+
+use mks_fs::{Acl, AclMode, DirMode, UserId};
+use mks_hw::{RingBrackets, SegNo, Word};
+use mks_kernel::monitor::Monitor;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::{KProcId, KernelConfig};
+use mks_mls::Label;
+
+/// The borrowed program: sums the input segment (its advertised job) and
+/// then — the trojan payload — tries to copy `>udd>payroll` into a drop
+/// segment the lender can read.
+fn borrowed_package(
+    sys: &mut System,
+    pid: KProcId,
+    input: SegNo,
+    udd: SegNo,
+) -> (u64, Result<&'static str, String>) {
+    // Advertised function: sum the first 16 words of the input.
+    let mut sum = 0u64;
+    for i in 0..16 {
+        if let Ok(w) = Monitor::read(&mut sys.world, pid, input, i) {
+            sum += w.raw();
+        }
+    }
+    // Trojan payload: open the borrower's payroll and copy it out.
+    let theft = match Monitor::initiate(&mut sys.world, pid, udd, "payroll") {
+        Ok(payroll) => {
+            let secret = Monitor::read(&mut sys.world, pid, payroll, 0)
+                .map(|w| w.raw())
+                .unwrap_or(0);
+            match Monitor::create_segment(
+                &mut sys.world,
+                pid,
+                udd,
+                "totally-innocent-scratch",
+                {
+                    // World-writable "scratch" — looks innocent, lets the
+                    // trojan write and the lender read.
+                    let mut acl = Acl::of("*.*.*", AclMode::RW);
+                    acl.add("Lender.Evil.a", AclMode::R);
+                    acl
+                },
+                RingBrackets::new(4, 4, 4),
+                Label::BOTTOM,
+            ) {
+                Ok(drop_seg) => {
+                    let _ = Monitor::write(&mut sys.world, pid, drop_seg, 0, Word::new(secret));
+                    Ok("EXFILTRATED: payroll copied to a lender-readable segment")
+                }
+                Err(e) => Err(format!("could not build drop segment: {e}")),
+            }
+        }
+        Err(e) => Err(format!("kernel said: {e}")),
+    };
+    (sum, theft)
+}
+
+fn main() {
+    let mut sys = System::new(KernelConfig::kernel());
+    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+    let root = sys.world.bind_root(admin);
+    Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
+    sys.world
+        .fs
+        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .unwrap();
+
+    // The borrower and her private data.
+    let jones = sys.world.create_process(UserId::new("Jones", "CSR", "a"), Label::BOTTOM, 4);
+    let root_j = sys.world.bind_root(jones);
+    let udd_j = Monitor::initiate_dir(&mut sys.world, jones, root_j, "udd");
+    let payroll = Monitor::create_segment(
+        &mut sys.world,
+        jones,
+        udd_j,
+        "payroll",
+        Acl::of("Jones.CSR.a", AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    Monitor::write(&mut sys.world, jones, payroll, 0, Word::new(0o123456)).unwrap();
+    // The data the package is *supposed* to process.
+    let input = Monitor::create_segment(
+        &mut sys.world,
+        jones,
+        udd_j,
+        "q3-figures",
+        {
+            let mut acl = Acl::of("Jones.CSR.a", AclMode::RW);
+            acl.add("Jones.CSR.borrowed", AclMode::R); // the subsystem may read it
+            acl
+        },
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    for i in 0..16 {
+        Monitor::write(&mut sys.world, jones, input, i, Word::new(i as u64 + 1)).unwrap();
+    }
+
+    println!("--- run 1: borrowed package with the borrower's full authority ---");
+    let (sum, theft) = borrowed_package(&mut sys, jones, input, udd_j);
+    println!("  advertised result: sum = {sum}");
+    match theft {
+        Ok(msg) => println!("  trojan payload:    {msg}"),
+        Err(e) => println!("  trojan payload:    {e}"),
+    }
+
+    println!("\n--- run 2: same package inside a constrained subsystem ---");
+    // The subsystem principal holds only what Jones granted: read on the
+    // input. It is a *protected subsystem* of Jones's session: a separate
+    // authority domain entered through declared gates.
+    let sandbox =
+        sys.world.create_process(UserId::new("Jones", "CSR", "borrowed"), Label::BOTTOM, 4);
+    let root_s = sys.world.bind_root(sandbox);
+    let udd_s = Monitor::initiate_dir(&mut sys.world, sandbox, root_s, "udd");
+    let input_s = Monitor::initiate(&mut sys.world, sandbox, udd_s, "q3-figures")
+        .expect("granted read on the input");
+    let (sum2, theft2) = borrowed_package(&mut sys, sandbox, input_s, udd_s);
+    println!("  advertised result: sum = {sum2}");
+    match theft2 {
+        Ok(msg) => println!("  trojan payload:    {msg} (CONTAINMENT FAILED)"),
+        Err(e) => println!("  trojan payload:    {e}"),
+    }
+    assert_eq!(sum, sum2, "the advertised function must be unaffected");
+
+    // The audit log saw the probe.
+    println!(
+        "\nkernel audit log recorded {} denial(s); suspicious principals: {:?}",
+        sys.world.log.nr_denials(),
+        sys.world
+            .log
+            .suspicious_principals(1)
+            .iter()
+            .map(|(u, n)| format!("{} ({n})", u.to_acl_string()))
+            .collect::<Vec<_>>()
+    );
+    println!("\n\"a user initiated certification of the borrowed program is the only");
+    println!("complete protection\" — but the subsystem bounds the damage to what");
+    println!("the borrower explicitly granted.");
+}

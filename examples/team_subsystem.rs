@@ -1,0 +1,147 @@
+//! A team's common mechanism: controlled installation into a shared library.
+//!
+//! "a team producing a new compiler might set up a program development
+//! subsystem with a common mechanism to control installation of new
+//! modules into the evolving compiler. Such a mechanism makes the group
+//! susceptible to undesired interaction in the same way that an
+//! uncertified supervisor does for the whole user community. If a user
+//! agrees to become party to such a common mechanism, then he must satisfy
+//! himself of its trustworthiness."
+//!
+//! Here the team's installer *is* certifiable: it accepts a submission
+//! only after running the footnote-6 translation validator on the
+//! submitted source/object pair. Members cannot write the library
+//! directly (the ACL sees to that); the installer principal alone holds
+//! append rights, and it installs nothing it has not certified.
+//!
+//! ```text
+//! cargo run -p mks-bench --example team_subsystem
+//! ```
+
+use mks_cert::{compile_module, parse_program, validate, Verdict};
+use mks_fs::{Acl, AclMode, DirMode, UserId};
+use mks_hw::SegNo;
+use mks_kernel::exec::{install_module, ExecEnv};
+use mks_kernel::monitor::Monitor;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::{KProcId, KernelConfig};
+use mks_mls::Label;
+
+/// The team's common mechanism: certify, then install.
+fn installer_submit(
+    sys: &mut System,
+    installer: KProcId,
+    lib: SegNo,
+    name: &str,
+    source: &str,
+) -> Result<SegNo, String> {
+    // 1. The installer compiles the submission itself (it trusts no
+    //    member-supplied object code)…
+    let procs = parse_program(source).map_err(|e| format!("rejected: {e}"))?;
+    let module = compile_module(name, &procs).map_err(|e| format!("rejected: {e}"))?;
+    // 2. …and certifies every procedure against its source model.
+    for (proc, obj) in procs.iter().zip(module.procs.iter()) {
+        match validate(proc, obj) {
+            Verdict::Certified { vectors_checked } => {
+                println!("  certified {name}${} ({vectors_checked} vectors)", proc.name);
+            }
+            Verdict::Rejected { reason } => {
+                return Err(format!("rejected {name}${}: {reason}", proc.name))
+            }
+        }
+    }
+    // 3. Only then does the *installer's own authority* write the library.
+    install_module(
+        &mut sys.world,
+        installer,
+        lib,
+        name,
+        source,
+        {
+            let mut acl = Acl::of("Installer.CompTeam.a", AclMode::REW);
+            acl.add("*.CompTeam.*", AclMode::RE); // members run, never write
+            acl
+        },
+        Label::BOTTOM,
+    )
+    .map_err(|e| format!("install failed: {e}"))
+}
+
+fn main() {
+    let mut sys = System::new(KernelConfig::kernel());
+    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+    let root = sys.world.bind_root(admin);
+    Monitor::create_directory(&mut sys.world, admin, root, "complib", Label::BOTTOM).unwrap();
+    // Only the installer principal may append to the library.
+    sys.world
+        .fs
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "complib",
+            &admin_user(),
+            "Installer.CompTeam.a",
+            DirMode::SA,
+        )
+        .unwrap();
+    sys.world
+        .fs
+        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "complib", &admin_user(), "*.CompTeam.*", DirMode::S)
+        .unwrap();
+
+    let installer =
+        sys.world.create_process(UserId::new("Installer", "CompTeam", "a"), Label::BOTTOM, 4);
+    let alice = sys.world.create_process(UserId::new("Alice", "CompTeam", "a"), Label::BOTTOM, 4);
+    let root_i = sys.world.bind_root(installer);
+    let lib_i = Monitor::initiate_dir(&mut sys.world, installer, root_i, "complib");
+
+    // A member cannot bypass the mechanism: direct installation is denied.
+    let root_a = sys.world.bind_root(alice);
+    let lib_a = Monitor::initiate_dir(&mut sys.world, alice, root_a, "complib");
+    let direct = install_module(
+        &mut sys.world,
+        alice,
+        lib_a,
+        "sneaky_",
+        "proc f() { return 1; }",
+        Acl::of("Alice.CompTeam.a", AclMode::REW),
+        Label::BOTTOM,
+    );
+    println!("Alice installing directly into >complib: {direct:?}");
+    assert!(direct.is_err());
+
+    // Alice submits through the mechanism instead.
+    println!("\nAlice submits lexer_ through the installer:");
+    let lexer = installer_submit(
+        &mut sys,
+        installer,
+        lib_i,
+        "lexer_",
+        r"proc classify(c) {
+            if c > 47 { if c < 58 { return 1; } }   // digit
+            if c > 64 { if c < 91 { return 2; } }   // upper
+            if c > 96 { if c < 123 { return 3; } }  // lower
+            return 0;
+        }",
+    )
+    .unwrap();
+    let _ = lexer;
+
+    // Every member can now *run* it (re on the ACL) but not modify it.
+    let lexer_a = Monitor::initiate(&mut sys.world, alice, lib_a, "lexer_").unwrap();
+    let mut env = ExecEnv::new(&mut sys.world, alice, vec![lib_a]);
+    let mut fuel = 10_000;
+    let kinds: Vec<i64> = [b'7', b'Q', b'x', b'+']
+        .iter()
+        .map(|c| env.call(lexer_a, "classify", &[i64::from(*c)], &mut fuel).unwrap())
+        .collect();
+    println!("\nAlice runs lexer_$classify over \"7Qx+\": {kinds:?}");
+    assert_eq!(kinds, [1, 2, 3, 0]);
+    let poke = Monitor::write(&mut sys.world, alice, lexer_a, 5, mks_hw::Word::new(0));
+    println!("Alice trying to patch the installed lexer: {poke:?}");
+    assert!(poke.is_err());
+
+    println!("\nThe team's exposure is exactly the installer — one mechanism,");
+    println!("small enough to certify, holding the only write path into the");
+    println!("library. \"If a user agrees to become party to such a common");
+    println!("mechanism, then he must satisfy himself of its trustworthiness.\"");
+}

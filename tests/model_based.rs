@@ -1,0 +1,217 @@
+//! Model-based testing of the reference monitor.
+//!
+//! A tiny, obviously-correct reference model (HashMaps, no rings, no
+//! paging, no KST) plays the same random command sequence as the real
+//! kernel. Every observable — created/denied, written/denied, read values
+//! — must agree. Divergence means either the monitor leaks authority or
+//! refuses authority it should grant; both are certification bugs.
+
+use std::collections::HashMap;
+
+use mks_fs::{Acl, AclMode, DirMode, UserId};
+use mks_hw::{RingBrackets, SegNo, Word};
+use mks_kernel::monitor::Monitor;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::{KProcId, KernelConfig};
+use mks_mls::{mls_check, AccessKind, Compartments, Label, Level};
+use proptest::prelude::*;
+
+const USERS: [&str; 3] = ["Jones", "Smith", "Mallory"];
+const SEGS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// user creates SEGS[s] granting rw to grantee, at label level `lvl`.
+    Create { user: usize, seg: usize, grantee: usize, lvl: u8 },
+    /// user writes value into SEGS[s] at offset.
+    Write { user: usize, seg: usize, off: usize, val: u64 },
+    /// user reads SEGS[s] at offset.
+    Read { user: usize, seg: usize, off: usize },
+}
+
+fn arb_cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0..3usize, 0..4usize, 0..3usize, 0u8..3).prop_map(|(user, seg, grantee, lvl)| {
+            Cmd::Create { user, seg, grantee, lvl }
+        }),
+        (0..3usize, 0..4usize, 0..64usize, 1u64..1000)
+            .prop_map(|(user, seg, off, val)| Cmd::Write { user, seg, off, val }),
+        (0..3usize, 0..4usize, 0..64usize).prop_map(|(user, seg, off)| Cmd::Read {
+            user,
+            seg,
+            off
+        }),
+    ]
+}
+
+/// The reference model.
+#[derive(Default)]
+struct Model {
+    /// name -> (creator, grantee, label, contents)
+    segs: HashMap<usize, (usize, usize, Label, HashMap<usize, u64>)>,
+}
+
+impl Model {
+    fn create(&mut self, user: usize, seg: usize, grantee: usize, label: Label) -> bool {
+        if self.segs.contains_key(&seg) {
+            return false; // name taken
+        }
+        // Subject label: all processes run at their fixed level (see
+        // below: user i runs at level i). Creating requires writing the
+        // BOTTOM directory and a label dominating it.
+        let subj = proc_label(user);
+        if mls_check(&subj, &Label::BOTTOM, AccessKind::Write).is_err() {
+            return false;
+        }
+        self.segs.insert(seg, (user, grantee, label, HashMap::new()));
+        true
+    }
+
+    fn mode(&self, user: usize, seg: usize) -> Option<(bool, bool)> {
+        let (creator, grantee, label, _) = self.segs.get(&seg)?;
+        // ACL: creator and grantee get rw; everyone else nothing.
+        if user != *creator && user != *grantee {
+            return None;
+        }
+        let subj = proc_label(user);
+        let read = mls_check(&subj, label, AccessKind::Read).is_ok();
+        let write = mls_check(&subj, label, AccessKind::Write).is_ok();
+        if !read && !write {
+            None
+        } else {
+            Some((read, write))
+        }
+    }
+
+    fn write(&mut self, user: usize, seg: usize, off: usize, val: u64) -> bool {
+        match self.mode(user, seg) {
+            Some((_, true)) => {
+                self.segs.get_mut(&seg).unwrap().3.insert(off, val);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn read(&self, user: usize, seg: usize, off: usize) -> Option<u64> {
+        match self.mode(user, seg) {
+            Some((true, _)) => {
+                Some(self.segs.get(&seg).unwrap().3.get(&off).copied().unwrap_or(0))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Process labels: user 0 at UNCLASSIFIED, 1 at CONFIDENTIAL, 2 at SECRET.
+fn proc_label(user: usize) -> Label {
+    Label::new(Level(user as u8), Compartments::NONE)
+}
+
+struct Real {
+    sys: System,
+    pids: Vec<KProcId>,
+    udd: Vec<SegNo>,
+    segnos: HashMap<(usize, usize), SegNo>,
+}
+
+impl Real {
+    fn new() -> Real {
+        let mut sys = System::new(KernelConfig::kernel());
+        let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+        let root = sys.world.bind_root(admin);
+        Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
+        sys.world
+            .fs
+            .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+            .unwrap();
+        let mut pids = Vec::new();
+        let mut udd = Vec::new();
+        for (i, name) in USERS.iter().enumerate() {
+            let pid = sys.world.create_process(
+                UserId::new(name, "Proj", "a"),
+                proc_label(i),
+                4,
+            );
+            let root = sys.world.bind_root(pid);
+            udd.push(Monitor::initiate_dir(&mut sys.world, pid, root, "udd"));
+            pids.push(pid);
+        }
+        Real { sys, pids, udd, segnos: HashMap::new() }
+    }
+
+    fn segno(&mut self, user: usize, seg: usize) -> Option<SegNo> {
+        if let Some(s) = self.segnos.get(&(user, seg)) {
+            return Some(*s);
+        }
+        let s = Monitor::initiate(
+            &mut self.sys.world,
+            self.pids[user],
+            self.udd[user],
+            SEGS[seg],
+        )
+        .ok()?;
+        self.segnos.insert((user, seg), s);
+        Some(s)
+    }
+
+    fn create(&mut self, user: usize, seg: usize, grantee: usize, label: Label) -> bool {
+        let mut acl = Acl::of(&format!("{}.Proj.a", USERS[user]), AclMode::RW);
+        acl.add(&format!("{}.Proj.a", USERS[grantee]), AclMode::RW);
+        let out = Monitor::create_segment(
+            &mut self.sys.world,
+            self.pids[user],
+            self.udd[user],
+            SEGS[seg],
+            acl,
+            RingBrackets::new(4, 4, 4),
+            label,
+        );
+        if let Ok(s) = out {
+            self.segnos.insert((user, seg), s);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn write(&mut self, user: usize, seg: usize, off: usize, val: u64) -> bool {
+        let Some(s) = self.segno(user, seg) else { return false };
+        Monitor::write(&mut self.sys.world, self.pids[user], s, off, Word::new(val)).is_ok()
+    }
+
+    fn read(&mut self, user: usize, seg: usize, off: usize) -> Option<u64> {
+        let s = self.segno(user, seg)?;
+        Monitor::read(&mut self.sys.world, self.pids[user], s, off).ok().map(|w| w.raw())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn monitor_agrees_with_the_reference_model(cmds in prop::collection::vec(arb_cmd(), 1..60)) {
+        let mut model = Model::default();
+        let mut real = Real::new();
+        for (i, cmd) in cmds.iter().enumerate() {
+            match *cmd {
+                Cmd::Create { user, seg, grantee, lvl } => {
+                    let label = Label::new(Level(lvl), Compartments::NONE);
+                    let m = model.create(user, seg, grantee, label);
+                    let r = real.create(user, seg, grantee, label);
+                    prop_assert_eq!(m, r, "cmd {} create {:?}", i, cmd);
+                }
+                Cmd::Write { user, seg, off, val } => {
+                    let m = model.write(user, seg, off, val);
+                    let r = real.write(user, seg, off, val);
+                    prop_assert_eq!(m, r, "cmd {} write {:?}", i, cmd);
+                }
+                Cmd::Read { user, seg, off } => {
+                    let m = model.read(user, seg, off);
+                    let r = real.read(user, seg, off);
+                    prop_assert_eq!(m, r, "cmd {} read {:?}", i, cmd);
+                }
+            }
+        }
+    }
+}
