@@ -24,7 +24,13 @@ fn setup(cfg: KernelConfig) -> (System, mks_kernel::KProcId) {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            DirMode::SA,
+        )
         .unwrap();
     let pid = sys.world.create_process(jones(), Label::BOTTOM, 4);
     let root_j = sys.world.bind_root(pid);

@@ -9,8 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mks_hw::ast::PageState;
 use mks_hw::{
-    AccessMode, AddrSpace, CpuModel, FrameId, Machine, RingBrackets, Sdw, SegNo, SegUid,
-    PAGE_WORDS,
+    AccessMode, AddrSpace, CpuModel, FrameId, Machine, RingBrackets, Sdw, SegNo, SegUid, PAGE_WORDS,
 };
 
 fn setup(model: CpuModel) -> (Machine, AddrSpace) {
@@ -18,7 +17,10 @@ fn setup(model: CpuModel) -> (Machine, AddrSpace) {
     let astx = m.ast.activate(SegUid(1), PAGE_WORDS);
     m.ast.entry_mut(astx).pt.ptw_mut(0).state = PageState::InCore(FrameId(0));
     let mut sp = AddrSpace::new();
-    sp.set(SegNo(1), Sdw::plain(astx, AccessMode::RE, RingBrackets::new(4, 4, 4)));
+    sp.set(
+        SegNo(1),
+        Sdw::plain(astx, AccessMode::RE, RingBrackets::new(4, 4, 4)),
+    );
     sp.set(SegNo(2), Sdw::gate(astx, RingBrackets::gate(0, 5), 8));
     (m, sp)
 }

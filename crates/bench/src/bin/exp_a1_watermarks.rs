@@ -33,8 +33,12 @@ fn main() {
     ]);
     let distinct = trace.distinct_pages() as f64;
     for (low, target) in [(1, 1), (1, 2), (2, 4), (4, 8), (6, 12)] {
-        let cfg =
-            ParallelConfig { core_low: low, core_target: target, bulk_low: 4, bulk_target: 8 };
+        let cfg = ParallelConfig {
+            core_low: low,
+            core_target: target,
+            bulk_low: 4,
+            bulk_target: 8,
+        };
         let (s, _) = run_parallel_with(FRAMES, 64, &trace, 3, 3, cfg);
         t.row(&[
             format!("{low}/{target}"),

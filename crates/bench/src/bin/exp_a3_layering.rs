@@ -25,7 +25,10 @@ fn main() {
             s.property.label().into(),
             s.layered_weight.to_string(),
             s.flat_weight.to_string(),
-            format!("{:.0}%", 100.0 * f64::from(s.layered_weight) / f64::from(s.flat_weight)),
+            format!(
+                "{:.0}%",
+                100.0 * f64::from(s.layered_weight) / f64::from(s.flat_weight)
+            ),
         ]);
     }
     print!("{}", t.render());

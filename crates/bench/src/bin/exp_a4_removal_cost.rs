@@ -17,7 +17,14 @@ use mks_kernel::KernelConfig;
 use mks_mls::Label;
 
 fn build(cfg: KernelConfig, cpu: CpuModel, depth: usize) -> (System, mks_kernel::KProcId, String) {
-    let mut sys = System::with_size(cfg, SystemSize { frames: 64, bulk_records: 256, cpu });
+    let mut sys = System::with_size(
+        cfg,
+        SystemSize {
+            frames: 64,
+            bulk_records: 256,
+            cpu,
+        },
+    );
     let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
     let mut dir = sys.world.bind_root(admin);
     let mut path = String::new();
@@ -39,7 +46,9 @@ fn build(cfg: KernelConfig, cpu: CpuModel, depth: usize) -> (System, mks_kernel:
     .unwrap();
     // Let everyone traverse.
     let _ = DirMode::S;
-    let user = sys.world.create_process(UserId::new("U", "P", "a"), Label::BOTTOM, 4);
+    let user = sys
+        .world
+        .create_process(UserId::new("U", "P", "a"), Label::BOTTOM, 4);
     path.push_str(">leaf");
     (sys, user, path)
 }

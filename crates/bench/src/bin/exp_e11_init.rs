@@ -57,7 +57,10 @@ fn main() {
     // Tamper evidence.
     let mut bad = build_image(&KernelConfig::kernel());
     bad.words[1] = mks_hw::Word::new(bad.words[1].raw() ^ 0o40);
-    println!("tampered image load result: {:?}", load_hash(&bad).unwrap_err());
+    println!(
+        "tampered image load result: {:?}",
+        load_hash(&bad).unwrap_err()
+    );
     println!();
     println!("Certification surface at start time: ~22 ordered privileged steps");
     println!("versus a loader and a checksum. Every load is bit-identical, so one");

@@ -15,8 +15,14 @@ fn main() {
     let pct = 100.0 * cut as f64 / legacy.user_available_entries() as f64;
 
     let mut t = Table::new(&["configuration", "user-available gate entries"]);
-    t.row(&["legacy supervisor".into(), legacy.user_available_entries().to_string()]);
-    t.row(&["legacy + linker removal".into(), removed.user_available_entries().to_string()]);
+    t.row(&[
+        "legacy supervisor".into(),
+        legacy.user_available_entries().to_string(),
+    ]);
+    t.row(&[
+        "legacy + linker removal".into(),
+        removed.user_available_entries().to_string(),
+    ]);
     print!("{}", t.render());
     println!();
     println!("linker entries removed: {cut} ({pct:.1}% of the legacy surface)");

@@ -13,7 +13,12 @@ fn main() {
     let legacy = SystemInventory::build(KernelConfig::legacy());
     let kernel = SystemInventory::build(KernelConfig::kernel());
 
-    let mut t = Table::new(&["configuration", "protected weight", "user-ring weight", "naming gates"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "protected weight",
+        "user-ring weight",
+        "naming gates",
+    ]);
     for (inv, gates) in [
         (&legacy, mks_kernel::gatetable::NAMING_GATES_LEGACY.len()),
         (&kernel, mks_kernel::gatetable::NAMING_GATES_KERNEL.len()),
@@ -36,7 +41,10 @@ fn main() {
     let l = legacy.protected_weight_of(Category::AddressSpace);
     let k = kernel.protected_weight_of(Category::AddressSpace);
     println!();
-    println!("protected-code reduction: {:.1}x (paper: ~10x)", l as f64 / k as f64);
+    println!(
+        "protected-code reduction: {:.1}x (paper: ~10x)",
+        l as f64 / k as f64
+    );
     println!(
         "protected naming gate reduction: {} -> {} ({:.1}x)",
         mks_kernel::gatetable::NAMING_GATES_LEGACY.len(),

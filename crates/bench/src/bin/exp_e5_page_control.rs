@@ -5,8 +5,8 @@
 //! simplified. ... The overall structure looks as though it will be much
 //! simpler than that currently employed."
 
-use mks_bench::drivers::{run_parallel, run_sequential};
-use mks_bench::report::{banner, Table};
+use mks_bench::drivers::{run_parallel_metered, run_sequential_metered};
+use mks_bench::report::{banner, layer_breakdown, write_result, Table};
 use mks_vm::{RefTrace, TraceConfig};
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
         "waits",
         "bulk evictions",
     ]);
-    // Sweep memory pressure: fewer frames = deeper cascades.
+    // Sweep memory pressure: fewer frames = deeper cascades. The last
+    // (highest-pressure) sweep's flight-recorder snapshots are kept for
+    // the per-layer breakdown below.
+    let mut metering = None;
     for frames in [48, 24, 12, 6] {
         let trace = RefTrace::generate(&TraceConfig {
             seed: 11,
@@ -34,8 +37,9 @@ fn main() {
             theta: 0.8,
             phase_len: 500,
         });
-        let (seq, _) = run_sequential(frames, 16, &trace, 3);
-        let (par, _) = run_parallel(frames, 16, &trace, 3, 3);
+        let (seq, _, seq_snap) = run_sequential_metered(frames, 16, &trace, 3);
+        let (par, _, par_snap) = run_parallel_metered(frames, 16, &trace, 3, 3);
+        metering = Some((frames, seq_snap, par_snap));
         for (name, s) in [("sequential", &seq), ("parallel", &par)] {
             t.row(&[
                 frames.to_string(),
@@ -51,6 +55,21 @@ fn main() {
     }
     print!("{}", t.render());
     println!();
+    if let Some((frames, seq_snap, par_snap)) = metering {
+        println!("where the cycles go at {frames} frames (flight-recorder spans):");
+        for (name, snap) in [("sequential", &seq_snap), ("parallel", &par_snap)] {
+            println!("  {name}:");
+            for line in layer_breakdown(snap).render().lines() {
+                println!("    {line}");
+            }
+            let file = format!("e5_page_control_{name}_metering.json");
+            match write_result(&file, &snap.to_json()) {
+                Ok(path) => println!("    snapshot written to {}", path.display()),
+                Err(e) => println!("    (could not write results/: {e})"),
+            }
+        }
+        println!();
+    }
     println!("The parallel design's fault path is a constant 2 steps (check for a");
     println!("free frame; initiate the transfer) regardless of pressure; the");
     println!("sequential design's path grows with pressure as the in-fault cascade");

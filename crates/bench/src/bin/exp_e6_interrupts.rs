@@ -37,7 +37,14 @@ fn main() {
     // --- in-situ baseline ---
     let mut m = Machine::new(CpuModel::H6180, 4);
     let mut insitu = InSituInterrupts::new();
-    for irq in [Irq::Tty, Irq::Tape, Irq::CardReader, Irq::Printer, Irq::Network, Irq::Disk] {
+    for irq in [
+        Irq::Tty,
+        Irq::Tape,
+        Irq::CardReader,
+        Irq::Printer,
+        Irq::Network,
+        Irq::Disk,
+    ] {
         insitu.register(
             irq,
             Box::new(|m: &mut Machine| {
@@ -57,20 +64,33 @@ fn main() {
 
     // --- process-per-handler ---
     let mut m2 = Machine::new(CpuModel::H6180, 4);
-    let mut tc: TrafficController<Machine> =
-        TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 10, quantum: 4 });
+    let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+        nr_cpus: 2,
+        nr_vprocs: 10,
+        quantum: 4,
+    });
     let mut intr = ProcessInterrupts::new();
     let mut served_total = Vec::new();
-    for irq in [Irq::Tty, Irq::Tape, Irq::CardReader, Irq::Printer, Irq::Network, Irq::Disk] {
+    for irq in [
+        Irq::Tty,
+        Irq::Tape,
+        Irq::CardReader,
+        Irq::Printer,
+        Irq::Network,
+        Irq::Disk,
+    ] {
         let event: EventId = tc.alloc_event();
         let served = std::rc::Rc::new(std::cell::Cell::new(0u64));
         let s = served.clone();
         served_total.push(served);
-        tc.add_dedicated(Box::new(FnJob::new("handler", move |e: &mut Effects<'_, Machine>| {
-            s.set(s.get() + 1);
-            e.ctx.clock.advance(120); // same handler body, own context
-            Step::Block(event)
-        })));
+        tc.add_dedicated(Box::new(FnJob::new(
+            "handler",
+            move |e: &mut Effects<'_, Machine>| {
+                s.set(s.get() + 1);
+                e.ctx.clock.advance(120); // same handler body, own context
+                Step::Block(event)
+            },
+        )));
         intr.assign(irq, event);
     }
     tc.run_until_quiet(&mut m2, 1_000); // park the handlers
@@ -108,10 +128,16 @@ fn main() {
     print!("{}", t.render());
     println!();
     println!("handler activations under the process design: {served}");
-    println!("total simulated cycles: in-situ {insitu_cycles}, process {}", m2.clock.now());
+    println!(
+        "total simulated cycles: in-situ {insitu_cycles}, process {}",
+        m2.clock.now()
+    );
     println!();
     println!("Every in-situ interrupt borrowed an unrelated process's context and");
-    println!("ran {} shared-state touches under a mask; the process design fields", insitu_stats.shared_touches);
+    println!(
+        "ran {} shared-state touches under a mask; the process design fields",
+        insitu_stats.shared_touches
+    );
     println!("the same storm with zero intrusions and zero masked work — the");
     println!("interceptor is one wakeup, and handlers coordinate like any process.");
 }

@@ -19,14 +19,24 @@ fn main() {
     let mut t = Table::new(&["module", "ring", "weight", "gates"]);
     for d in legacy_zoo() {
         let m = d.module_info();
-        t.row(&[m.name.into(), m.ring.to_string(), m.weight.to_string(), m.entries.len().to_string()]);
+        t.row(&[
+            m.name.into(),
+            m.ring.to_string(),
+            m.weight.to_string(),
+            m.entries.len().to_string(),
+        ]);
     }
     print!("{}", t.render());
     println!();
     println!("kernel I/O modules, kernel configuration:");
     let m = NetworkAttachment::module_info();
     let mut t2 = Table::new(&["module", "ring", "weight", "gates"]);
-    t2.row(&[m.name.into(), m.ring.to_string(), m.weight.to_string(), m.entries.len().to_string()]);
+    t2.row(&[
+        m.name.into(),
+        m.ring.to_string(),
+        m.weight.to_string(),
+        m.entries.len().to_string(),
+    ]);
     print!("{}", t2.render());
     println!();
 
@@ -43,12 +53,37 @@ fn main() {
     println!(
         "I/O gate entries: {} -> {}",
         zoo_g.count_matching(&[
-            "tty_read", "tty_write", "tty_order", "tty_attach", "tty_detach", "tape_read",
-            "tape_write", "tape_order", "tape_attach", "tape_detach", "tape_mount", "crd_read",
-            "crd_attach", "crd_detach", "crd_order", "pun_write", "pun_attach", "pun_detach",
-            "pun_order", "prt_write", "prt_order", "prt_attach", "prt_detach",
+            "tty_read",
+            "tty_write",
+            "tty_order",
+            "tty_attach",
+            "tty_detach",
+            "tape_read",
+            "tape_write",
+            "tape_order",
+            "tape_attach",
+            "tape_detach",
+            "tape_mount",
+            "crd_read",
+            "crd_attach",
+            "crd_detach",
+            "crd_order",
+            "pun_write",
+            "pun_attach",
+            "pun_detach",
+            "pun_order",
+            "prt_write",
+            "prt_order",
+            "prt_attach",
+            "prt_detach",
         ]),
-        net_g.count_matching(&["net_open", "net_close", "net_read", "net_write", "net_status"])
+        net_g.count_matching(&[
+            "net_open",
+            "net_close",
+            "net_read",
+            "net_write",
+            "net_status"
+        ])
     );
     println!();
     println!("The device logic did not disappear — it moved to user-ring network");

@@ -26,9 +26,12 @@ fn main() {
     for seed in 1..=5u64 {
         let split = chaos_split(seed, ROUNDS);
         let mono = chaos_monolithic(seed, ROUNDS);
-        for (i, (name, o)) in [("split (ring 1 policy)", split), ("monolithic (ring 0)", mono)]
-            .into_iter()
-            .enumerate()
+        for (i, (name, o)) in [
+            ("split (ring 1 policy)", split),
+            ("monolithic (ring 0)", mono),
+        ]
+        .into_iter()
+        .enumerate()
         {
             t.row(&[
                 seed.to_string(),

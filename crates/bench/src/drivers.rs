@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 /// Activates every segment of `trace` in `w`.
 fn activate_trace(w: &mut VmWorld, trace: &RefTrace) {
     for uid in &trace.segments {
-        w.machine.ast.activate(*uid, trace.pages_per_segment * PAGE_WORDS);
+        w.machine
+            .ast
+            .activate(*uid, trace.pages_per_segment * PAGE_WORDS);
     }
 }
 
@@ -25,6 +27,18 @@ pub fn run_sequential(
     trace: &RefTrace,
     write_every: usize,
 ) -> (VmStats, u64) {
+    let (stats, cycles, _) = run_sequential_metered(frames, bulk, trace, write_every);
+    (stats, cycles)
+}
+
+/// [`run_sequential`], additionally returning the run's flight-recorder
+/// snapshot (counters, histograms, per-layer cycle totals).
+pub fn run_sequential_metered(
+    frames: usize,
+    bulk: usize,
+    trace: &RefTrace,
+    write_every: usize,
+) -> (VmStats, u64, mks_trace::Snapshot) {
     let mut w = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
     activate_trace(&mut w, trace);
     let mut pc = SequentialPageControl::new(Box::new(ClockPolicy::default()));
@@ -36,7 +50,7 @@ pub fn run_sequential(
         }
     }
     let cycles = w.machine.clock.now();
-    (w.stats, cycles)
+    (w.stats(), cycles, w.machine.trace.snapshot())
 }
 
 /// Runs `trace` under the **parallel** design with `nprocs` trace
@@ -48,13 +62,26 @@ pub fn run_parallel(
     write_every: usize,
     nprocs: usize,
 ) -> (VmStats, u64) {
+    let (stats, cycles, _) = run_parallel_metered(frames, bulk, trace, write_every, nprocs);
+    (stats, cycles)
+}
+
+/// [`run_parallel`], additionally returning the run's flight-recorder
+/// snapshot.
+pub fn run_parallel_metered(
+    frames: usize,
+    bulk: usize,
+    trace: &RefTrace,
+    write_every: usize,
+    nprocs: usize,
+) -> (VmStats, u64, mks_trace::Snapshot) {
     let cfg = ParallelConfig {
         core_low: (frames / 8).max(1),
         core_target: (frames / 4).max(2),
         bulk_low: 4,
         bulk_target: 8,
     };
-    run_parallel_with(frames, bulk, trace, write_every, nprocs, cfg)
+    run_parallel_with_metered(frames, bulk, trace, write_every, nprocs, cfg)
 }
 
 /// [`run_parallel`] with explicit freeing-daemon watermarks (the A1
@@ -67,13 +94,33 @@ pub fn run_parallel_with(
     nprocs: usize,
     cfg: ParallelConfig,
 ) -> (VmStats, u64) {
-    let mut tc: TrafficController<mks_vm::parallel::VmSystem> =
-        TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 4 + nprocs, quantum: 8 });
+    let (stats, cycles, _) =
+        run_parallel_with_metered(frames, bulk, trace, write_every, nprocs, cfg);
+    (stats, cycles)
+}
+
+/// [`run_parallel_with`], additionally returning the run's
+/// flight-recorder snapshot.
+pub fn run_parallel_with_metered(
+    frames: usize,
+    bulk: usize,
+    trace: &RefTrace,
+    write_every: usize,
+    nprocs: usize,
+    cfg: ParallelConfig,
+) -> (VmStats, u64, mks_trace::Snapshot) {
+    let mut tc: TrafficController<mks_vm::parallel::VmSystem> = TrafficController::new(TcConfig {
+        nr_cpus: 2,
+        nr_vprocs: 4 + nprocs,
+        quantum: 8,
+    });
     let world = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
     let pc = ParallelPageControl::new(cfg, &mut tc);
     let mut sys = mks_vm::parallel::VmSystem { world, pc };
     activate_trace(&mut sys.world, trace);
-    tc.add_dedicated(Box::new(CoreFreerJob::new(Box::new(ClockPolicy::default()))));
+    tc.add_dedicated(Box::new(CoreFreerJob::new(
+        Box::new(ClockPolicy::default()),
+    )));
     tc.add_dedicated(Box::new(BulkFreerJob));
     for part in trace.split(nprocs) {
         tc.spawn(Box::new(mks_vm::parallel::TraceJob::new(part, write_every)));
@@ -81,14 +128,16 @@ pub fn run_parallel_with(
     let out = tc.run_until_quiet(&mut sys, 10_000_000);
     assert!(out.quiescent, "parallel run wedged");
     let cycles = sys.world.machine.clock.now();
-    (sys.world.stats, cycles)
+    (
+        sys.world.stats(),
+        cycles,
+        sys.world.machine.trace.snapshot(),
+    )
 }
 
 /// Deterministic content pattern for integrity checking.
 pub fn pattern(uid: SegUid, page: usize, offset: usize) -> Word {
-    Word::new(
-        (uid.0 << 20) ^ ((page as u64) << 10) ^ (offset as u64) ^ 0o525252525252,
-    )
+    Word::new((uid.0 << 20) ^ ((page as u64) << 10) ^ (offset as u64) ^ 0o525252525252)
 }
 
 /// Outcome counts of a policy fault-injection campaign (experiment E9).
@@ -216,7 +265,10 @@ pub fn chaos_split(seed: u64, rounds: u32) -> ChaosOutcome {
         }
         // Occasionally also garble a bulk→disk request.
         if rng.gen_bool(0.3) {
-            let addr = mks_vm::PageAddr { uid: SegUid(95 + rng.gen_range(0..12)), page };
+            let addr = mks_vm::PageAddr {
+                uid: SegUid(95 + rng.gen_range(0..12)),
+                page,
+            };
             if mechanism::evict_bulk_to_disk(&mut w, addr).is_err() {
                 out.refused += 1;
             }
@@ -288,7 +340,10 @@ mod tests {
         let out = chaos_split(7, 500);
         assert_eq!(out.modifications, 0);
         assert_eq!(out.disclosures, 0);
-        assert!(out.refused > 0, "garbage decisions must be refused sometimes");
+        assert!(
+            out.refused > 0,
+            "garbage decisions must be refused sometimes"
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Plain-text report tables for the experiment binaries.
 
+use mks_trace::Snapshot;
+
 /// A fixed-width text table.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -10,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Starts a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).
@@ -40,7 +45,10 @@ impl Table {
                     line.push_str("  ");
                 }
                 // Right-align numeric-looking cells, left-align text.
-                let numeric = c.chars().next().is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
+                let numeric = c
+                    .chars()
+                    .next()
+                    .is_some_and(|ch| ch.is_ascii_digit() || ch == '-')
                     && c.chars().all(|ch| {
                         ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '%' || ch == 'x'
                     });
@@ -62,6 +70,53 @@ impl Table {
         }
         out
     }
+}
+
+/// Renders the per-layer cycle breakdown of a flight-recorder snapshot:
+/// for each layer, completed spans, inclusive cycles, exclusive cycles,
+/// and the layer's share of all exclusive time ("where the cycles go").
+pub fn layer_breakdown(snap: &Snapshot) -> Table {
+    let total_excl: u64 = snap.layers.iter().map(|l| l.exclusive).sum();
+    let mut t = Table::new(&[
+        "layer",
+        "spans",
+        "inclusive (cyc)",
+        "exclusive (cyc)",
+        "share",
+    ]);
+    for l in &snap.layers {
+        let share = if total_excl == 0 {
+            0.0
+        } else {
+            100.0 * l.exclusive as f64 / total_excl as f64
+        };
+        t.row(&[
+            l.layer.as_str().into(),
+            l.spans.to_string(),
+            l.inclusive.to_string(),
+            l.exclusive.to_string(),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t
+}
+
+/// Parses a registry JSON snapshot — as emitted by `Snapshot::to_json`
+/// or read back through the metering gate — and renders the per-layer
+/// breakdown. The JSON form is integers-and-strings only, so nothing is
+/// lost between the kernel's recorder and this table.
+pub fn layer_breakdown_from_json(json: &str) -> Result<Table, String> {
+    Ok(layer_breakdown(&Snapshot::from_json(json)?))
+}
+
+/// Writes experiment output under `results/` (created on demand),
+/// returning the path written.
+pub fn write_result(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
 }
 
 /// Prints a section banner naming the experiment and the paper's claim.
@@ -94,5 +149,27 @@ mod tests {
     fn mismatched_rows_are_bugs() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn layer_breakdown_renders_from_json_without_loss() {
+        use mks_trace::{Clock, Layer, TraceHandle};
+        let clock = Clock::new();
+        let t = TraceHandle::new(clock.clone());
+        let outer = t.span(Layer::Hw, "gate");
+        clock.advance(10);
+        {
+            let _inner = t.span(Layer::Vm, "fault");
+            clock.advance(30);
+        }
+        outer.end();
+        let json = t.snapshot().to_json();
+        let table = layer_breakdown_from_json(&json).expect("valid snapshot JSON");
+        let s = table.render();
+        assert!(s.contains("hw"), "hw layer row: {s}");
+        assert!(s.contains("vm"));
+        // hw exclusive 10, vm exclusive 30 → shares 25% / 75%.
+        assert!(s.contains("25.0%"), "{s}");
+        assert!(s.contains("75.0%"), "{s}");
     }
 }

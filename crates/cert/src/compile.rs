@@ -42,7 +42,11 @@ impl core::fmt::Display for CompileErr {
             CompileErr::Redeclared(v) => write!(f, "redeclared variable {v}"),
             CompileErr::FrameOverflow => write!(f, "too many locals"),
             CompileErr::UnknownProcedure(p) => write!(f, "unknown procedure {p}"),
-            CompileErr::ArityMismatch { name, expected, got } => {
+            CompileErr::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "{name} takes {expected} arguments, got {got}")
             }
             CompileErr::DuplicateProcedure(p) => write!(f, "duplicate procedure {p}"),
@@ -64,7 +68,10 @@ struct Cg<'m> {
 
 impl Cg<'_> {
     fn slot(&self, name: &str) -> Result<u16, CompileErr> {
-        self.slots.get(name).copied().ok_or_else(|| CompileErr::Undeclared(name.into()))
+        self.slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileErr::Undeclared(name.into()))
     }
 
     fn declare(&mut self, name: &str) -> Result<u16, CompileErr> {
@@ -228,7 +235,11 @@ pub fn compile_module(name: &str, procs: &[Procedure]) -> Result<Module, Compile
             code: cg.code,
         });
     }
-    Ok(Module { name: name.to_string(), procs: out, links })
+    Ok(Module {
+        name: name.to_string(),
+        procs: out,
+        links,
+    })
 }
 
 /// Compiles one self-contained procedure (it may call itself; calls to
@@ -287,9 +298,15 @@ mod tests {
     #[test]
     fn scoping_errors_are_compile_time() {
         let procs = parse_program("proc f() { return x; }").unwrap();
-        assert_eq!(compile(&procs[0]).unwrap_err(), CompileErr::Undeclared("x".into()));
+        assert_eq!(
+            compile(&procs[0]).unwrap_err(),
+            CompileErr::Undeclared("x".into())
+        );
         let procs = parse_program("proc f(a) { let a = 1; return a; }").unwrap();
-        assert_eq!(compile(&procs[0]).unwrap_err(), CompileErr::Redeclared("a".into()));
+        assert_eq!(
+            compile(&procs[0]).unwrap_err(),
+            CompileErr::Redeclared("a".into())
+        );
     }
 
     #[test]
@@ -318,7 +335,10 @@ mod tests {
         );
         // The interpreter agrees.
         assert_eq!(crate::interpret_module(&procs, quad, &[3], 100_000), Ok(12));
-        assert_eq!(crate::interpret_module(&procs, fact, &[6], 100_000), Ok(720));
+        assert_eq!(
+            crate::interpret_module(&procs, fact, &[6], 100_000),
+            Ok(720)
+        );
     }
 
     #[test]
@@ -329,9 +349,15 @@ mod tests {
         let procs = parse_program(src).unwrap();
         let m = crate::compile_module("parity_", &procs).unwrap();
         let mut fuel = 100_000;
-        assert_eq!(crate::run_module(&m, 0, &[10], &mut fuel, &mut crate::NoExterns), Ok(1));
+        assert_eq!(
+            crate::run_module(&m, 0, &[10], &mut fuel, &mut crate::NoExterns),
+            Ok(1)
+        );
         let mut fuel = 100_000;
-        assert_eq!(crate::run_module(&m, 0, &[7], &mut fuel, &mut crate::NoExterns), Ok(0));
+        assert_eq!(
+            crate::run_module(&m, 0, &[7], &mut fuel, &mut crate::NoExterns),
+            Ok(0)
+        );
         assert_eq!(crate::interpret_module(&procs, 0, &[10], 100_000), Ok(1));
     }
 
@@ -363,7 +389,11 @@ mod tests {
         let procs = parse_program("proc g(a, b) { return a; } proc f() { return g(1); }").unwrap();
         assert!(matches!(
             crate::compile_module("m", &procs).unwrap_err(),
-            CompileErr::ArityMismatch { expected: 2, got: 1, .. }
+            CompileErr::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
         let procs = parse_program("proc f() { return 1; } proc f() { return 2; }").unwrap();
         assert_eq!(

@@ -67,9 +67,11 @@ impl Interp<'_> {
         self.burn()?;
         match e {
             Expr::Num(n) => Ok(*n),
-            Expr::Var(v) => {
-                self.vars.get(v).copied().ok_or_else(|| InterpErr::Unbound(v.clone()))
-            }
+            Expr::Var(v) => self
+                .vars
+                .get(v)
+                .copied()
+                .ok_or_else(|| InterpErr::Unbound(v.clone())),
             Expr::Bin(op, a, b) => {
                 let a = self.eval(a)?;
                 let b = self.eval(b)?;
@@ -129,7 +131,11 @@ impl Interp<'_> {
                 Stmt::Return(e) => return Ok(Flow::Returned(self.eval(e)?)),
                 Stmt::If(cond, then, els) => {
                     let c = self.eval(cond)?;
-                    let flow = if c != 0 { self.exec(then)? } else { self.exec(els)? };
+                    let flow = if c != 0 {
+                        self.exec(then)?
+                    } else {
+                        self.exec(els)?
+                    };
                     if let Flow::Returned(v) = flow {
                         return Ok(Flow::Returned(v));
                     }
@@ -163,12 +169,24 @@ pub fn interpret_module(
     args: &[i64],
     fuel: u64,
 ) -> Result<i64, InterpErr> {
-    let proc = procs.get(idx).ok_or_else(|| InterpErr::UnknownProcedure(format!("#{idx}")))?;
+    let proc = procs
+        .get(idx)
+        .ok_or_else(|| InterpErr::UnknownProcedure(format!("#{idx}")))?;
     if args.len() != proc.params.len() {
         return Err(InterpErr::BadArity);
     }
-    let vars = proc.params.iter().cloned().zip(args.iter().copied()).collect();
-    let mut it = Interp { vars, fuel, procs, depth: 0 };
+    let vars = proc
+        .params
+        .iter()
+        .cloned()
+        .zip(args.iter().copied())
+        .collect();
+    let mut it = Interp {
+        vars,
+        fuel,
+        procs,
+        depth: 0,
+    };
     match it.exec(&proc.body)? {
         Flow::Returned(v) => Ok(v),
         Flow::Normal => Ok(0),
@@ -187,7 +205,10 @@ mod tests {
 
     #[test]
     fn evaluates_arithmetic() {
-        assert_eq!(interp_src("proc f(a, b) { return a * b - 1; }", &[3, 4]), 11);
+        assert_eq!(
+            interp_src("proc f(a, b) { return a * b - 1; }", &[3, 4]),
+            11
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ mod tests {
                 }
             }
         }
-        assert!(certified >= 9, "expected at least 9 certified procedures, got {certified}");
+        assert!(
+            certified >= 9,
+            "expected at least 9 certified procedures, got {certified}"
+        );
     }
 
     #[test]

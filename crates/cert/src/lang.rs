@@ -186,9 +186,10 @@ fn lex(src: &str) -> Result<Vec<Tok>, ParseErr> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: i64 = src[start..i]
-                    .parse()
-                    .map_err(|_| ParseErr { msg: "number too large".into(), at: toks.len() })?;
+                let n: i64 = src[start..i].parse().map_err(|_| ParseErr {
+                    msg: "number too large".into(),
+                    at: toks.len(),
+                })?;
                 toks.push(Tok::Num(n));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -241,21 +242,30 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> ParseErr {
-        ParseErr { msg: msg.to_string(), at: self.pos }
+        ParseErr {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
     }
 
     fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseErr> {
         if self.next().as_ref() == Some(&t) {
             Ok(())
         } else {
-            Err(ParseErr { msg: format!("expected {what}"), at: self.pos.saturating_sub(1) })
+            Err(ParseErr {
+                msg: format!("expected {what}"),
+                at: self.pos.saturating_sub(1),
+            })
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseErr> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            _ => Err(ParseErr { msg: "expected identifier".into(), at: self.pos - 1 }),
+            _ => Err(ParseErr {
+                msg: "expected identifier".into(),
+                at: self.pos - 1,
+            }),
         }
     }
 
@@ -496,7 +506,10 @@ mod tests {
     #[test]
     fn parens_override_precedence() {
         let procs = parse_program("proc f(a) { return (1 + a) * 2; }").unwrap();
-        assert!(matches!(&procs[0].body[0], Stmt::Return(Expr::Bin(BinOp::Mul, _, _))));
+        assert!(matches!(
+            &procs[0].body[0],
+            Stmt::Return(Expr::Bin(BinOp::Mul, _, _))
+        ));
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn check_static(prog: &Program) -> Result<(), String> {
         match op {
             Op::Load(s) | Op::Store(s) => {
                 if *s >= prog.nr_slots {
-                    return Err(format!("pc {pc}: slot {s} outside frame of {}", prog.nr_slots));
+                    return Err(format!(
+                        "pc {pc}: slot {s} outside frame of {}",
+                        prog.nr_slots
+                    ));
                 }
             }
             Op::Jmp(t) | Op::Jz(t) => {
@@ -150,7 +153,11 @@ fn input_grid(nr_params: usize, seed: u64) -> Vec<Vec<i64>> {
     }
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..64 {
-        grid.push((0..nr_params).map(|_| rng.gen_range(-1_000..1_000)).collect());
+        grid.push(
+            (0..nr_params)
+                .map(|_| rng.gen_range(-1_000..1_000))
+                .collect(),
+        );
     }
     grid
 }
@@ -162,10 +169,14 @@ const FUEL: u64 = 200_000;
 /// Validates the `(source, object)` pair.
 pub fn validate(source: &Procedure, object: &Program) -> Verdict {
     if object.nr_params as usize != source.params.len() {
-        return Verdict::Rejected { reason: "parameter count mismatch".into() };
+        return Verdict::Rejected {
+            reason: "parameter count mismatch".into(),
+        };
     }
     if let Err(reason) = check_static(object) {
-        return Verdict::Rejected { reason: format!("static check: {reason}") };
+        return Verdict::Rejected {
+            reason: format!("static check: {reason}"),
+        };
     }
     let grid = input_grid(source.params.len(), 0x5EC0_4E1);
     for args in &grid {
@@ -184,7 +195,9 @@ pub fn validate(source: &Procedure, object: &Program) -> Verdict {
             };
         }
     }
-    Verdict::Certified { vectors_checked: grid.len() }
+    Verdict::Certified {
+        vectors_checked: grid.len(),
+    }
 }
 
 #[cfg(test)]

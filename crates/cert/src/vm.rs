@@ -168,7 +168,12 @@ fn new_frame(procs: &[Program], proc_idx: usize, args: &[i64]) -> Result<Frame, 
     }
     let mut slots = vec![0i64; p.nr_slots as usize];
     slots[..args.len()].copy_from_slice(args);
-    Ok(Frame { proc_idx, pc: 0, slots, stack: Vec::with_capacity(16) })
+    Ok(Frame {
+        proc_idx,
+        pc: 0,
+        slots,
+        stack: Vec::with_capacity(16),
+    })
 }
 
 /// Runs procedure `proc_idx` of a procedure set with full call support.
@@ -283,14 +288,20 @@ pub fn run_module(
 /// externs) — the validator's entry point.
 pub fn run(prog: &Program, args: &[i64], fuel: u64) -> Result<i64, ExecError> {
     let mut fuel = fuel;
-    run_procs(std::slice::from_ref(prog), &[], 0, args, &mut fuel, &mut NoExterns)
+    run_procs(
+        std::slice::from_ref(prog),
+        &[],
+        0,
+        args,
+        &mut fuel,
+        &mut NoExterns,
+    )
 }
 
 // --- the word codec ------------------------------------------------------
 
 /// Magic word identifying a KPL module image.
 pub const MODULE_MAGIC: u64 = 0o515;
-
 
 fn op_to_pair(op: Op) -> Result<(u64, u64), ExecError> {
     // Zigzag for the signed push operand; 36 bits available.
@@ -386,8 +397,12 @@ pub fn module_to_words(m: &Module) -> Result<Vec<Word>, ExecError> {
 
 /// Deserializes (and fully validates) a module image.
 pub fn module_from_words(words: &[Word]) -> Result<Module, ExecError> {
-    let get =
-        |i: usize| words.get(i).map(|w| w.raw()).ok_or(ExecError::BadImage("truncated"));
+    let get = |i: usize| {
+        words
+            .get(i)
+            .map(|w| w.raw())
+            .ok_or(ExecError::BadImage("truncated"))
+    };
     if get(0)? != MODULE_MAGIC {
         return Err(ExecError::BadImage("bad magic"));
     }
@@ -406,8 +421,9 @@ pub fn module_from_words(words: &[Word]) -> Result<Module, ExecError> {
         if off + len > pool_len {
             return Err(ExecError::BadImage("string escapes pool"));
         }
-        let bytes: Vec<u8> =
-            (0..len).map(|i| words[pool_start + off + i].raw() as u8).collect();
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| words[pool_start + off + i].raw() as u8)
+            .collect();
         String::from_utf8(bytes).map_err(|_| ExecError::BadImage("non-utf8 name"))
     };
     let name = read_str(get(4)?, get(5)?)?;
@@ -428,7 +444,12 @@ pub fn module_from_words(words: &[Word]) -> Result<Module, ExecError> {
             pos += 2;
             code.push(op);
         }
-        procs.push(Program { name: pname, nr_params, nr_slots, code });
+        procs.push(Program {
+            name: pname,
+            nr_params,
+            nr_slots,
+            code,
+        });
     }
     let mut links = Vec::with_capacity(nr_links);
     for _ in 0..nr_links {
@@ -448,7 +469,12 @@ mod tests {
     use super::*;
 
     fn prog(nr_params: u16, nr_slots: u16, code: Vec<Op>) -> Program {
-        Program { name: "t".into(), nr_params, nr_slots, code }
+        Program {
+            name: "t".into(),
+            nr_params,
+            nr_slots,
+            code,
+        }
     }
 
     #[test]
@@ -469,7 +495,14 @@ mod tests {
         let p = prog(
             1,
             1,
-            vec![Op::Load(0), Op::Jz(4), Op::Push(1), Op::Ret, Op::Push(99), Op::Ret],
+            vec![
+                Op::Load(0),
+                Op::Jz(4),
+                Op::Push(1),
+                Op::Ret,
+                Op::Push(99),
+                Op::Ret,
+            ],
         );
         assert_eq!(run(&p, &[0], 100), Ok(99));
         assert_eq!(run(&p, &[5], 100), Ok(1));
@@ -477,11 +510,26 @@ mod tests {
 
     #[test]
     fn corrupt_code_is_detected_not_undefined() {
-        assert_eq!(run(&prog(0, 0, vec![Op::Ret]), &[], 100), Err(ExecError::StackUnderflow));
-        assert_eq!(run(&prog(0, 1, vec![Op::Load(5)]), &[], 100), Err(ExecError::BadSlot(5)));
-        assert_eq!(run(&prog(0, 0, vec![Op::Jmp(99)]), &[], 100), Err(ExecError::BadJump(99)));
-        assert_eq!(run(&prog(0, 0, vec![Op::Push(1)]), &[], 100), Err(ExecError::NoReturn));
-        assert_eq!(run(&prog(1, 1, vec![Op::Ret]), &[], 100), Err(ExecError::BadArity));
+        assert_eq!(
+            run(&prog(0, 0, vec![Op::Ret]), &[], 100),
+            Err(ExecError::StackUnderflow)
+        );
+        assert_eq!(
+            run(&prog(0, 1, vec![Op::Load(5)]), &[], 100),
+            Err(ExecError::BadSlot(5))
+        );
+        assert_eq!(
+            run(&prog(0, 0, vec![Op::Jmp(99)]), &[], 100),
+            Err(ExecError::BadJump(99))
+        );
+        assert_eq!(
+            run(&prog(0, 0, vec![Op::Push(1)]), &[], 100),
+            Err(ExecError::NoReturn)
+        );
+        assert_eq!(
+            run(&prog(1, 1, vec![Op::Ret]), &[], 100),
+            Err(ExecError::BadArity)
+        );
     }
 
     #[test]
@@ -492,7 +540,11 @@ mod tests {
 
     #[test]
     fn arithmetic_wraps_like_hardware() {
-        let p = prog(0, 0, vec![Op::Push(i64::MAX), Op::Push(1), Op::Add, Op::Ret]);
+        let p = prog(
+            0,
+            0,
+            vec![Op::Push(i64::MAX), Op::Push(1), Op::Add, Op::Ret],
+        );
         assert_eq!(run(&p, &[], 100), Ok(i64::MIN));
     }
 
@@ -539,7 +591,10 @@ mod tests {
             links: vec![],
         };
         let mut fuel = 1_000_000;
-        assert_eq!(run_module(&m, 0, &[], &mut fuel, &mut NoExterns), Err(ExecError::CallDepth));
+        assert_eq!(
+            run_module(&m, 0, &[], &mut fuel, &mut NoExterns),
+            Err(ExecError::CallDepth)
+        );
     }
 
     #[test]

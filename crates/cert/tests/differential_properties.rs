@@ -44,7 +44,11 @@ fn arb_stmts(nvars: usize, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
     if depth == 0 {
         return base;
     }
-    let nested = (arb_expr(nvars, 1), arb_stmts(nvars, depth - 1), arb_stmts(nvars, depth - 1))
+    let nested = (
+        arb_expr(nvars, 1),
+        arb_stmts(nvars, depth - 1),
+        arb_stmts(nvars, depth - 1),
+    )
         .prop_map(|(c, t, e)| Stmt::If(c, t, e));
     // Bounded while: "while guard * remaining > 0 { remaining -= 1; body }"
     // is hard to synthesize generically, so loops come from a fixed shape:
@@ -68,7 +72,12 @@ fn arb_stmts(nvars: usize, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
             full,
         )
     });
-    (base, prop::collection::vec(prop_oneof![4 => Just(()), 0 => Just(())], 0..1), nested, looped)
+    (
+        base,
+        prop::collection::vec(prop_oneof![4 => Just(()), 0 => Just(())], 0..1),
+        nested,
+        looped,
+    )
         .prop_map(|(mut b, _, n, l)| {
             b.push(n);
             b.push(l);
@@ -78,14 +87,13 @@ fn arb_stmts(nvars: usize, depth: u32) -> BoxedStrategy<Vec<Stmt>> {
 }
 
 fn arb_procedure() -> impl Strategy<Value = Procedure> {
-    (1usize..4)
-        .prop_flat_map(|nvars| {
-            arb_stmts(nvars, 2).prop_map(move |body| Procedure {
-                name: "fuzz".to_string(),
-                params: (0..nvars).map(|i| format!("v{i}")).collect(),
-                body,
-            })
+    (1usize..4).prop_flat_map(|nvars| {
+        arb_stmts(nvars, 2).prop_map(move |body| Procedure {
+            name: "fuzz".to_string(),
+            params: (0..nvars).map(|i| format!("v{i}")).collect(),
+            body,
         })
+    })
 }
 
 const FUEL: u64 = 100_000;

@@ -44,7 +44,11 @@ impl SystemInventory {
             name: "directory control",
             ring: 0,
             category: Category::FileSystem,
-            weight: weigh!("../../fs/src/hierarchy.rs", "../../fs/src/acl.rs", "../../fs/src/quota.rs"),
+            weight: weigh!(
+                "../../fs/src/hierarchy.rs",
+                "../../fs/src/acl.rs",
+                "../../fs/src/quota.rs"
+            ),
             entries: crate::gatetable::FS_GATES.to_vec(),
         });
 
@@ -78,9 +82,7 @@ impl SystemInventory {
 
         // --- dynamic linker ---
         match cfg.linker {
-            LinkerConfig::InKernel => {
-                m.push(mks_linker::kernel_cfg::LegacyLinker::module_info())
-            }
+            LinkerConfig::InKernel => m.push(mks_linker::kernel_cfg::LegacyLinker::module_info()),
             LinkerConfig::UserRing => m.push(mks_linker::user_cfg::UserLinker::module_info()),
         }
 
@@ -233,17 +235,29 @@ impl SystemInventory {
             }
         }
 
-        SystemInventory { cfg, modules: m, gates: GateTable::build(&cfg) }
+        SystemInventory {
+            cfg,
+            modules: m,
+            gates: GateTable::build(&cfg),
+        }
     }
 
     /// Total weight inside the protection boundary (rings 0–1).
     pub fn protected_weight(&self) -> u32 {
-        self.modules.iter().filter(|m| m.is_protected()).map(|m| m.weight).sum()
+        self.modules
+            .iter()
+            .filter(|m| m.is_protected())
+            .map(|m| m.weight)
+            .sum()
     }
 
     /// Total weight outside the boundary.
     pub fn unprotected_weight(&self) -> u32 {
-        self.modules.iter().filter(|m| !m.is_protected()).map(|m| m.weight).sum()
+        self.modules
+            .iter()
+            .filter(|m| !m.is_protected())
+            .map(|m| m.weight)
+            .sum()
     }
 
     /// Protected weight in one category.
@@ -311,7 +325,12 @@ mod tests {
     fn weights_are_measured_not_zero() {
         let inv = SystemInventory::build(KernelConfig::kernel());
         for m in &inv.modules {
-            assert!(m.weight > 10, "{} weight {} suspiciously small", m.name, m.weight);
+            assert!(
+                m.weight > 10,
+                "{} weight {} suspiciously small",
+                m.name,
+                m.weight
+            );
         }
     }
 
@@ -363,8 +382,11 @@ mod tests {
         let r = AuditReport::standard();
         assert_eq!(r.rows.len(), 4);
         // Monotone: each rung's user-gate surface is no larger.
-        let gates: Vec<_> =
-            r.rows.iter().map(|x| x.gates.user_available_entries()).collect();
+        let gates: Vec<_> = r
+            .rows
+            .iter()
+            .map(|x| x.gates.user_available_entries())
+            .collect();
         assert!(gates.windows(2).all(|w| w[1] <= w[0]), "{gates:?}");
     }
 }

@@ -193,7 +193,10 @@ mod tests {
         db.register(&jones(), "pw", secret());
         assert!(db.authenticate(&jones(), "pw", secret()).is_ok());
         let ts = Label::new(Level::TOP_SECRET, Compartments::NONE);
-        assert_eq!(db.authenticate(&jones(), "pw", ts), Err(AuthError::ClearanceExceeded));
+        assert_eq!(
+            db.authenticate(&jones(), "pw", ts),
+            Err(AuthError::ClearanceExceeded)
+        );
     }
 
     #[test]
@@ -203,7 +206,10 @@ mod tests {
         for _ in 0..MAX_FAILURES {
             let _ = db.authenticate(&jones(), "guess", Label::BOTTOM);
         }
-        assert_eq!(db.authenticate(&jones(), "pw", Label::BOTTOM), Err(AuthError::Locked));
+        assert_eq!(
+            db.authenticate(&jones(), "pw", Label::BOTTOM),
+            Err(AuthError::Locked)
+        );
         assert!(db.unlock(&jones()));
         assert!(db.authenticate(&jones(), "pw", Label::BOTTOM).is_ok());
     }

@@ -50,7 +50,10 @@ fn encode_label(l: &Label) -> String {
 
 fn decode_label(s: &str) -> Option<Label> {
     let (lvl, comps) = s.split_once(':')?;
-    Some(Label::new(Level(lvl.parse().ok()?), Compartments(comps.parse().ok()?)))
+    Some(Label::new(
+        Level(lvl.parse().ok()?),
+        Compartments(comps.parse().ok()?),
+    ))
 }
 
 fn encode_acl(acl: &Acl<AclMode>) -> String {
@@ -74,7 +77,9 @@ fn decode_acl(s: &str) -> Option<Acl<AclMode>> {
 }
 
 fn write_record(tape: &mut TapeDim, rec: String) -> Result<(), BackupError> {
-    match tape.submit(DeviceOp::Write { data: rec.into_bytes() }) {
+    match tape.submit(DeviceOp::Write {
+        data: rec.into_bytes(),
+    }) {
         DeviceResult::Done => Ok(()),
         DeviceResult::Rejected(e) => Err(BackupError::Tape(e)),
         _ => Err(BackupError::Tape("unexpected tape answer")),
@@ -164,7 +169,9 @@ fn dump_dir(
                 SegControl::activate(vm, uid, (*len_words).max(PAGE_WORDS));
                 let pages = len_words.div_ceil(PAGE_WORDS);
                 for p in 0..pages.max(1) {
-                    let Some(frame) = ensure_resident(vm, uid, p) else { continue };
+                    let Some(frame) = ensure_resident(vm, uid, p) else {
+                        continue;
+                    };
                     let mut bytes = Vec::with_capacity(PAGE_WORDS * 8);
                     let mut nonzero = false;
                     for off in 0..PAGE_WORDS {
@@ -218,7 +225,9 @@ pub fn restore(
                     .next()
                     .ok_or_else(|| BackupError::BadRecord(text.clone()))?;
                 let label = decode_label(
-                    parts.next().ok_or_else(|| BackupError::BadRecord(text.clone()))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| BackupError::BadRecord(text.clone()))?,
                 )
                 .ok_or_else(|| BackupError::BadRecord(text.clone()))?;
                 // Resolve the parent under the target.
@@ -280,7 +289,9 @@ pub fn restore(
                 for off in 0..PAGE_WORDS {
                     let mut b = [0u8; 8];
                     b.copy_from_slice(&body[off * 8..off * 8 + 8]);
-                    vm.machine.mem.write(frame, off, Word::new(u64::from_be_bytes(b)));
+                    vm.machine
+                        .mem
+                        .write(frame, off, Word::new(u64::from_be_bytes(b)));
                 }
                 let astx = vm.machine.ast.find(uid).expect("activated");
                 vm.machine.ast.entry_mut(astx).pt.ptw_mut(page).modified = true;
@@ -303,9 +314,12 @@ mod tests {
     fn build_world() -> (FileSystem, VmWorld, SegUid) {
         let mut fs = FileSystem::new(&admin());
         let mut vm = VmWorld::new(Machine::new(CpuModel::H6180, 8), 32);
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
-        let proj =
-            fs.create_directory(udd, "CSR", &admin(), Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+            .unwrap();
+        let proj = fs
+            .create_directory(udd, "CSR", &admin(), Label::BOTTOM)
+            .unwrap();
         let seg = fs
             .create_segment(
                 proj,
@@ -321,7 +335,9 @@ mod tests {
         for p in 0..2 {
             let f = mechanism::load_page(&mut vm, seg, p).unwrap();
             for off in (0..PAGE_WORDS).step_by(31) {
-                vm.machine.mem.write(f, off, Word::new((p * 1000 + off) as u64));
+                vm.machine
+                    .mem
+                    .write(f, off, Word::new((p * 1000 + off) as u64));
             }
             let astx = vm.machine.ast.find(seg).unwrap();
             vm.machine.ast.entry_mut(astx).pt.ptw_mut(p).modified = true;
@@ -348,7 +364,9 @@ mod tests {
         let csr = fs2.peek_branch(udd, "CSR").unwrap().uid;
         let b = fs2.peek_branch(csr, "data").unwrap();
         assert_eq!(b.label, Label::new(Level::CONFIDENTIAL, Compartments::NONE));
-        let BranchKind::Segment { acl, len_words, .. } = &b.kind else { panic!() };
+        let BranchKind::Segment { acl, len_words, .. } = &b.kind else {
+            panic!()
+        };
         assert_eq!(*len_words, 2 * PAGE_WORDS);
         assert_eq!(
             acl.effective(&UserId::new("Jones", "CSR", "a")),
@@ -377,8 +395,7 @@ mod tests {
         // Restoring over the same (already populated) world collides.
         let mut fs2 = fs;
         let mut vm2 = vm;
-        let err =
-            restore(&mut fs2, &mut vm2, FileSystem::ROOT, &mut tape, &admin()).unwrap_err();
+        let err = restore(&mut fs2, &mut vm2, FileSystem::ROOT, &mut tape, &admin()).unwrap_err();
         assert!(matches!(err, BackupError::Conflict(_)));
     }
 

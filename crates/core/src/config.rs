@@ -127,7 +127,10 @@ impl KernelConfig {
 
     /// Legacy with only the linker removal applied (experiment E1).
     pub fn legacy_linker_removed() -> KernelConfig {
-        KernelConfig { linker: LinkerConfig::UserRing, ..KernelConfig::legacy() }
+        KernelConfig {
+            linker: LinkerConfig::UserRing,
+            ..KernelConfig::legacy()
+        }
     }
 
     /// Legacy with linker *and* naming removals (experiment E3).
@@ -178,7 +181,10 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(KernelConfig::legacy().name(), "legacy supervisor");
         assert_eq!(KernelConfig::kernel().name(), "security kernel");
-        let custom = KernelConfig { mls: true, ..KernelConfig::legacy() };
+        let custom = KernelConfig {
+            mls: true,
+            ..KernelConfig::legacy()
+        };
         assert_eq!(custom.name(), "custom configuration");
     }
 }

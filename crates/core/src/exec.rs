@@ -103,7 +103,8 @@ pub fn install_module(
     }
     .expect("just created")
     .uid;
-    SegControl::grow(&mut world.vm, uid, len.max(PAGE_WORDS)).map_err(AccessError::Mech)
+    SegControl::grow(&mut world.vm, uid, len.max(PAGE_WORDS))
+        .map_err(AccessError::Mech)
         .map_err(ExecFault::Access)?;
     world.fs.note_segment_length(uid, len.max(PAGE_WORDS));
     Monitor::write(world, pid, segno, 0, Word::new(words.len() as u64))
@@ -131,7 +132,9 @@ pub fn load_module(
     if !executable {
         return Err(ExecFault::NotExecutable);
     }
-    let len = Monitor::read(world, pid, segno, 0).map_err(ExecFault::Access)?.raw() as usize;
+    let len = Monitor::read(world, pid, segno, 0)
+        .map_err(ExecFault::Access)?
+        .raw() as usize;
     if len > 1 << 18 {
         return Err(ExecFault::BadImage("length word absurd"));
     }
@@ -164,7 +167,12 @@ const MAX_XSEG_DEPTH: usize = 16;
 impl<'a> ExecEnv<'a> {
     /// Creates an environment searching the given directories, in order.
     pub fn new(world: &'a mut KernelWorld, pid: KProcId, dirs: Vec<SegNo>) -> ExecEnv<'a> {
-        ExecEnv { world, pid, rules: SearchRules::new(dirs), depth: 0 }
+        ExecEnv {
+            world,
+            pid,
+            rules: SearchRules::new(dirs),
+            depth: 0,
+        }
     }
 
     /// Calls `entry` of the module at `segno` with `args`.
@@ -192,10 +200,12 @@ impl<'a> ExecEnv<'a> {
         match self.world.cfg.linker {
             LinkerConfig::UserRing => {
                 // Per-process, per-ring private reference names.
-                let mut linker =
-                    std::mem::take(&mut self.world.proc_mut(self.pid).linker);
+                let mut linker = std::mem::take(&mut self.world.proc_mut(self.pid).linker);
                 let rules = self.rules.clone();
-                let mut env = MonitorLinkEnv { world: self.world, pid: self.pid };
+                let mut env = MonitorLinkEnv {
+                    world: self.world,
+                    pid: self.pid,
+                };
                 let out = snap(&mut env, &mut linker.refnames, &rules, ring, seg, entry);
                 self.world.proc_mut(self.pid).linker = linker;
                 out.map(|l| l.segno).map_err(|e| e.to_string())
@@ -204,7 +214,10 @@ impl<'a> ExecEnv<'a> {
                 // The shared supervisor table (the legacy arrangement).
                 let mut linker = std::mem::take(&mut self.world.legacy_linker);
                 let rules = self.rules.clone();
-                let mut env = MonitorLinkEnv { world: self.world, pid: self.pid };
+                let mut env = MonitorLinkEnv {
+                    world: self.world,
+                    pid: self.pid,
+                };
                 let out = snap(&mut env, &mut linker.refnames, &rules, ring, seg, entry);
                 self.world.legacy_linker = linker;
                 out.map(|l| l.segno).map_err(|e| e.to_string())
@@ -251,7 +264,9 @@ impl LinkEnv for MonitorLinkEnv<'_> {
     }
 
     fn entry_offset(&mut self, segno: SegNo, entry: &str) -> Option<usize> {
-        load_module(self.world, self.pid, segno).ok()?.proc_named(entry)
+        load_module(self.world, self.pid, segno)
+            .ok()?
+            .proc_named(entry)
     }
 }
 
@@ -275,7 +290,13 @@ mod tests {
             Monitor::create_directory(&mut sys.world, admin, root, d, Label::BOTTOM).unwrap();
             sys.world
                 .fs
-                .set_dir_acl_entry(mks_fs::FileSystem::ROOT, d, &admin_user(), "*.*.*", DirMode::SA)
+                .set_dir_acl_entry(
+                    mks_fs::FileSystem::ROOT,
+                    d,
+                    &admin_user(),
+                    "*.*.*",
+                    DirMode::SA,
+                )
                 .unwrap();
         }
         let pid = sys.world.create_process(jones(), Label::BOTTOM, 4);
@@ -348,7 +369,9 @@ mod tests {
     fn linking_grants_nothing_the_caller_lacks() {
         let (mut sys, pid, udd, lib) = setup(KernelConfig::kernel());
         // A library only its owner may touch.
-        let owner = sys.world.create_process(UserId::new("Owner", "X", "a"), Label::BOTTOM, 4);
+        let owner = sys
+            .world
+            .create_process(UserId::new("Owner", "X", "a"), Label::BOTTOM, 4);
         let root_o = sys.world.bind_root(owner);
         let lib_o = Monitor::initiate_dir(&mut sys.world, owner, root_o, "lib");
         install_module(
@@ -397,13 +420,18 @@ mod tests {
             Label::BOTTOM,
         )
         .unwrap();
-        let smith = sys.world.create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
+        let smith = sys
+            .world
+            .create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
         let root_s = sys.world.bind_root(smith);
         let udd_s = Monitor::initiate_dir(&mut sys.world, smith, root_s, "udd");
         let seg_s = Monitor::initiate(&mut sys.world, smith, udd_s, "data_not_code").unwrap();
         let mut env = ExecEnv::new(&mut sys.world, smith, vec![]);
         let mut fuel = 1_000;
-        assert_eq!(env.call(seg_s, "f", &[], &mut fuel), Err(ExecFault::NotExecutable));
+        assert_eq!(
+            env.call(seg_s, "f", &[], &mut fuel),
+            Err(ExecFault::NotExecutable)
+        );
     }
 
     #[test]
@@ -424,7 +452,9 @@ mod tests {
         let mut env = ExecEnv::new(&mut sys.world, pid, vec![]);
         let mut fuel = 1_000;
         match env.call(seg, "f", &[], &mut fuel) {
-            Err(ExecFault::BadImage(_)) | Err(ExecFault::Vm(_)) | Err(ExecFault::NoSuchEntry(_)) => {}
+            Err(ExecFault::BadImage(_))
+            | Err(ExecFault::Vm(_))
+            | Err(ExecFault::NoSuchEntry(_)) => {}
             other => panic!("corruption must be contained, got {other:?}"),
         }
     }
@@ -444,7 +474,10 @@ mod tests {
         .unwrap();
         let mut env = ExecEnv::new(&mut sys.world, pid, vec![]);
         let mut fuel = 50_000;
-        assert_eq!(env.call(seg, "f", &[], &mut fuel), Err(ExecFault::Vm(ExecError::OutOfFuel)));
+        assert_eq!(
+            env.call(seg, "f", &[], &mut fuel),
+            Err(ExecFault::Vm(ExecError::OutOfFuel))
+        );
         assert_eq!(fuel, 0);
     }
 

@@ -191,7 +191,9 @@ impl FlawRegistry {
     pub fn analyze(&mut self, id: u32, cause: &str) -> bool {
         match self.flaws.iter_mut().find(|f| f.id == id) {
             Some(f) => {
-                f.status = FlawStatus::Analyzed { cause: cause.to_string() };
+                f.status = FlawStatus::Analyzed {
+                    cause: cause.to_string(),
+                };
                 true
             }
             None => false,
@@ -219,7 +221,9 @@ impl FlawRegistry {
 
     /// True when every flaw is repaired — the paper's reported state.
     pub fn all_repaired(&self) -> bool {
-        self.flaws.iter().all(|f| matches!(f.status, FlawStatus::Repaired { .. }))
+        self.flaws
+            .iter()
+            .all(|f| matches!(f.status, FlawStatus::Repaired { .. }))
     }
 
     /// Count by class (for reports).
@@ -236,7 +240,10 @@ mod tests {
     fn seeded_registry_matches_the_papers_claim() {
         let r = FlawRegistry::seeded();
         assert!(r.all().len() >= 8);
-        assert!(r.all_repaired(), "all known flaws are isolated and easily repaired");
+        assert!(
+            r.all_repaired(),
+            "all known flaws are isolated and easily repaired"
+        );
     }
 
     #[test]
@@ -245,7 +252,11 @@ mod tests {
         let id = r.report("stack readable across gate call", FlawClass::StorageResidue);
         assert!(!r.all_repaired());
         assert!(r.analyze(id, "ring-0 stack segment shared with ring 4"));
-        assert!(r.repair(id, "separate per-ring stacks", "no kernel data in user-writable segments"));
+        assert!(r.repair(
+            id,
+            "separate per-ring stacks",
+            "no kernel data in user-writable segments"
+        ));
         assert!(r.all_repaired());
     }
 

@@ -83,8 +83,12 @@ pub const NAMING_GATES_LEGACY: &[&str] = &[
 ];
 
 /// Post-removal naming gates: the segment-number interface.
-pub const NAMING_GATES_KERNEL: &[&str] =
-    &["initiate_segno", "initiate_dir_segno", "terminate_segno", "get_uid_segno"];
+pub const NAMING_GATES_KERNEL: &[&str] = &[
+    "initiate_segno",
+    "initiate_dir_segno",
+    "terminate_segno",
+    "get_uid_segno",
+];
 
 /// Process and IPC gates (both configurations).
 pub const PROC_GATES: &[&str] = &[
@@ -99,8 +103,18 @@ pub const PROC_GATES: &[&str] = &[
 ];
 
 /// Miscellaneous supervisor services (both configurations).
-pub const MISC_GATES: &[&str] =
-    &["get_time", "get_system_info", "set_alarm", "signal_set", "level_get", "level_set"];
+/// `metering_get` is the flight-recorder snapshot gate: a read-only view of
+/// the kernel's counters, histograms and recent spans. User rings may read
+/// the metering; nothing on this entry can reset or rewrite it.
+pub const MISC_GATES: &[&str] = &[
+    "get_time",
+    "get_system_info",
+    "set_alarm",
+    "signal_set",
+    "level_get",
+    "level_set",
+    "metering_get",
+];
 
 /// Privileged (`hphcs_`) entries, callable only from ring 1 system
 /// processes — not part of the *user-available* census.
@@ -193,8 +207,8 @@ mod tests {
     #[test]
     fn legacy_surface_is_about_one_hundred_user_entries() {
         let t = GateTable::build(&KernelConfig::legacy());
-        assert_eq!(t.user_available_entries(), 100);
-        assert_eq!(t.total_entries(), 108);
+        assert_eq!(t.user_available_entries(), 101);
+        assert_eq!(t.total_entries(), 109);
     }
 
     #[test]
@@ -218,7 +232,8 @@ mod tests {
     #[test]
     fn kernel_config_has_the_small_surface() {
         let t = GateTable::build(&KernelConfig::kernel());
-        assert_eq!(t.user_available_entries(), 53);
+        assert_eq!(t.user_available_entries(), 54);
+        assert!(t.gate("hcs_").unwrap().entry("metering_get").is_some());
         assert!(t.gate("hcs_").unwrap().entry("initiate_segno").is_some());
         assert!(t.gate("hcs_").unwrap().entry("link_snap").is_none());
         assert!(t.gate("hcs_").unwrap().entry("tty_read").is_none());
@@ -230,7 +245,10 @@ mod tests {
         let t = GateTable::build(&KernelConfig::kernel());
         let hphcs = t.gate("hphcs_").unwrap();
         assert!(!hphcs.user_callable());
-        assert_eq!(t.total_entries() - t.user_available_entries(), hphcs.entries.len());
+        assert_eq!(
+            t.total_entries() - t.user_available_entries(),
+            hphcs.entries.len()
+        );
     }
 
     #[test]

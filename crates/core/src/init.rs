@@ -82,7 +82,12 @@ pub fn target_state(cfg: &KernelConfig) -> InitState {
     if cfg.io == crate::config::IoConfig::NetworkOnly {
         daemons.push("net_handler".to_string());
     } else {
-        for d in ["tty_handler", "tape_handler", "card_handler", "printer_handler"] {
+        for d in [
+            "tty_handler",
+            "tape_handler",
+            "card_handler",
+            "printer_handler",
+        ] {
             daemons.push(d.to_string());
         }
     }

@@ -61,7 +61,11 @@ pub fn bootstrap(cfg: &KernelConfig, clock: &Clock) -> (InitState, InitTrace) {
     let privileged_ops = steps.len() as u32; // every bootstrap step is privileged
     (
         target_state(cfg),
-        InitTrace { steps, privileged_ops, cycles: STEP_COST * privileged_ops as u64 },
+        InitTrace {
+            steps,
+            privileged_ops,
+            cycles: STEP_COST * privileged_ops as u64,
+        },
     )
 }
 
@@ -75,7 +79,10 @@ mod tests {
         let clock = Clock::new();
         let (state, trace) = bootstrap(&cfg, &clock);
         assert_eq!(state, target_state(&cfg));
-        assert!(trace.steps.len() >= 20, "legacy bootstrap is a long privileged sequence");
+        assert!(
+            trace.steps.len() >= 20,
+            "legacy bootstrap is a long privileged sequence"
+        );
         assert_eq!(trace.privileged_ops as usize, trace.steps.len());
         assert!(clock.now() > 0);
     }

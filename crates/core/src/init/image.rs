@@ -129,7 +129,13 @@ pub fn load_image(img: &MemoryImage, clock: &Clock) -> Result<(InitState, InitTr
     let mls_on = w.get(pos).ok_or(ImageError::Malformed)?.raw() != 0;
     pos += 1;
     let root_uid = w.get(pos).ok_or(ImageError::Malformed)?.raw();
-    let state = InitState { gate_entries, daemons, supervisor_segments, mls_on, root_uid };
+    let state = InitState {
+        gate_entries,
+        daemons,
+        supervisor_segments,
+        mls_on,
+        root_uid,
+    };
     let trace = InitTrace {
         steps: vec!["load_image", "verify_checksum"],
         privileged_ops: 2,
@@ -185,7 +191,10 @@ mod tests {
         img.words.truncate(3);
         img.checksum = super::checksum(&img.words);
         let clock = Clock::new();
-        assert!(matches!(load_image(&img, &clock), Err(ImageError::Malformed)));
+        assert!(matches!(
+            load_image(&img, &clock),
+            Err(ImageError::Malformed)
+        ));
     }
 
     #[test]

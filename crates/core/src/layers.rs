@@ -79,9 +79,11 @@ impl Property {
             Property::NoDownwardFlow => &[Category::Mls, Category::Gates],
             // Mediation: the monitor plus everything that can mint an SDW
             // or move a page under one.
-            Property::CompleteMediation => {
-                &[Category::Gates, Category::AddressSpace, Category::PageControl]
-            }
+            Property::CompleteMediation => &[
+                Category::Gates,
+                Category::AddressSpace,
+                Category::PageControl,
+            ],
             Property::AclEnforcement => &[Category::FileSystem, Category::Gates],
             Property::GateIntegrity => &[Category::Gates, Category::Processes],
             Property::NoResidue => &[Category::PageControl],
@@ -124,10 +126,17 @@ impl StructureReport {
                     .iter()
                     .map(|c| inv.protected_weight_of(*c))
                     .sum();
-                PropertyScope { property: *p, layered_weight, flat_weight: total_protected }
+                PropertyScope {
+                    property: *p,
+                    layered_weight,
+                    flat_weight: total_protected,
+                }
             })
             .collect();
-        StructureReport { scopes, total_protected }
+        StructureReport {
+            scopes,
+            total_protected,
+        }
     }
 
     /// Convenience: build for a configuration.

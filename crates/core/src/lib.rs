@@ -40,8 +40,8 @@
 //!   configurations (E12).
 
 pub mod audit;
-pub mod backup;
 pub mod auth;
+pub mod backup;
 pub mod config;
 pub mod exec;
 pub mod flaws;

@@ -77,12 +77,7 @@ impl std::error::Error for AccessError {}
 pub struct Monitor;
 
 /// Mode bits granted after combining the ACL with the mandatory rules.
-fn combine(
-    acl_mode: AclMode,
-    subject: &Label,
-    object: &Label,
-    mls_on: bool,
-) -> mks_hw::AccessMode {
+fn combine(acl_mode: AclMode, subject: &Label, object: &Label, mls_on: bool) -> mks_hw::AccessMode {
     let read_ok = !mls_on || mls_check(subject, object, AccessKind::Read).is_ok();
     let write_ok = !mls_on || mls_check(subject, object, AccessKind::Write).is_ok();
     mks_hw::AccessMode {
@@ -119,6 +114,28 @@ pub struct BranchStatus {
 }
 
 impl Monitor {
+    /// Records a reference-monitor verdict in the flight recorder: one
+    /// `Verdict` event attributed to the calling principal, plus the
+    /// `monitor.granted` / `monitor.denied` counter.
+    fn verdict(world: &KernelWorld, pid: KProcId, what: &str, granted: bool) {
+        let t = &world.vm.machine.trace;
+        let outcome = if granted { "granted" } else { "denied" };
+        t.counter_add(
+            if granted {
+                "monitor.granted"
+            } else {
+                "monitor.denied"
+            },
+            1,
+        );
+        t.event_for(
+            mks_trace::Layer::Monitor,
+            mks_trace::EventKind::Verdict,
+            &world.proc(pid).user.to_acl_string(),
+            &format!("{what}: {outcome}"),
+        );
+    }
+
     /// Looks up the branch `name` in the *real* directory `dir_uid` and
     /// computes the access `pid` would get. Returns `NoInfo` unless the
     /// caller ends up with at least one mode bit.
@@ -129,16 +146,32 @@ impl Monitor {
         name: &str,
     ) -> Result<GrantTarget, AccessError> {
         let proc = world.proc(pid);
-        let branch = world.fs.peek_branch(dir_uid, name).ok_or(AccessError::NoInfo)?;
-        let BranchKind::Segment { acl, len_words, brackets } = &branch.kind else {
+        let Some(branch) = world.fs.peek_branch(dir_uid, name) else {
+            Self::verdict(world, pid, &format!("access {name}"), false);
+            return Err(AccessError::NoInfo);
+        };
+        let BranchKind::Segment {
+            acl,
+            len_words,
+            brackets,
+        } = &branch.kind
+        else {
+            Self::verdict(world, pid, &format!("access {name}"), false);
             return Err(AccessError::NoInfo);
         };
         let acl_mode = acl.effective(&proc.user).unwrap_or(AclMode::NULL);
         let mode = combine(acl_mode, &proc.label, &branch.label, world.cfg.mls);
         if !mode.read && !mode.write && !mode.execute {
+            Self::verdict(world, pid, &format!("access {name}"), false);
             return Err(AccessError::NoInfo);
         }
-        Ok(GrantTarget { uid: branch.uid, len_words: *len_words, brackets: *brackets, mode })
+        Self::verdict(world, pid, &format!("access {name}"), true);
+        Ok(GrantTarget {
+            uid: branch.uid,
+            len_words: *len_words,
+            brackets: *brackets,
+            mode,
+        })
     }
 
     /// Activates the target and installs its SDW; returns the segno.
@@ -154,13 +187,20 @@ impl Monitor {
             KstState::Kernel(k) => k.bind(target.uid, false),
             KstState::Legacy(k) => k.core.bind(target.uid, false),
         };
-        proc.aspace.set(segno, mks_hw::Sdw::plain(astx, target.mode, target.brackets));
+        proc.aspace.set(
+            segno,
+            mks_hw::Sdw::plain(astx, target.mode, target.brackets),
+        );
         Ok(segno)
     }
 
     /// Resolves `dir_segno` to a real directory uid via the caller's KST;
     /// phantoms and non-directories yield `NoInfo`.
-    fn real_dir(world: &KernelWorld, pid: KProcId, dir_segno: SegNo) -> Result<SegUid, AccessError> {
+    fn real_dir(
+        world: &KernelWorld,
+        pid: KProcId,
+        dir_segno: SegNo,
+    ) -> Result<SegUid, AccessError> {
         let proc = world.proc(pid);
         let entry = match &proc.kst {
             KstState::Kernel(k) => k.entry(dir_segno),
@@ -181,10 +221,13 @@ impl Monitor {
         dir_segno: SegNo,
         name: &str,
     ) -> Result<SegNo, AccessError> {
+        let trace = world.vm.machine.trace.clone();
+        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_segno");
         world.vm.machine.charge_gate_crossing();
+        let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate");
         let result = Self::real_dir(world, pid, dir_segno)
             .and_then(|dir_uid| Self::resolve_target(world, pid, dir_uid, name));
-        match result {
+        let out = match result {
             Ok(target) => Self::grant(world, pid, target),
             Err(e) => {
                 let who = world.proc(pid).user.clone();
@@ -192,11 +235,17 @@ impl Monitor {
                 world.log.append(
                     at,
                     Some(who),
-                    crate::syslog::AuditEvent::AccessDenied { what: format!("initiate {name}") },
+                    crate::syslog::AuditEvent::AccessDenied {
+                        what: format!("initiate {name}"),
+                    },
                 );
                 Err(e)
             }
-        }
+        };
+        Self::verdict(world, pid, &format!("initiate {name}"), out.is_ok());
+        mon_span.end();
+        gate_span.end();
+        out
     }
 
     /// Gate `initiate_dir_segno` (kernel configuration): initiate a
@@ -208,24 +257,28 @@ impl Monitor {
         dir_segno: SegNo,
         name: &str,
     ) -> SegNo {
+        let trace = world.vm.machine.trace.clone();
+        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_dir_segno");
         world.vm.machine.charge_gate_crossing();
+        let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate_dir");
         let (fs, proc) = world.fs_and_proc_mut(pid);
-        match &mut proc.kst {
+        let segno = match &mut proc.kst {
             KstState::Kernel(k) => kernel_initiate_dir(fs, k, dir_segno, name),
             // The legacy configuration reaches directories by pathname;
             // a segno-based traversal there just mints a kernel binding.
-            KstState::Legacy(k) => {
-                match k.core.entry(dir_segno) {
-                    Some(e) if e.is_dir && !e.phantom => {
-                        match fs.peek_branch(e.uid, name) {
-                            Some(b) if b.is_dir() => k.core.bind(b.uid, true),
-                            _ => k.core.bind_phantom(true),
-                        }
-                    }
+            KstState::Legacy(k) => match k.core.entry(dir_segno) {
+                Some(e) if e.is_dir && !e.phantom => match fs.peek_branch(e.uid, name) {
+                    Some(b) if b.is_dir() => k.core.bind(b.uid, true),
                     _ => k.core.bind_phantom(true),
-                }
-            }
-        }
+                },
+                _ => k.core.bind_phantom(true),
+            },
+        };
+        // Traversal always "succeeds" (phantoms preserve that fiction).
+        Self::verdict(world, pid, &format!("initiate_dir {name}"), true);
+        mon_span.end();
+        gate_span.end();
+        segno
     }
 
     /// Initiates by full pathname, in whichever style the configuration
@@ -256,29 +309,48 @@ impl Monitor {
             }
             NamingConfig::InKernel => {
                 // The legacy supervisor does the whole walk behind ONE gate.
+                let trace = world.vm.machine.trace.clone();
+                let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_path");
                 world.vm.machine.charge_gate_crossing();
-                let ring = world.proc(pid).ring;
-                let (fs, proc) = world.fs_and_proc_mut(pid);
-                let KstState::Legacy(kst) = &mut proc.kst else {
-                    unreachable!("legacy naming config uses legacy KSTs");
-                };
-                kst.initiate_path(fs, path, ring, None).map_err(AccessError::Legacy)?;
-                // The legacy supervisor still applies ACL/MLS before
-                // installing the SDW.
-                let comps = parse_path(path).map_err(|_| AccessError::BadPath)?;
-                let (leaf, dirs) = comps.split_last().expect("non-empty");
-                let mut dir_uid = mks_fs::FileSystem::ROOT;
-                for c in dirs {
-                    dir_uid = world
-                        .fs
-                        .peek_branch(dir_uid, c)
-                        .map(|b| b.uid)
-                        .ok_or(AccessError::NoInfo)?;
-                }
-                let target = Self::resolve_target(world, pid, dir_uid, leaf)?;
-                Self::grant(world, pid, target)
+                let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate_path");
+                let out = Self::initiate_path_in_kernel(world, pid, path);
+                Self::verdict(world, pid, &format!("initiate_path {path}"), out.is_ok());
+                mon_span.end();
+                gate_span.end();
+                out
             }
         }
+    }
+
+    /// The legacy in-kernel pathname walk (body of the `InKernel` arm of
+    /// [`Monitor::initiate_path`], split out so the gate wrapper can record
+    /// the verdict on every exit path).
+    fn initiate_path_in_kernel(
+        world: &mut KernelWorld,
+        pid: KProcId,
+        path: &str,
+    ) -> Result<SegNo, AccessError> {
+        let ring = world.proc(pid).ring;
+        let (fs, proc) = world.fs_and_proc_mut(pid);
+        let KstState::Legacy(kst) = &mut proc.kst else {
+            unreachable!("legacy naming config uses legacy KSTs");
+        };
+        kst.initiate_path(fs, path, ring, None)
+            .map_err(AccessError::Legacy)?;
+        // The legacy supervisor still applies ACL/MLS before
+        // installing the SDW.
+        let comps = parse_path(path).map_err(|_| AccessError::BadPath)?;
+        let (leaf, dirs) = comps.split_last().expect("non-empty");
+        let mut dir_uid = mks_fs::FileSystem::ROOT;
+        for c in dirs {
+            dir_uid = world
+                .fs
+                .peek_branch(dir_uid, c)
+                .map(|b| b.uid)
+                .ok_or(AccessError::NoInfo)?;
+        }
+        let target = Self::resolve_target(world, pid, dir_uid, leaf)?;
+        Self::grant(world, pid, target)
     }
 
     /// Gate `create_branch_`: create a segment and initiate it.
@@ -333,7 +405,12 @@ impl Monitor {
     ) -> Result<QuotaCell, AccessError> {
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
-        if !world.fs.dir_access(dir_uid, &user).map_err(AccessError::Fs)?.status {
+        if !world
+            .fs
+            .dir_access(dir_uid, &user)
+            .map_err(AccessError::Fs)?
+            .status
+        {
             return Err(AccessError::NoInfo);
         }
         let account = Self::quota_account(world, dir_uid).ok_or(AccessError::NoInfo)?;
@@ -354,7 +431,12 @@ impl Monitor {
     ) -> Result<(), AccessError> {
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
-        if !world.fs.dir_access(dir_uid, &user).map_err(AccessError::Fs)?.modify {
+        if !world
+            .fs
+            .dir_access(dir_uid, &user)
+            .map_err(AccessError::Fs)?
+            .modify
+        {
             return Err(AccessError::Fs(FsError::NoPermission { needed: 'm' }));
         }
         let parent = world
@@ -368,7 +450,9 @@ impl Monitor {
             _ => return Err(AccessError::NoInfo),
         };
         let mut cell = QuotaCell::with_limit(0);
-        source.move_to(&mut cell, limit_pages).map_err(AccessError::Quota)?;
+        source
+            .move_to(&mut cell, limit_pages)
+            .map_err(AccessError::Quota)?;
         *world.fs.quota_cell_mut(account).map_err(AccessError::Fs)? = Some(source);
         *world.fs.quota_cell_mut(dir_uid).map_err(AccessError::Fs)? = Some(cell);
         Ok(())
@@ -413,7 +497,10 @@ impl Monitor {
     ) -> Result<(), AccessError> {
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
-        let branch = world.fs.delete_branch(dir_uid, name, &user).map_err(AccessError::Fs)?;
+        let branch = world
+            .fs
+            .delete_branch(dir_uid, name, &user)
+            .map_err(AccessError::Fs)?;
         let uid = branch.uid;
         if world.vm.machine.ast.find(uid).is_some() {
             mks_vm::SegControl::delete(&mut world.vm, uid).map_err(AccessError::Mech)?;
@@ -480,8 +567,14 @@ impl Monitor {
             mls_check(&proc.label, &dlabel, AccessKind::Read).map_err(|_| AccessError::NoInfo)?;
         }
         let user = proc.user.clone();
-        let branches = world.fs.list(dir_uid, &user).map_err(|_| AccessError::NoInfo)?;
-        Ok(branches.iter().map(|b| b.primary_name().to_string()).collect())
+        let branches = world
+            .fs
+            .list(dir_uid, &user)
+            .map_err(|_| AccessError::NoInfo)?;
+        Ok(branches
+            .iter()
+            .map(|b| b.primary_name().to_string())
+            .collect())
     }
 
     /// Gate `status_long`: the attributes of the branch `name` in the
@@ -500,9 +593,16 @@ impl Monitor {
             mls_check(&proc.label, &dlabel, AccessKind::Read).map_err(|_| AccessError::NoInfo)?;
         }
         let user = proc.user.clone();
-        let branch = world.fs.get_branch(dir_uid, name, &user).map_err(|_| AccessError::NoInfo)?;
+        let branch = world
+            .fs
+            .get_branch(dir_uid, name, &user)
+            .map_err(|_| AccessError::NoInfo)?;
         Ok(match &branch.kind {
-            BranchKind::Segment { len_words, brackets, .. } => BranchStatus {
+            BranchKind::Segment {
+                len_words,
+                brackets,
+                ..
+            } => BranchStatus {
                 names: branch.names.clone(),
                 is_directory: false,
                 len_words: *len_words,
@@ -549,8 +649,12 @@ impl Monitor {
     /// Recomputes every process's descriptor for the branch `name` in
     /// `dir_uid` under its current ACL and labels.
     fn setfaults(world: &mut KernelWorld, dir_uid: SegUid, name: &str) {
-        let Some(branch) = world.fs.peek_branch(dir_uid, name) else { return };
-        let BranchKind::Segment { acl, .. } = &branch.kind else { return };
+        let Some(branch) = world.fs.peek_branch(dir_uid, name) else {
+            return;
+        };
+        let BranchKind::Segment { acl, .. } = &branch.kind else {
+            return;
+        };
         let uid = branch.uid;
         let acl = acl.clone();
         let obj_label = branch.label;
@@ -570,18 +674,35 @@ impl Monitor {
     }
 
     /// Gate `terminate_segno`.
-    pub fn terminate(world: &mut KernelWorld, pid: KProcId, segno: SegNo) -> Result<(), AccessError> {
+    pub fn terminate(
+        world: &mut KernelWorld,
+        pid: KProcId,
+        segno: SegNo,
+    ) -> Result<(), AccessError> {
+        let trace = world.vm.machine.trace.clone();
+        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.terminate_segno");
         world.vm.machine.charge_gate_crossing();
+        let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.terminate");
         let (_, proc) = world.vm_and_proc_mut(pid);
         let entry = match &mut proc.kst {
             KstState::Kernel(k) => k.unbind(segno),
             KstState::Legacy(k) => k.core.unbind(segno),
         };
-        if entry.is_none() {
-            return Err(AccessError::NoInfo);
-        }
-        proc.aspace.clear(segno);
-        Ok(())
+        let out = if entry.is_none() {
+            Err(AccessError::NoInfo)
+        } else {
+            proc.aspace.clear(segno);
+            Ok(())
+        };
+        Self::verdict(
+            world,
+            pid,
+            &format!("terminate segno {}", segno.0),
+            out.is_ok(),
+        );
+        mon_span.end();
+        gate_span.end();
+        out
     }
 
     /// Services directed faults transparently, then performs the access.
@@ -607,7 +728,9 @@ impl Monitor {
                         let w = &mut *world;
                         (&mut w.vm, &mut w.pager)
                     };
-                    pager.handle_fault(vm, uid, page).map_err(AccessError::Mech)?;
+                    pager
+                        .handle_fault(vm, uid, page)
+                        .map_err(AccessError::Mech)?;
                 }
                 Err(f) => return Err(AccessError::Fault(f)),
             }
@@ -638,7 +761,8 @@ impl Monitor {
     ) -> Result<(), AccessError> {
         Self::access_with_fault_service(world, pid, |w, pid| {
             let (vm, proc) = w.vm_and_proc_mut(pid);
-            vm.machine.write(&proc.aspace, proc.ring, segno, offset, value)
+            vm.machine
+                .write(&proc.aspace, proc.ring, segno, offset, value)
         })
     }
 
@@ -667,8 +791,12 @@ impl Monitor {
         entry: &str,
     ) -> Result<u8, AccessError> {
         let ring = world.proc(pid).ring;
-        let g = world.gates.gate(gate).ok_or(AccessError::UnknownGate)?;
+        let Some(g) = world.gates.gate(gate) else {
+            Self::verdict(world, pid, &format!("call {gate}${entry}"), false);
+            return Err(AccessError::UnknownGate);
+        };
         if g.entry(entry).is_none() {
+            Self::verdict(world, pid, &format!("call {gate}${entry}"), false);
             return Err(AccessError::UnknownGate);
         }
         if ring > g.callable_from {
@@ -677,23 +805,42 @@ impl Monitor {
             world.log.append(
                 at,
                 Some(who),
-                crate::syslog::AuditEvent::GateRefused { target: format!("{gate}${entry}") },
+                crate::syslog::AuditEvent::GateRefused {
+                    target: format!("{gate}${entry}"),
+                },
             );
+            Self::verdict(world, pid, &format!("call {gate}${entry}"), false);
             return Err(AccessError::GateDenied);
         }
-        world.vm.machine.clock.advance(world.vm.machine.cost.call_cross_ring);
+        world
+            .vm
+            .machine
+            .clock
+            .advance(world.vm.machine.cost.call_cross_ring);
+        Self::verdict(world, pid, &format!("call {gate}${entry}"), true);
         Ok(g.target_ring)
+    }
+
+    /// The `metering_get` gate: a read-only JSON snapshot of the kernel
+    /// flight recorder — counters, histograms, per-layer cycle totals and
+    /// the recent trace ring. Callable from any user ring; the caller gets
+    /// a serialized *copy*, so no path through this entry can reset or
+    /// rewrite the recorder.
+    pub fn metering_snapshot(world: &mut KernelWorld, pid: KProcId) -> Result<String, AccessError> {
+        Self::call_gate(world, pid, "hcs_", "metering_get")?;
+        Ok(world.vm.machine.trace.snapshot().to_json())
     }
 
     /// True if the page of `(segno, offset)` is resident for `pid` —
     /// a test/experiment observer, not a gate.
     pub fn is_resident(world: &KernelWorld, pid: KProcId, segno: SegNo, offset: usize) -> bool {
         let proc = world.proc(pid);
-        let Some(sdw) = proc.aspace.get(segno) else { return false };
+        let Some(sdw) = proc.aspace.get(segno) else {
+            return false;
+        };
         let entry = world.vm.machine.ast.entry(sdw.astx);
         let page = offset / mks_hw::PAGE_WORDS;
-        page < entry.pt.nr_pages()
-            && matches!(entry.pt.ptw(page).state, PageState::InCore(_))
+        page < entry.pt.nr_pages() && matches!(entry.pt.ptw(page).state, PageState::InCore(_))
     }
 }
 
@@ -798,7 +945,9 @@ mod tests {
         let (mut sys, _admin, jones) = setup(KernelConfig::kernel());
         let udd_j = udd_of(&mut sys, jones);
         mk_seg(&mut sys, jones, udd_j, "private", "Jones.CSR.a");
-        let smith = sys.world.create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
+        let smith = sys
+            .world
+            .create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
         let udd_s = udd_of(&mut sys, smith);
         // Denied access and nonexistence are the same answer.
         assert_eq!(
@@ -821,7 +970,12 @@ mod tests {
         // pattern).
         let udd_admin = udd_of(&mut sys, admin);
         Monitor::create_directory(&mut sys.world, admin, udd_admin, "vault", secret).unwrap();
-        let udd_uid = sys.world.fs.peek_branch(mks_fs::FileSystem::ROOT, "udd").unwrap().uid;
+        let udd_uid = sys
+            .world
+            .fs
+            .peek_branch(mks_fs::FileSystem::ROOT, "udd")
+            .unwrap()
+            .uid;
         sys.world
             .fs
             .set_dir_acl_entry(udd_uid, "vault", &admin_user(), "*.*.*", DirMode::SA)
@@ -876,7 +1030,7 @@ mod tests {
         let seg = mk_seg(&mut sys, jones, udd_j, "big", "Jones.CSR.a");
         Monitor::write(&mut sys.world, jones, seg, 0, Word::new(7)).unwrap();
         assert!(Monitor::is_resident(&sys.world, jones, seg, 0));
-        assert!(sys.world.vm.stats.faults >= 1);
+        assert!(sys.world.vm.stats().faults >= 1);
     }
 
     #[test]
@@ -895,7 +1049,10 @@ mod tests {
         // Legacy: a missing mid-path component is reported as such.
         let (mut sys, _a, jones_pid) = setup(KernelConfig::legacy());
         let err = Monitor::initiate_path(&mut sys.world, jones_pid, ">udd>ghost>x").unwrap_err();
-        assert!(matches!(err, AccessError::Legacy(LegacyKstError::NoEntry(_))));
+        assert!(matches!(
+            err,
+            AccessError::Legacy(LegacyKstError::NoEntry(_))
+        ));
         // Kernel: the same probe gets the uninformative answer.
         let (mut sys2, _a2, jones2) = setup(KernelConfig::kernel());
         let err2 = Monitor::initiate_path(&mut sys2.world, jones2, ">udd>ghost>x").unwrap_err();
@@ -922,7 +1079,10 @@ mod tests {
     #[test]
     fn gate_calls_respect_call_brackets() {
         let (mut sys, _a, jones) = setup(KernelConfig::kernel());
-        assert_eq!(Monitor::call_gate(&mut sys.world, jones, "hcs_", "block"), Ok(0));
+        assert_eq!(
+            Monitor::call_gate(&mut sys.world, jones, "hcs_", "block"),
+            Ok(0)
+        );
         assert_eq!(
             Monitor::call_gate(&mut sys.world, jones, "hphcs_", "shutdown"),
             Err(AccessError::GateDenied)
@@ -932,7 +1092,29 @@ mod tests {
             Err(AccessError::UnknownGate)
         );
         let sysproc = sys.world.create_process(admin_user(), Label::BOTTOM, 1);
-        assert_eq!(Monitor::call_gate(&mut sys.world, sysproc, "hphcs_", "shutdown"), Ok(0));
+        assert_eq!(
+            Monitor::call_gate(&mut sys.world, sysproc, "hphcs_", "shutdown"),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn metering_gate_is_readable_from_user_rings() {
+        let (mut sys, _a, jones) = setup(KernelConfig::kernel());
+        let granted_before = sys.world.vm.machine.trace.counter("monitor.granted");
+        let json = Monitor::metering_snapshot(&mut sys.world, jones).unwrap();
+        assert!(
+            json.contains("\"counters\""),
+            "snapshot is a JSON object: {json}"
+        );
+        assert!(
+            json.contains("monitor.granted"),
+            "verdict counters are visible"
+        );
+        // The snapshot is a copy: reading the metering never rewinds it.
+        assert!(sys.world.vm.machine.trace.counter("monitor.granted") > granted_before);
+        let again = Monitor::metering_snapshot(&mut sys.world, jones).unwrap();
+        assert!(again.contains("monitor.granted"));
     }
 
     #[test]
@@ -945,7 +1127,9 @@ mod tests {
         Monitor::write(&mut sys.world, jones, chan, 0, Word::ZERO).unwrap();
         assert!(Monitor::may_notify_channel(&mut sys.world, jones, chan, 0).is_ok());
         // Smith cannot even initiate the mailbox, let alone notify it.
-        let smith = sys.world.create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
+        let smith = sys
+            .world
+            .create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
         let udd_s = udd_of(&mut sys, smith);
         assert_eq!(
             Monitor::initiate(&mut sys.world, smith, udd_s, "mailbox"),
@@ -975,10 +1159,14 @@ mod tests {
         // Jones makes a project directory and gets 2 pages of quota on it
         // (needs 'm' on the dir — the creator has sma).
         let proj =
-            Monitor::create_directory(&mut sys.world, jones, udd_j, "proj", Label::BOTTOM)
-                .unwrap();
+            Monitor::create_directory(&mut sys.world, jones, udd_j, "proj", Label::BOTTOM).unwrap();
         Monitor::set_quota(&mut sys.world, jones, proj, 2).unwrap();
-        assert_eq!(Monitor::quota_get(&mut sys.world, jones, proj).unwrap().limit_pages, 2);
+        assert_eq!(
+            Monitor::quota_get(&mut sys.world, jones, proj)
+                .unwrap()
+                .limit_pages,
+            2
+        );
         // Two segments fit; the third overflows the cell.
         mk_seg(&mut sys, jones, proj, "a", "Jones.CSR.a");
         mk_seg(&mut sys, jones, proj, "b", "Jones.CSR.a");
@@ -1046,15 +1234,17 @@ mod tests {
         ));
         // …name free for reuse, and the new segment starts zeroed.
         let again = mk_seg(&mut sys, jones, home, "doomed", "Jones.CSR.a");
-        assert_eq!(Monitor::read(&mut sys.world, jones, again, 0).unwrap(), Word::ZERO);
+        assert_eq!(
+            Monitor::read(&mut sys.world, jones, again, 0).unwrap(),
+            Word::ZERO
+        );
     }
 
     #[test]
     fn set_quota_requires_modify() {
         let (mut sys, admin, jones) = setup(KernelConfig::kernel());
         let udd_a = udd_of(&mut sys, admin);
-        Monitor::create_directory(&mut sys.world, admin, udd_a, "shared", Label::BOTTOM)
-            .unwrap();
+        Monitor::create_directory(&mut sys.world, admin, udd_a, "shared", Label::BOTTOM).unwrap();
         // Jones (no 'm' on admin's dir) cannot carve quota onto it.
         let udd_j = udd_of(&mut sys, jones);
         let shared_j = Monitor::initiate_dir(&mut sys.world, jones, udd_j, "shared");
@@ -1090,9 +1280,8 @@ mod tests {
     fn acl_revocation_retracts_outstanding_descriptors() {
         let (mut sys, _admin, jones) = setup(KernelConfig::kernel());
         let udd_j = udd_of(&mut sys, jones);
-        let home =
-            Monitor::create_directory(&mut sys.world, jones, udd_j, "Jones", Label::BOTTOM)
-                .unwrap();
+        let home = Monitor::create_directory(&mut sys.world, jones, udd_j, "Jones", Label::BOTTOM)
+            .unwrap();
         let mut acl = Acl::of("Jones.CSR.a", AclMode::RW);
         acl.add("Smith.CSR.a", AclMode::R);
         let seg = Monitor::create_segment(
@@ -1107,7 +1296,9 @@ mod tests {
         .unwrap();
         Monitor::write(&mut sys.world, jones, seg, 0, Word::new(9)).unwrap();
         // Smith binds it and reads happily.
-        let smith = sys.world.create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
+        let smith = sys
+            .world
+            .create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
         let seg_s = Monitor::initiate_path(&mut sys.world, smith, ">udd>Jones>shared").unwrap();
         assert!(Monitor::read(&mut sys.world, smith, seg_s, 0).is_ok());
         // Jones revokes Smith. With setfaults, Smith's *outstanding*
@@ -1145,10 +1336,10 @@ mod tests {
             Label::BOTTOM,
         )
         .unwrap();
-        let smith2 =
-            sys2.world.create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
-        let seg_s2 =
-            Monitor::initiate_path(&mut sys2.world, smith2, ">udd>Jones>shared").unwrap();
+        let smith2 = sys2
+            .world
+            .create_process(UserId::new("Smith", "CSR", "a"), Label::BOTTOM, 4);
+        let seg_s2 = Monitor::initiate_path(&mut sys2.world, smith2, ">udd>Jones>shared").unwrap();
         Monitor::set_segment_acl(
             &mut sys2.world,
             jones2,
@@ -1168,9 +1359,11 @@ mod tests {
         let (mut sys, _a, jones) = setup(KernelConfig::kernel());
         let udd_j = udd_of(&mut sys, jones);
         mk_seg(&mut sys, jones, udd_j, "target", "Jones.CSR.a");
-        let mut resolver = UserRingResolver { world: &mut sys.world, pid: jones };
-        let (dir, leaf) =
-            mks_fs::pathres::resolve_path(&mut resolver, ">udd>target").unwrap();
+        let mut resolver = UserRingResolver {
+            world: &mut sys.world,
+            pid: jones,
+        };
+        let (dir, leaf) = mks_fs::pathres::resolve_path(&mut resolver, ">udd>target").unwrap();
         assert_eq!(leaf, "target");
         let seg = Monitor::initiate(&mut sys.world, jones, dir, &leaf).unwrap();
         assert!(Monitor::read(&mut sys.world, jones, seg, 0).is_ok());

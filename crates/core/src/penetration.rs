@@ -18,9 +18,7 @@
 //!   service within bounds the victim authorized (e.g. quota).
 
 use mks_fs::{Acl, AclMode, UserId};
-use mks_hw::{
-    AccessMode, CpuModel, Fault, Machine, RingBrackets, SegNo, Sdw, Word,
-};
+use mks_hw::{AccessMode, CpuModel, Fault, Machine, RingBrackets, Sdw, SegNo, Word};
 use mks_linker::kernel_cfg::LegacyLinkOutcome;
 use mks_linker::object::ObjectSegment;
 use mks_linker::user_cfg::UserLinkOutcome;
@@ -79,7 +77,13 @@ fn arena(cfg: KernelConfig) -> (System, KProcId, KProcId, SegNo) {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", mks_fs::DirMode::SMA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            mks_fs::DirMode::SMA,
+        )
         .unwrap();
     let vic = sys.world.create_process(victim(), Label::BOTTOM, 4);
     let atk = sys.world.create_process(attacker(), Label::BOTTOM, 4);
@@ -217,16 +221,33 @@ fn mls_flow(cfg: KernelConfig, read_up: bool) -> AttackOutcome {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", mks_fs::DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            mks_fs::DirMode::SA,
+        )
         .unwrap();
     let secret = Label::new(Level::SECRET, Compartments::of(&[1]));
     // Upgraded directory: the BOTTOM admin creates a SECRET-labeled vault.
     let udd_admin = udd_of(&mut sys, admin);
     Monitor::create_directory(&mut sys.world, admin, udd_admin, "vault", secret).unwrap();
-    let udd_uid = sys.world.fs.peek_branch(mks_fs::FileSystem::ROOT, "udd").unwrap().uid;
+    let udd_uid = sys
+        .world
+        .fs
+        .peek_branch(mks_fs::FileSystem::ROOT, "udd")
+        .unwrap()
+        .uid;
     sys.world
         .fs
-        .set_dir_acl_entry(udd_uid, "vault", &admin_user(), "*.*.*", mks_fs::DirMode::SA)
+        .set_dir_acl_entry(
+            udd_uid,
+            "vault",
+            &admin_user(),
+            "*.*.*",
+            mks_fs::DirMode::SA,
+        )
         .unwrap();
     let spid = sys.world.create_process(victim(), secret, 4);
     let udd_s = udd_of(&mut sys, spid);
@@ -285,8 +306,7 @@ fn mls_flow(cfg: KernelConfig, read_up: bool) -> AttackOutcome {
 fn ring_attack(which: u8) -> AttackOutcome {
     let mut m = Machine::new(CpuModel::H6180, 4);
     let astx = m.ast.activate(mks_hw::SegUid(50), mks_hw::PAGE_WORDS);
-    m.ast.entry_mut(astx).pt.ptw_mut(0).state =
-        mks_hw::ast::PageState::InCore(mks_hw::FrameId(0));
+    m.ast.entry_mut(astx).pt.ptw_mut(0).state = mks_hw::ast::PageState::InCore(mks_hw::FrameId(0));
     let mut sp = mks_hw::AddrSpace::new();
     match which {
         // Call a gate at a non-entry offset.
@@ -335,7 +355,10 @@ fn residue(cfg: KernelConfig) -> AttackOutcome {
     Monitor::terminate(&mut sys.world, vic, seg).unwrap();
     mks_vm::SegControl::delete(&mut sys.world.vm, uid).unwrap();
     let (dir, _) = sys.world.fs.find_by_uid(uid).expect("branch still listed");
-    sys.world.fs.delete_branch(dir, "secrets", &victim()).unwrap();
+    sys.world
+        .fs
+        .delete_branch(dir, "secrets", &victim())
+        .unwrap();
     // Attacker allocates a fresh segment and scans it for the plaintext.
     let udd_a = udd_of(&mut sys, atk);
     let fresh = Monitor::create_segment(
@@ -359,17 +382,28 @@ fn residue(cfg: KernelConfig) -> AttackOutcome {
 /// 11. Password guessing with an existence probe.
 fn password_attack(cfg: KernelConfig) -> AttackOutcome {
     let mut sys = System::new(cfg);
-    sys.world.auth.register(&victim(), "correct horse", Label::BOTTOM);
+    sys.world
+        .auth
+        .register(&victim(), "correct horse", Label::BOTTOM);
     // Existence oracle?
-    let known = sys.world.auth.authenticate(&victim(), "guess-1", Label::BOTTOM);
+    let known = sys
+        .world
+        .auth
+        .authenticate(&victim(), "guess-1", Label::BOTTOM);
     let ghost =
-        sys.world.auth.authenticate(&UserId::new("Nobody", "X", "a"), "guess-1", Label::BOTTOM);
+        sys.world
+            .auth
+            .authenticate(&UserId::new("Nobody", "X", "a"), "guess-1", Label::BOTTOM);
     if known != ghost {
         return AttackOutcome::Breach("login errors reveal which accounts exist".into());
     }
     // Brute force until lockout.
     for i in 0..100 {
-        match sys.world.auth.authenticate(&victim(), &format!("guess-{i}"), Label::BOTTOM) {
+        match sys
+            .world
+            .auth
+            .authenticate(&victim(), &format!("guess-{i}"), Label::BOTTOM)
+        {
             Err(AuthError::Locked) => return AttackOutcome::Denied,
             Err(AuthError::BadCredentials) => {}
             Err(AuthError::ClearanceExceeded) => {}
@@ -414,7 +448,9 @@ fn refname_plant(cfg: KernelConfig) -> AttackOutcome {
             // validation: ring-4 code binds into ring 1's table.
             let (mut sys, vic, _atk, seg) = arena(cfg);
             let (_, proc) = sys.world.fs_and_proc_mut(vic);
-            let KstState::Legacy(kst) = &mut proc.kst else { unreachable!() };
+            let KstState::Legacy(kst) = &mut proc.kst else {
+                unreachable!()
+            };
             kst.set_refname(1, "sqrt_", seg).unwrap(); // attacker-controlled call
             match kst.refname(1, "sqrt_") {
                 Ok(s) if s == seg => AttackOutcome::Breach(
@@ -446,7 +482,13 @@ fn revocation_gap(cfg: KernelConfig) -> AttackOutcome {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", mks_fs::DirMode::SMA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            mks_fs::DirMode::SMA,
+        )
         .unwrap();
     let vic = sys.world.create_process(victim(), Label::BOTTOM, 4);
     let atk = sys.world.create_process(attacker(), Label::BOTTOM, 4);
@@ -508,20 +550,56 @@ pub fn run_catalog(cfg: KernelConfig) -> Vec<AttackReport> {
             class: "existence oracle",
             outcome: existence_probe(cfg),
         },
-        AttackReport { name: "read up across labels", class: "mandatory policy", outcome: mls_flow(cfg, true) },
+        AttackReport {
+            name: "read up across labels",
+            class: "mandatory policy",
+            outcome: mls_flow(cfg, true),
+        },
         AttackReport {
             name: "write down across labels",
             class: "mandatory policy",
             outcome: mls_flow(cfg, false),
         },
-        AttackReport { name: "enter gate at non-entry offset", class: "hardware rings", outcome: ring_attack(7) },
-        AttackReport { name: "call gate from beyond r3", class: "hardware rings", outcome: ring_attack(8) },
-        AttackReport { name: "write ring-0 data from ring 4", class: "hardware rings", outcome: ring_attack(9) },
-        AttackReport { name: "recover residue of deleted segment", class: "storage residue", outcome: residue(cfg) },
-        AttackReport { name: "password guessing + account probe", class: "authentication", outcome: password_attack(cfg) },
-        AttackReport { name: "notify channel without write access", class: "ipc control", outcome: ipc_attack(cfg) },
-        AttackReport { name: "exhaust shared quota", class: "denial of service", outcome: quota_dos(cfg) },
-        AttackReport { name: "plant cross-ring reference name", class: "naming", outcome: refname_plant(cfg) },
+        AttackReport {
+            name: "enter gate at non-entry offset",
+            class: "hardware rings",
+            outcome: ring_attack(7),
+        },
+        AttackReport {
+            name: "call gate from beyond r3",
+            class: "hardware rings",
+            outcome: ring_attack(8),
+        },
+        AttackReport {
+            name: "write ring-0 data from ring 4",
+            class: "hardware rings",
+            outcome: ring_attack(9),
+        },
+        AttackReport {
+            name: "recover residue of deleted segment",
+            class: "storage residue",
+            outcome: residue(cfg),
+        },
+        AttackReport {
+            name: "password guessing + account probe",
+            class: "authentication",
+            outcome: password_attack(cfg),
+        },
+        AttackReport {
+            name: "notify channel without write access",
+            class: "ipc control",
+            outcome: ipc_attack(cfg),
+        },
+        AttackReport {
+            name: "exhaust shared quota",
+            class: "denial of service",
+            outcome: quota_dos(cfg),
+        },
+        AttackReport {
+            name: "plant cross-ring reference name",
+            class: "naming",
+            outcome: refname_plant(cfg),
+        },
         AttackReport {
             name: "retain access after ACL revocation",
             class: "revocation",

@@ -74,7 +74,12 @@ pub fn enter(
     if caller_ring < def.ring {
         return Err(EntryError::OutwardEntry);
     }
-    Ok(SubsystemEntry { subsystem: def.name, entry: e, ring: def.ring, caller_ring })
+    Ok(SubsystemEntry {
+        subsystem: def.name,
+        entry: e,
+        ring: def.ring,
+        caller_ring,
+    })
 }
 
 /// The answering service, defined as a subsystem. In the unified
@@ -138,7 +143,10 @@ pub fn login(
             privileged_ops += 1; // create_process proper
             privileged_ops += 1; // attach terminal to process
             privileged_ops += 1; // start command environment
-            Ok(LoginOutcome { pid, privileged_ops })
+            Ok(LoginOutcome {
+                pid,
+                privileged_ops,
+            })
         }
         LoginConfig::Unified => {
             // Unified: the caller enters the answering-service subsystem
@@ -157,7 +165,10 @@ pub fn login(
                 r.map_err(LoginError::Auth)?
             };
             let pid = world.create_process(user.clone(), granted, ring); // the one gate
-            Ok(LoginOutcome { pid, privileged_ops: 1 })
+            Ok(LoginOutcome {
+                pid,
+                privileged_ops: 1,
+            })
         }
     }
 }
@@ -181,11 +192,21 @@ mod tests {
     fn subsystem_entry_enforces_declared_gates() {
         let svc = answering_service();
         assert!(enter(&svc, 4, "login").is_ok());
-        assert!(matches!(enter(&svc, 4, "backdoor"), Err(EntryError::NoSuchEntry)));
+        assert!(matches!(
+            enter(&svc, 4, "backdoor"),
+            Err(EntryError::NoSuchEntry)
+        ));
         // An inner-ring caller "entering" an outer subsystem is an outward
         // call — refused.
-        let inner = SubsystemDef { name: "db", ring: 2, entries: vec!["query"] };
-        assert!(matches!(enter(&inner, 1, "query"), Err(EntryError::OutwardEntry)));
+        let inner = SubsystemDef {
+            name: "db",
+            ring: 2,
+            entries: vec!["query"],
+        };
+        assert!(matches!(
+            enter(&inner, 1, "query"),
+            Err(EntryError::OutwardEntry)
+        ));
         assert!(enter(&inner, 4, "query").is_ok());
     }
 
@@ -194,8 +215,7 @@ mod tests {
         for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
             let mut sys = System::new(cfg);
             sys.world.auth.register(&jones(), "moonshot", secret());
-            let out =
-                login(&mut sys.world, &jones(), "moonshot", Label::BOTTOM, 4).unwrap();
+            let out = login(&mut sys.world, &jones(), "moonshot", Label::BOTTOM, 4).unwrap();
             assert_eq!(sys.world.proc(out.pid).user, jones());
             assert_eq!(sys.world.proc(out.pid).label, Label::BOTTOM);
         }
@@ -211,8 +231,14 @@ mod tests {
         kernel.world.auth.register(&jones(), "pw", secret());
         let k = login(&mut kernel.world, &jones(), "pw", Label::BOTTOM, 4).unwrap();
 
-        assert!(l.privileged_ops >= 8, "legacy login is privileged throughout");
-        assert_eq!(k.privileged_ops, 1, "unified login keeps one privileged gate");
+        assert!(
+            l.privileged_ops >= 8,
+            "legacy login is privileged throughout"
+        );
+        assert_eq!(
+            k.privileged_ops, 1,
+            "unified login keeps one privileged gate"
+        );
     }
 
     #[test]
@@ -230,6 +256,9 @@ mod tests {
         let mut sys = System::new(KernelConfig::kernel());
         sys.world.auth.register(&jones(), "pw", Label::BOTTOM);
         let err = login(&mut sys.world, &jones(), "pw", secret(), 4).unwrap_err();
-        assert!(matches!(err, LoginError::Auth(AuthError::ClearanceExceeded)));
+        assert!(matches!(
+            err,
+            LoginError::Auth(AuthError::ClearanceExceeded)
+        ));
     }
 }

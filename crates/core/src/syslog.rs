@@ -58,6 +58,8 @@ pub struct AuditRecord {
 pub struct AuditLog {
     records: Vec<AuditRecord>,
     next_seq: u64,
+    last_at: Cycles,
+    clock_skews: u64,
 }
 
 impl AuditLog {
@@ -67,11 +69,45 @@ impl AuditLog {
     }
 
     /// Appends a record.
+    ///
+    /// Timestamps must be non-decreasing: a record claiming to predate the
+    /// last one is a sign of clock tampering (or a kernel bug), and a log
+    /// whose order contradicts its timestamps is useless for review. Such a
+    /// record is kept — dropping evidence would be worse — but its `at` is
+    /// saturated up to the last seen time and the skew is flagged in
+    /// [`AuditLog::clock_skews`].
     pub fn append(&mut self, at: Cycles, who: Option<UserId>, event: AuditEvent) -> u64 {
+        let at = if at < self.last_at {
+            self.clock_skews += 1;
+            self.last_at
+        } else {
+            self.last_at = at;
+            at
+        };
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.records.push(AuditRecord { seq, at, who, event });
+        self.records.push(AuditRecord {
+            seq,
+            at,
+            who,
+            event,
+        });
         seq
+    }
+
+    /// Number of appends whose timestamp ran backwards and was saturated.
+    /// Nonzero is a red flag for the review activity.
+    pub fn clock_skews(&self) -> u64 {
+        self.clock_skews
+    }
+
+    /// Records with sequence number `from_seq` or later — the incremental
+    /// read used by a reviewer polling the log ("everything since the last
+    /// snapshot I took").
+    pub fn snapshot_range(&self, from_seq: u64) -> &[AuditRecord] {
+        // seq is assigned densely from 0, so it doubles as the index.
+        let start = usize::try_from(from_seq.min(self.next_seq)).unwrap_or(self.records.len());
+        &self.records[start.min(self.records.len())..]
     }
 
     /// All records, in order. (Read-only: there is deliberately no way to
@@ -120,8 +156,14 @@ impl AuditLog {
                 *counts.entry(who).or_default() += 1;
             }
         }
-        let mut v: Vec<_> = counts.into_iter().filter(|(_, c)| *c >= threshold).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_acl_string().cmp(&b.0.to_acl_string())));
+        let mut v: Vec<_> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= threshold)
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| a.0.to_acl_string().cmp(&b.0.to_acl_string()))
+        });
         v
     }
 
@@ -148,7 +190,11 @@ mod tests {
     fn records_are_sequenced_and_immutable_in_shape() {
         let mut log = AuditLog::new();
         let a = log.append(10, None, AuditEvent::Login { success: true });
-        let b = log.append(20, Some(mallory()), AuditEvent::AccessDenied { what: "x".into() });
+        let b = log.append(
+            20,
+            Some(mallory()),
+            AuditEvent::AccessDenied { what: "x".into() },
+        );
         assert_eq!((a, b), (0, 1));
         assert_eq!(log.records().len(), 2);
         assert_eq!(log.records()[1].at, 20);
@@ -157,25 +203,123 @@ mod tests {
     #[test]
     fn denial_counting_and_matching() {
         let mut log = AuditLog::new();
-        log.append(1, Some(mallory()), AuditEvent::AccessDenied { what: "a".into() });
-        log.append(2, Some(mallory()), AuditEvent::GateRefused { target: "hphcs_$shutdown".into() });
+        log.append(
+            1,
+            Some(mallory()),
+            AuditEvent::AccessDenied { what: "a".into() },
+        );
+        log.append(
+            2,
+            Some(mallory()),
+            AuditEvent::GateRefused {
+                target: "hphcs_$shutdown".into(),
+            },
+        );
         log.append(3, None, AuditEvent::Login { success: false });
         assert_eq!(log.nr_denials(), 2);
-        assert_eq!(log.matching(|e| matches!(e, AuditEvent::Login { .. })).count(), 1);
+        assert_eq!(
+            log.matching(|e| matches!(e, AuditEvent::Login { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn repeated_probes_surface_as_suspicious() {
         let mut log = AuditLog::new();
         for i in 0..5 {
-            log.append(i, Some(mallory()), AuditEvent::AccessDenied { what: format!("p{i}") });
+            log.append(
+                i,
+                Some(mallory()),
+                AuditEvent::AccessDenied {
+                    what: format!("p{i}"),
+                },
+            );
         }
-        log.append(9, Some(UserId::new("Jones", "CSR", "a")), AuditEvent::AccessDenied {
-            what: "one-off".into(),
-        });
+        log.append(
+            9,
+            Some(UserId::new("Jones", "CSR", "a")),
+            AuditEvent::AccessDenied {
+                what: "one-off".into(),
+            },
+        );
         let sus = log.suspicious_principals(3);
         assert_eq!(sus.len(), 1);
         assert_eq!(sus[0].0, mallory());
         assert_eq!(sus[0].1, 5);
+    }
+
+    #[test]
+    fn suspicious_ties_break_on_principal_name() {
+        let mut log = AuditLog::new();
+        let zed = UserId::new("Zed", "Guest", "a");
+        let abe = UserId::new("Abe", "Guest", "a");
+        // Interleave so insertion order cannot accidentally produce the
+        // expected ordering: Zed logs first, but Abe sorts first.
+        for i in 0..3 {
+            log.append(
+                2 * i,
+                Some(zed.clone()),
+                AuditEvent::AccessDenied { what: "z".into() },
+            );
+            log.append(
+                2 * i + 1,
+                Some(abe.clone()),
+                AuditEvent::AccessDenied { what: "a".into() },
+            );
+        }
+        for i in 0..4 {
+            log.append(
+                100 + i,
+                Some(mallory()),
+                AuditEvent::AccessDenied { what: "m".into() },
+            );
+        }
+        let sus = log.suspicious_principals(3);
+        assert_eq!(sus.len(), 3);
+        assert_eq!(sus[0], (mallory(), 4), "highest count first");
+        assert_eq!(sus[1], (abe, 3), "equal counts sort by principal string");
+        assert_eq!(sus[2], (zed, 3));
+    }
+
+    #[test]
+    fn backwards_timestamps_saturate_and_flag() {
+        let mut log = AuditLog::new();
+        log.append(100, None, AuditEvent::Login { success: true });
+        // A record claiming to predate the last one is kept, but its time
+        // is pulled up and the skew counted.
+        log.append(
+            40,
+            Some(mallory()),
+            AuditEvent::AccessDenied { what: "x".into() },
+        );
+        log.append(150, None, AuditEvent::Login { success: false });
+        assert_eq!(log.clock_skews(), 1);
+        let times: Vec<Cycles> = log.records().iter().map(|r| r.at).collect();
+        assert_eq!(times, vec![100, 100, 150], "timestamps are non-decreasing");
+        // Equal timestamps are fine (many events in one cycle).
+        log.append(150, None, AuditEvent::Login { success: true });
+        assert_eq!(log.clock_skews(), 1);
+    }
+
+    #[test]
+    fn snapshot_range_reads_incrementally() {
+        let mut log = AuditLog::new();
+        for i in 0..5 {
+            log.append(
+                i,
+                None,
+                AuditEvent::Lifecycle {
+                    what: format!("e{i}"),
+                },
+            );
+        }
+        assert_eq!(log.snapshot_range(0).len(), 5);
+        let tail = log.snapshot_range(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 3);
+        // Past-the-end and absurd starting points are empty, not a panic.
+        assert!(log.snapshot_range(5).is_empty());
+        assert!(log.snapshot_range(u64::MAX).is_empty());
     }
 }

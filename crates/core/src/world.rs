@@ -19,13 +19,15 @@ use mks_linker::kernel_cfg::LegacyLinker;
 use mks_linker::user_cfg::UserLinker;
 use mks_mls::Label;
 use mks_procs::{HasMachine, TcConfig, TrafficController};
-use mks_vm::{ClockPolicy, ParallelConfig, ParallelPageControl, SequentialPageControl, VmAccess, VmWorld};
+use mks_vm::{
+    ClockPolicy, ParallelConfig, ParallelPageControl, SequentialPageControl, VmAccess, VmWorld,
+};
 
 use crate::auth::AuthDb;
-use crate::syslog::AuditLog;
 use crate::config::KernelConfig;
 use crate::flaws::FlawRegistry;
 use crate::gatetable::GateTable;
+use crate::syslog::AuditLog;
 
 /// Kernel process identifier (distinct from the traffic controller's
 /// scheduling identifier; a kernel process may or may not be scheduled).
@@ -126,7 +128,11 @@ pub struct SystemSize {
 
 impl Default for SystemSize {
     fn default() -> SystemSize {
-        SystemSize { frames: 64, bulk_records: 256, cpu: CpuModel::H6180 }
+        SystemSize {
+            frames: 64,
+            bulk_records: 256,
+            cpu: CpuModel::H6180,
+        }
     }
 }
 
@@ -138,16 +144,22 @@ impl System {
 
     /// Builds a system with explicit memory sizing.
     pub fn with_size(cfg: KernelConfig, size: SystemSize) -> System {
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 8, quantum: 8 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 2,
+            nr_vprocs: 8,
+            quantum: 8,
+        });
         let machine = Machine::new(size.cpu, size.frames);
         let vm = VmWorld::new(machine, size.bulk_records);
         let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
+        let mut fs = FileSystem::new(&admin_user());
+        fs.set_trace(vm.machine.trace.clone());
         let world = KernelWorld {
             cfg,
             vm,
             pc,
             pager: SequentialPageControl::new(Box::new(ClockPolicy::default())),
-            fs: FileSystem::new(&admin_user()),
+            fs,
             gates: GateTable::build(&cfg),
             auth: AuthDb::new(),
             net: NetworkAttachment::new(),
@@ -170,16 +182,28 @@ impl KernelWorld {
         let kst = match self.cfg.naming {
             crate::config::NamingConfig::UserRing => {
                 let mut k = KernelKst::new();
+                k.set_trace(self.vm.machine.trace.clone());
                 mks_fs::kst::bind_root(&mut k);
                 KstState::Kernel(k)
             }
-            crate::config::NamingConfig::InKernel => KstState::Legacy(Box::new(LegacyKst::new())),
+            crate::config::NamingConfig::InKernel => {
+                let mut k = Box::new(LegacyKst::new());
+                k.core.set_trace(self.vm.machine.trace.clone());
+                KstState::Legacy(k)
+            }
         };
         let mut aspace = AddrSpace::new();
         aspace.reserve_low(mks_fs::kst::FIRST_USER_SEGNO);
         self.procs.insert(
             pid,
-            ProcState { user, label, ring, aspace, kst, linker: UserLinker::new() },
+            ProcState {
+                user,
+                label,
+                ring,
+                aspace,
+                kst,
+                linker: UserLinker::new(),
+            },
         );
         pid
     }

@@ -22,7 +22,11 @@ pub struct UserId {
 impl UserId {
     /// Builds a principal.
     pub fn new(person: &str, project: &str, tag: &str) -> UserId {
-        UserId { person: person.into(), project: project.into(), tag: tag.into() }
+        UserId {
+            person: person.into(),
+            project: project.into(),
+            tag: tag.into(),
+        }
     }
 
     /// Canonical `Person.Project.tag` form.
@@ -44,15 +48,35 @@ pub struct AclMode {
 
 impl AclMode {
     /// No access (the "null" ACL mode — an explicit denial entry).
-    pub const NULL: AclMode = AclMode { read: false, execute: false, write: false };
+    pub const NULL: AclMode = AclMode {
+        read: false,
+        execute: false,
+        write: false,
+    };
     /// `r` — read only.
-    pub const R: AclMode = AclMode { read: true, execute: false, write: false };
+    pub const R: AclMode = AclMode {
+        read: true,
+        execute: false,
+        write: false,
+    };
     /// `re` — read and execute (pure procedure).
-    pub const RE: AclMode = AclMode { read: true, execute: true, write: false };
+    pub const RE: AclMode = AclMode {
+        read: true,
+        execute: true,
+        write: false,
+    };
     /// `rw` — read and write.
-    pub const RW: AclMode = AclMode { read: true, execute: false, write: true };
+    pub const RW: AclMode = AclMode {
+        read: true,
+        execute: false,
+        write: true,
+    };
     /// `rew` — everything.
-    pub const REW: AclMode = AclMode { read: true, execute: true, write: true };
+    pub const REW: AclMode = AclMode {
+        read: true,
+        execute: true,
+        write: true,
+    };
 
     /// Parses a mode string like `"rw"` (order-insensitive; `"null"` or
     /// `""` give no access).
@@ -104,13 +128,29 @@ pub struct DirMode {
 
 impl DirMode {
     /// No access.
-    pub const NULL: DirMode = DirMode { status: false, modify: false, append: false };
+    pub const NULL: DirMode = DirMode {
+        status: false,
+        modify: false,
+        append: false,
+    };
     /// `s` — status only.
-    pub const S: DirMode = DirMode { status: true, modify: false, append: false };
+    pub const S: DirMode = DirMode {
+        status: true,
+        modify: false,
+        append: false,
+    };
     /// `sa` — status and append.
-    pub const SA: DirMode = DirMode { status: true, modify: false, append: true };
+    pub const SA: DirMode = DirMode {
+        status: true,
+        modify: false,
+        append: true,
+    };
     /// `sma` — full control.
-    pub const SMA: DirMode = DirMode { status: true, modify: true, append: true };
+    pub const SMA: DirMode = DirMode {
+        status: true,
+        modify: true,
+        append: true,
+    };
 }
 
 /// One component of an ACL principal pattern.
@@ -157,7 +197,10 @@ impl<M: Copy> AclEntry<M> {
 
     /// Specificity for entry selection: one point per literal component.
     pub fn specificity(&self) -> u32 {
-        [&self.person, &self.project, &self.tag].iter().filter(|c| *c != &"*").count() as u32
+        [&self.person, &self.project, &self.tag]
+            .iter()
+            .filter(|c| *c != &"*")
+            .count() as u32
     }
 }
 
@@ -171,7 +214,9 @@ pub struct Acl<M> {
 impl<M: Copy + Default> Acl<M> {
     /// An empty ACL (denies everyone).
     pub fn empty() -> Acl<M> {
-        Acl { entries: Vec::new() }
+        Acl {
+            entries: Vec::new(),
+        }
     }
 
     /// An ACL with a single entry.
@@ -184,9 +229,11 @@ impl<M: Copy + Default> Acl<M> {
     /// Adds (or replaces, if the same pattern exists) an entry.
     pub fn add(&mut self, pattern: &str, mode: M) {
         let entry = AclEntry::new(pattern, mode);
-        if let Some(existing) = self.entries.iter_mut().find(|e| {
-            e.person == entry.person && e.project == entry.project && e.tag == entry.tag
-        }) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.person == entry.person && e.project == entry.project && e.tag == entry.tag)
+        {
             existing.mode = mode;
         } else {
             self.entries.push(entry);

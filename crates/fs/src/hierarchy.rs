@@ -132,6 +132,7 @@ struct DirNode {
 pub struct FileSystem {
     nodes: HashMap<SegUid, DirNode>,
     next_uid: u64,
+    trace: Option<mks_trace::TraceHandle>,
 }
 
 impl FileSystem {
@@ -152,7 +153,29 @@ impl FileSystem {
         };
         let mut nodes = HashMap::new();
         nodes.insert(Self::ROOT, root);
-        FileSystem { nodes, next_uid: 2 }
+        FileSystem {
+            nodes,
+            next_uid: 2,
+            trace: None,
+        }
+    }
+
+    /// Connects the hierarchy to the kernel flight recorder so ACL
+    /// evaluations are counted and logged.
+    pub fn set_trace(&mut self, trace: mks_trace::TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    fn trace_acl_check(&self, user: &UserId, detail: &str) {
+        if let Some(t) = &self.trace {
+            t.counter_add("fs.acl_checks", 1);
+            t.event_for(
+                mks_trace::Layer::Fs,
+                mks_trace::EventKind::AclCheck,
+                &user.to_acl_string(),
+                detail,
+            );
+        }
     }
 
     /// Allocates a fresh unique identifier.
@@ -172,6 +195,7 @@ impl FileSystem {
 
     /// The caller's effective mode on directory `dir`.
     pub fn dir_access(&self, dir: SegUid, user: &UserId) -> Result<DirMode, FsError> {
+        self.trace_acl_check(user, &format!("dir {}", dir.0));
         Ok(self.dir(dir)?.acl.effective(user).unwrap_or(DirMode::NULL))
     }
 
@@ -227,7 +251,11 @@ impl FileSystem {
         let branch = Branch {
             names: vec![name.into()],
             uid,
-            kind: BranchKind::Segment { acl, len_words: 0, brackets },
+            kind: BranchKind::Segment {
+                acl,
+                len_words: 0,
+                brackets,
+            },
             label,
             author: user.clone(),
         };
@@ -256,14 +284,23 @@ impl FileSystem {
         let branch = Branch {
             names: vec![name.into()],
             uid,
-            kind: BranchKind::Directory { acl: acl.clone(), quota: None },
+            kind: BranchKind::Directory {
+                acl: acl.clone(),
+                quota: None,
+            },
             label,
             author: user.clone(),
         };
         self.dir_mut(dir)?.branches.push(branch);
         self.nodes.insert(
             uid,
-            DirNode { parent: Some(dir), label, acl, quota: None, branches: Vec::new() },
+            DirNode {
+                parent: Some(dir),
+                label,
+                acl,
+                quota: None,
+                branches: Vec::new(),
+            },
         );
         Ok(uid)
     }
@@ -288,18 +325,29 @@ impl FileSystem {
     /// their own access decision (e.g. `initiate`, which checks the
     /// *target's* ACL instead of the directory's).
     pub fn peek_branch(&self, dir: SegUid, name: &str) -> Option<&Branch> {
-        self.nodes.get(&dir)?.branches.iter().find(|b| b.has_name(name))
+        self.nodes
+            .get(&dir)?
+            .branches
+            .iter()
+            .find(|b| b.has_name(name))
     }
 
     /// Mutable unchecked lookup (kernel internal).
     pub fn peek_branch_mut(&mut self, dir: SegUid, name: &str) -> Option<&mut Branch> {
-        self.nodes.get_mut(&dir)?.branches.iter_mut().find(|b| b.has_name(name))
+        self.nodes
+            .get_mut(&dir)?
+            .branches
+            .iter_mut()
+            .find(|b| b.has_name(name))
     }
 
     /// Finds a branch by uid anywhere under `dir` (kernel internal; linear).
     pub fn find_by_uid(&self, uid: SegUid) -> Option<(SegUid, &Branch)> {
         self.nodes.iter().find_map(|(dir, node)| {
-            node.branches.iter().find(|b| b.uid == uid).map(|b| (*dir, b))
+            node.branches
+                .iter()
+                .find(|b| b.uid == uid)
+                .map(|b| (*dir, b))
         })
     }
 
@@ -350,12 +398,7 @@ impl FileSystem {
     }
 
     /// Removes a name from a branch (never its last). Requires `m`.
-    pub fn remove_name(
-        &mut self,
-        dir: SegUid,
-        name: &str,
-        user: &UserId,
-    ) -> Result<(), FsError> {
+    pub fn remove_name(&mut self, dir: SegUid, name: &str, user: &UserId) -> Result<(), FsError> {
         self.require(dir, user, 'm')?;
         let b = self
             .peek_branch_mut(dir, name)
@@ -440,6 +483,7 @@ impl FileSystem {
         name: &str,
         user: &UserId,
     ) -> Result<AclMode, FsError> {
+        self.trace_acl_check(user, &format!("segment {name} in dir {}", dir.0));
         let b = self.peek_branch(dir, name).ok_or(FsError::NoInfo)?;
         match &b.kind {
             BranchKind::Segment { acl, .. } => Ok(acl.effective(user).unwrap_or(AclMode::NULL)),
@@ -457,7 +501,12 @@ impl FileSystem {
     pub fn child_names(&self, dir: SegUid) -> Vec<String> {
         self.nodes
             .get(&dir)
-            .map(|n| n.branches.iter().map(|b| b.primary_name().to_string()).collect())
+            .map(|n| {
+                n.branches
+                    .iter()
+                    .map(|b| b.primary_name().to_string())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -482,14 +531,18 @@ impl FileSystem {
     }
 
     pub(crate) fn drop_nameless_branches(&mut self, dir: SegUid) -> usize {
-        let Some(node) = self.nodes.get_mut(&dir) else { return 0 };
+        let Some(node) = self.nodes.get_mut(&dir) else {
+            return 0;
+        };
         let before = node.branches.len();
         node.branches.retain(|b| !b.names.is_empty());
         before - node.branches.len()
     }
 
     pub(crate) fn duplicate_names_in(&self, dir: SegUid) -> Vec<String> {
-        let Some(node) = self.nodes.get(&dir) else { return Vec::new() };
+        let Some(node) = self.nodes.get(&dir) else {
+            return Vec::new();
+        };
         let mut seen = std::collections::HashSet::new();
         let mut dups = Vec::new();
         for b in &node.branches {
@@ -505,7 +558,9 @@ impl FileSystem {
     /// Keeps the first holder of `name`; later holders lose the name (and
     /// the whole branch, if it was their last).
     pub(crate) fn strip_duplicate_name(&mut self, dir: SegUid, name: &str) {
-        let Some(node) = self.nodes.get_mut(&dir) else { return };
+        let Some(node) = self.nodes.get_mut(&dir) else {
+            return;
+        };
         let mut kept = false;
         for b in &mut node.branches {
             if b.has_name(name) {
@@ -533,7 +588,12 @@ impl FileSystem {
     pub(crate) fn branch_facts(&self, dir: SegUid) -> Vec<(SegUid, Label, bool)> {
         self.nodes
             .get(&dir)
-            .map(|n| n.branches.iter().map(|b| (b.uid, b.label, b.is_dir())).collect())
+            .map(|n| {
+                n.branches
+                    .iter()
+                    .map(|b| (b.uid, b.label, b.is_dir()))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -624,8 +684,10 @@ impl FileSystem {
     }
 
     pub(crate) fn corrupt_overcommit_quota(&mut self, dir: SegUid) {
-        self.nodes.get_mut(&dir).expect("dir exists").quota =
-            Some(QuotaCell { limit_pages: 1, used_pages: 5 });
+        self.nodes.get_mut(&dir).expect("dir exists").quota = Some(QuotaCell {
+            limit_pages: 1,
+            used_pages: 5,
+        });
     }
 }
 
@@ -644,7 +706,9 @@ mod tests {
 
     fn fs_with_udd() -> (FileSystem, SegUid) {
         let mut fs = FileSystem::new(&admin());
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+            .unwrap();
         // Give Jones append+status on udd.
         let node = fs.nodes.get_mut(&udd).unwrap();
         node.acl.add("Jones.CSR.a", DirMode::SA);
@@ -679,10 +743,23 @@ mod tests {
         let (mut fs, udd) = fs_with_udd();
         let acl = Acl::of("Jones.CSR.a", AclMode::RW);
         let uid = fs
-            .create_segment(udd, "notes", &jones(), acl, RingBrackets::new(4, 4, 4), Label::BOTTOM)
+            .create_segment(
+                udd,
+                "notes",
+                &jones(),
+                acl,
+                RingBrackets::new(4, 4, 4),
+                Label::BOTTOM,
+            )
             .unwrap();
-        assert_eq!(fs.segment_access(udd, "notes", &jones()).unwrap(), AclMode::RW);
-        assert_eq!(fs.segment_access(udd, "notes", &admin()).unwrap(), AclMode::NULL);
+        assert_eq!(
+            fs.segment_access(udd, "notes", &jones()).unwrap(),
+            AclMode::RW
+        );
+        assert_eq!(
+            fs.segment_access(udd, "notes", &admin()).unwrap(),
+            AclMode::NULL
+        );
         assert_eq!(fs.find_by_uid(uid).unwrap().1.primary_name(), "notes");
     }
 
@@ -715,7 +792,9 @@ mod tests {
     fn labels_must_dominate_parent() {
         let mut fs = FileSystem::new(&admin());
         let secret = Label::new(Level::SECRET, Compartments::NONE);
-        let sdir = fs.create_directory(FileSystem::ROOT, "secret", &admin(), secret).unwrap();
+        let sdir = fs
+            .create_directory(FileSystem::ROOT, "secret", &admin(), secret)
+            .unwrap();
         // Creating an UNCLASSIFIED branch under a SECRET directory: refused.
         let err = fs
             .create_segment(
@@ -744,7 +823,9 @@ mod tests {
     #[test]
     fn delete_requires_modify_and_empty_directories() {
         let (mut fs, udd) = fs_with_udd();
-        let sub = fs.create_directory(udd, "sub", &jones(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &jones(), Label::BOTTOM)
+            .unwrap();
         fs.create_segment(
             sub,
             "inner",
@@ -775,7 +856,9 @@ mod tests {
     #[test]
     fn added_names_resolve_and_last_name_is_protected() {
         let (mut fs, udd) = fs_with_udd();
-        let sub = fs.create_directory(udd, "sub", &jones(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &jones(), Label::BOTTOM)
+            .unwrap();
         fs.create_segment(
             sub,
             "prog",
@@ -788,7 +871,10 @@ mod tests {
         fs.add_name(sub, "prog", "p", &jones()).unwrap();
         assert!(fs.peek_branch(sub, "p").is_some());
         fs.remove_name(sub, "p", &jones()).unwrap();
-        assert_eq!(fs.remove_name(sub, "prog", &jones()).unwrap_err(), FsError::LastName);
+        assert_eq!(
+            fs.remove_name(sub, "prog", &jones()).unwrap_err(),
+            FsError::LastName
+        );
     }
 
     #[test]
@@ -812,7 +898,9 @@ mod tests {
     #[test]
     fn list_requires_status() {
         let (mut fs, udd) = fs_with_udd();
-        let sub = fs.create_directory(udd, "sub", &jones(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &jones(), Label::BOTTOM)
+            .unwrap();
         // Admin has no entry on sub's ACL.
         assert_eq!(
             fs.list(sub, &admin()).unwrap_err(),

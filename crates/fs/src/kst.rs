@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use mks_hw::{SegNo, SegUid};
+use mks_trace::{EventKind, Layer, TraceHandle};
 
 use crate::hierarchy::FileSystem;
 
@@ -50,6 +51,7 @@ pub struct KernelKst {
     next_segno: u16,
     free_segnos: Vec<u16>,
     next_phantom_uid: u64,
+    trace: Option<TraceHandle>,
 }
 
 /// First segment number handed to user-initiated segments (lower numbers
@@ -68,7 +70,14 @@ impl KernelKst {
             next_segno: FIRST_USER_SEGNO,
             free_segnos: Vec::new(),
             next_phantom_uid: PHANTOM_UID_BASE,
+            trace: None,
         }
+    }
+
+    /// Connects the KST to the kernel flight recorder so lookups are
+    /// counted and logged.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
     }
 
     /// Segment numbers freed by `terminate` are reused before the counter
@@ -91,7 +100,14 @@ impl KernelKst {
             return *s;
         }
         let s = self.alloc_segno();
-        self.by_segno.insert(s, KstEntry { uid, is_dir, phantom: false });
+        self.by_segno.insert(
+            s,
+            KstEntry {
+                uid,
+                is_dir,
+                phantom: false,
+            },
+        );
         self.by_uid.insert(uid, s);
         s
     }
@@ -102,14 +118,34 @@ impl KernelKst {
         let uid = SegUid(self.next_phantom_uid);
         self.next_phantom_uid += 1;
         let s = self.alloc_segno();
-        self.by_segno.insert(s, KstEntry { uid, is_dir, phantom: true });
+        self.by_segno.insert(
+            s,
+            KstEntry {
+                uid,
+                is_dir,
+                phantom: true,
+            },
+        );
         self.by_uid.insert(uid, s);
         s
     }
 
     /// Looks up a segment number.
     pub fn entry(&self, segno: SegNo) -> Option<KstEntry> {
-        self.by_segno.get(&segno).copied()
+        let hit = self.by_segno.get(&segno).copied();
+        if let Some(t) = &self.trace {
+            t.counter_add("fs.kst_lookups", 1);
+            t.event(
+                Layer::Fs,
+                EventKind::KstLookup,
+                &format!(
+                    "segno {} {}",
+                    segno.0,
+                    if hit.is_some() { "hit" } else { "miss" }
+                ),
+            );
+        }
+        hit
     }
 
     /// Finds the segment number bound to `uid`, if any.
@@ -185,8 +221,12 @@ mod tests {
 
     fn sample_fs() -> FileSystem {
         let mut fs = FileSystem::new(&admin());
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
-        let csr = fs.create_directory(udd, "CSR", &admin(), Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+            .unwrap();
+        let csr = fs
+            .create_directory(udd, "CSR", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.create_segment(
             csr,
             "notes",

@@ -187,7 +187,11 @@ impl LegacyKst {
         refname: Option<&str>,
     ) -> Result<SegNo, LegacyKstError> {
         let base = self.wdirs[ring as usize].clone();
-        let path = if base == ">" { format!(">{rel}") } else { format!("{base}>{rel}") };
+        let path = if base == ">" {
+            format!(">{rel}")
+        } else {
+            format!("{base}>{rel}")
+        };
         self.initiate_path(fs, &path, ring, refname)
     }
 
@@ -244,14 +248,9 @@ impl LegacyKst {
 
     /// Gate: terminate by reference name — drops the name and, if it was
     /// the segment's last name in every ring, unbinds the segment.
-    pub fn terminate_refname(
-        &mut self,
-        ring: RingNo,
-        name: &str,
-    ) -> Result<(), LegacyKstError> {
+    pub fn terminate_refname(&mut self, ring: RingNo, name: &str) -> Result<(), LegacyKstError> {
         self.calls += 1;
-        let segno = self
-            .refnames[ring as usize]
+        let segno = self.refnames[ring as usize]
             .remove(name)
             .ok_or_else(|| LegacyKstError::UnknownRefname(name.to_string()))?;
         if let Some(meta) = self.meta.get_mut(&segno) {
@@ -342,8 +341,12 @@ mod tests {
 
     fn sample_fs() -> FileSystem {
         let mut fs = FileSystem::new(&admin());
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
-        let csr = fs.create_directory(udd, "CSR", &admin(), Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+            .unwrap();
+        let csr = fs
+            .create_directory(udd, "CSR", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.create_segment(
             csr,
             "notes",
@@ -370,8 +373,12 @@ mod tests {
         let mut kst = LegacyKst::new();
         // The two failures are distinguishable — the oracle the kernel
         // configuration's phantoms close.
-        let missing = kst.initiate_path(&fs, ">udd>Nowhere>x", 4, None).unwrap_err();
-        let notdir = kst.initiate_path(&fs, ">udd>CSR>notes>x", 4, None).unwrap_err();
+        let missing = kst
+            .initiate_path(&fs, ">udd>Nowhere>x", 4, None)
+            .unwrap_err();
+        let notdir = kst
+            .initiate_path(&fs, ">udd>CSR>notes>x", 4, None)
+            .unwrap_err();
         assert!(matches!(missing, LegacyKstError::NoEntry(_)));
         assert!(matches!(notdir, LegacyKstError::NotADirectory(_)));
     }
@@ -389,7 +396,9 @@ mod tests {
     fn refnames_are_supervisor_state_with_backpointers() {
         let fs = sample_fs();
         let mut kst = LegacyKst::new();
-        let s = kst.initiate_path(&fs, ">udd>CSR>notes", 4, Some("notes_")).unwrap();
+        let s = kst
+            .initiate_path(&fs, ">udd>CSR>notes", 4, Some("notes_"))
+            .unwrap();
         assert_eq!(kst.refname(4, "notes_").unwrap(), s);
         assert_eq!(kst.nr_refnames(), 1);
         // Terminating the last refname unbinds the segment entirely.
@@ -417,12 +426,17 @@ mod tests {
     fn terminate_segno_clears_everything() {
         let fs = sample_fs();
         let mut kst = LegacyKst::new();
-        let s = kst.initiate_path(&fs, ">udd>CSR>notes", 4, Some("n1")).unwrap();
+        let s = kst
+            .initiate_path(&fs, ">udd>CSR>notes", 4, Some("n1"))
+            .unwrap();
         kst.set_refname(2, "n2", s).unwrap();
         kst.terminate_segno(s).unwrap();
         assert!(kst.entry(s).is_none());
         assert_eq!(kst.nr_refnames(), 0);
-        assert!(matches!(kst.path_of(s), Err(LegacyKstError::UnknownSegno(_))));
+        assert!(matches!(
+            kst.path_of(s),
+            Err(LegacyKstError::UnknownSegno(_))
+        ));
         // A re-initiate must re-walk (cache was invalidated) and rebind.
         let s2 = kst.initiate_path(&fs, ">udd>CSR>notes", 4, None).unwrap();
         assert!(kst.entry(s2).is_some());
@@ -452,7 +466,10 @@ mod tests {
     #[test]
     fn bad_refname_and_segno_are_reported() {
         let mut kst = LegacyKst::new();
-        assert!(matches!(kst.refname(4, "x"), Err(LegacyKstError::UnknownRefname(_))));
+        assert!(matches!(
+            kst.refname(4, "x"),
+            Err(LegacyKstError::UnknownRefname(_))
+        ));
         assert!(matches!(
             kst.set_refname(4, "x", SegNo(99)),
             Err(LegacyKstError::UnknownSegno(_))

@@ -113,8 +113,12 @@ mod tests {
     fn svc() -> Svc {
         let admin = UserId::new("Admin", "SysAdmin", "a");
         let mut fs = FileSystem::new(&admin);
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin, Label::BOTTOM).unwrap();
-        let csr = fs.create_directory(udd, "CSR", &admin, Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin, Label::BOTTOM)
+            .unwrap();
+        let csr = fs
+            .create_directory(udd, "CSR", &admin, Label::BOTTOM)
+            .unwrap();
         fs.create_segment(
             csr,
             "notes",
@@ -124,7 +128,10 @@ mod tests {
             Label::BOTTOM,
         )
         .unwrap();
-        Svc { fs, kst: KernelKst::new() }
+        Svc {
+            fs,
+            kst: KernelKst::new(),
+        }
     }
 
     #[test]
@@ -132,7 +139,10 @@ mod tests {
         assert!(parse_path(">a>b").is_ok());
         assert_eq!(parse_path("a>b"), Err(PathError::NotAbsolute("a>b".into())));
         assert_eq!(parse_path(">"), Err(PathError::Empty));
-        assert_eq!(parse_path(">a b"), Err(PathError::BadComponent("a b".into())));
+        assert_eq!(
+            parse_path(">a b"),
+            Err(PathError::BadComponent("a b".into()))
+        );
     }
 
     #[test]
@@ -151,7 +161,10 @@ mod tests {
         let mut s = svc();
         let (dir, leaf) = resolve_path(&mut s, ">udd>Nowhere>thing").unwrap();
         assert_eq!(leaf, "thing");
-        assert!(s.kst.entry(dir).unwrap().phantom, "resolution must not leak existence");
+        assert!(
+            s.kst.entry(dir).unwrap().phantom,
+            "resolution must not leak existence"
+        );
     }
 
     #[test]
@@ -168,6 +181,10 @@ mod tests {
         resolve_path(&mut s, ">udd>CSR>notes").unwrap();
         let n = s.kst.len();
         resolve_path(&mut s, ">udd>CSR>notes").unwrap();
-        assert_eq!(s.kst.len(), n, "idempotent initiation must not grow the KST");
+        assert_eq!(
+            s.kst.len(),
+            n,
+            "idempotent initiation must not grow the KST"
+        );
     }
 }

@@ -32,8 +32,14 @@ pub enum QuotaError {
 impl core::fmt::Display for QuotaError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            QuotaError::Exceeded { requested, available } => {
-                write!(f, "record quota overflow: requested {requested}, available {available}")
+            QuotaError::Exceeded {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "record quota overflow: requested {requested}, available {available}"
+                )
             }
             QuotaError::WouldOvercommit => write!(f, "quota move would overcommit source cell"),
         }
@@ -45,7 +51,10 @@ impl std::error::Error for QuotaError {}
 impl QuotaCell {
     /// A cell with the given limit and nothing charged.
     pub fn with_limit(limit_pages: u64) -> QuotaCell {
-        QuotaCell { limit_pages, used_pages: 0 }
+        QuotaCell {
+            limit_pages,
+            used_pages: 0,
+        }
     }
 
     /// Pages still available.
@@ -56,7 +65,10 @@ impl QuotaCell {
     /// Charges `pages` against the cell.
     pub fn charge(&mut self, pages: u64) -> Result<(), QuotaError> {
         if pages > self.available() {
-            return Err(QuotaError::Exceeded { requested: pages, available: self.available() });
+            return Err(QuotaError::Exceeded {
+                requested: pages,
+                available: self.available(),
+            });
         }
         self.used_pages += pages;
         Ok(())
@@ -102,7 +114,13 @@ mod tests {
     fn over_quota_charge_is_refused() {
         let mut q = QuotaCell::with_limit(3);
         q.charge(3).unwrap();
-        assert_eq!(q.charge(1), Err(QuotaError::Exceeded { requested: 1, available: 0 }));
+        assert_eq!(
+            q.charge(1),
+            Err(QuotaError::Exceeded {
+                requested: 1,
+                available: 0
+            })
+        );
         assert_eq!(q.used_pages, 3, "failed charge must not change usage");
     }
 
@@ -128,7 +146,10 @@ mod tests {
         let mut parent = QuotaCell::with_limit(10);
         parent.charge(8).unwrap();
         let mut child = QuotaCell::with_limit(0);
-        assert_eq!(parent.move_to(&mut child, 4), Err(QuotaError::WouldOvercommit));
+        assert_eq!(
+            parent.move_to(&mut child, 4),
+            Err(QuotaError::WouldOvercommit)
+        );
         assert_eq!(parent.limit_pages, 10);
         assert_eq!(child.limit_pages, 0);
     }

@@ -110,7 +110,10 @@ impl FileSystem {
             // Duplicate names: keep the first holder, strip the name from
             // later ones (dropping a branch that loses its last name).
             for name in self.duplicate_names_in(dir) {
-                report.problems.push(Problem::DuplicateName { dir, name: name.clone() });
+                report.problems.push(Problem::DuplicateName {
+                    dir,
+                    name: name.clone(),
+                });
                 self.strip_duplicate_name(dir, &name);
                 report.repaired += 1;
             }
@@ -185,7 +188,9 @@ mod tests {
 
     fn sample() -> (FileSystem, SegUid, SegUid) {
         let mut fs = FileSystem::new(&admin());
-        let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
+        let udd = fs
+            .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+            .unwrap();
         let seg = fs
             .create_segment(
                 udd,
@@ -211,7 +216,10 @@ mod tests {
         let (mut fs, udd, _) = sample();
         fs.corrupt_add_duplicate_name(udd, "data");
         let r = fs.salvage();
-        assert!(r.problems.iter().any(|p| matches!(p, Problem::DuplicateName { .. })));
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::DuplicateName { .. })));
         // Exactly one branch answers to the name afterwards.
         assert!(fs.peek_branch(udd, "data").is_some());
         assert!(fs.salvage().clean(), "salvage must be idempotent");
@@ -223,10 +231,14 @@ mod tests {
         // Corrupt: raise udd's node label above its branch's children.
         fs.corrupt_set_dir_label(udd, Label::new(Level::SECRET, Compartments::of(&[1])));
         let r = fs.salvage();
-        assert!(r.problems.iter().any(|p| matches!(p, Problem::LabelViolation { .. })));
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::LabelViolation { .. })));
         let b = fs.find_by_uid(seg).unwrap().1;
         assert!(
-            b.label.dominates(&Label::new(Level::SECRET, Compartments::of(&[1]))),
+            b.label
+                .dominates(&Label::new(Level::SECRET, Compartments::of(&[1]))),
             "repair must raise the branch label"
         );
         assert!(fs.salvage().clean());
@@ -235,10 +247,15 @@ mod tests {
     #[test]
     fn dangling_directory_branches_are_dropped() {
         let (mut fs, udd, _) = sample();
-        let ghost = fs.create_directory(udd, "ghost", &admin(), Label::BOTTOM).unwrap();
+        let ghost = fs
+            .create_directory(udd, "ghost", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.corrupt_remove_node(ghost);
         let r = fs.salvage();
-        assert!(r.problems.iter().any(|p| matches!(p, Problem::MissingNode { .. })));
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::MissingNode { .. })));
         assert!(fs.peek_branch(udd, "ghost").is_none());
         assert!(fs.salvage().clean());
     }
@@ -246,10 +263,15 @@ mod tests {
     #[test]
     fn orphan_nodes_are_removed() {
         let (mut fs, udd, _) = sample();
-        let sub = fs.create_directory(udd, "sub", &admin(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.corrupt_remove_branch(udd, "sub");
         let r = fs.salvage();
-        assert!(r.problems.iter().any(|p| matches!(p, Problem::OrphanNode { uid } if *uid == sub)));
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::OrphanNode { uid } if *uid == sub)));
         assert!(!fs.is_directory(sub));
         assert!(fs.salvage().clean());
     }
@@ -257,13 +279,14 @@ mod tests {
     #[test]
     fn wrong_parent_pointers_are_fixed() {
         let (mut fs, udd, _) = sample();
-        let sub = fs.create_directory(udd, "sub", &admin(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.corrupt_set_parent(sub, FileSystem::ROOT);
         let r = fs.salvage();
-        assert!(r
-            .problems
-            .iter()
-            .any(|p| matches!(p, Problem::WrongParent { uid, actual } if *uid == sub && *actual == udd)));
+        assert!(r.problems.iter().any(
+            |p| matches!(p, Problem::WrongParent { uid, actual } if *uid == sub && *actual == udd)
+        ));
         assert_eq!(fs.dir_parent(sub).unwrap(), Some(udd));
         assert!(fs.salvage().clean());
     }
@@ -273,14 +296,19 @@ mod tests {
         let (mut fs, udd, _) = sample();
         fs.corrupt_overcommit_quota(udd);
         let r = fs.salvage();
-        assert!(r.problems.iter().any(|p| matches!(p, Problem::QuotaOvercommit { .. })));
+        assert!(r
+            .problems
+            .iter()
+            .any(|p| matches!(p, Problem::QuotaOvercommit { .. })));
         assert!(fs.salvage().clean());
     }
 
     #[test]
     fn multiple_corruptions_are_all_found_in_one_pass() {
         let (mut fs, udd, _) = sample();
-        let sub = fs.create_directory(udd, "sub", &admin(), Label::BOTTOM).unwrap();
+        let sub = fs
+            .create_directory(udd, "sub", &admin(), Label::BOTTOM)
+            .unwrap();
         fs.corrupt_add_duplicate_name(udd, "data");
         fs.corrupt_set_parent(sub, FileSystem::ROOT);
         fs.corrupt_overcommit_quota(udd);

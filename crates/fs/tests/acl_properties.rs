@@ -13,8 +13,7 @@ fn arb_component() -> impl Strategy<Value = String> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = String> {
-    (arb_component(), arb_component(), arb_component())
-        .prop_map(|(p, j, t)| format!("{p}.{j}.{t}"))
+    (arb_component(), arb_component(), arb_component()).prop_map(|(p, j, t)| format!("{p}.{j}.{t}"))
 }
 
 fn arb_user() -> impl Strategy<Value = UserId> {
@@ -22,8 +21,11 @@ fn arb_user() -> impl Strategy<Value = UserId> {
 }
 
 fn arb_mode() -> impl Strategy<Value = AclMode> {
-    (any::<bool>(), any::<bool>(), any::<bool>())
-        .prop_map(|(read, execute, write)| AclMode { read, execute, write })
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(read, execute, write)| AclMode {
+        read,
+        execute,
+        write,
+    })
 }
 
 proptest! {

@@ -36,7 +36,11 @@ pub struct Ptw {
 
 impl Ptw {
     /// A PTW for a page that has never been touched.
-    pub const EMPTY: Ptw = Ptw { state: PageState::NotInCore, used: false, modified: false };
+    pub const EMPTY: Ptw = Ptw {
+        state: PageState::NotInCore,
+        used: false,
+        modified: false,
+    };
 }
 
 /// A segment's page table.
@@ -49,7 +53,9 @@ impl PageTable {
     /// Builds a page table covering `len_words` of segment.
     pub fn new(len_words: usize) -> PageTable {
         let pages = len_words.div_ceil(PAGE_WORDS);
-        PageTable { ptws: vec![Ptw::EMPTY; pages] }
+        PageTable {
+            ptws: vec![Ptw::EMPTY; pages],
+        }
     }
 
     /// Number of pages.
@@ -121,8 +127,15 @@ impl Ast {
     /// segment bound.
     pub fn activate(&mut self, uid: SegUid, len_words: usize) -> AstIndex {
         assert!(len_words <= MAX_SEG_WORDS, "segment exceeds 2^18 words");
-        assert!(!self.by_uid.contains_key(&uid), "segment {uid:?} already active");
-        let entry = AstEntry { uid, pt: PageTable::new(len_words), len_words };
+        assert!(
+            !self.by_uid.contains_key(&uid),
+            "segment {uid:?} already active"
+        );
+        let entry = AstEntry {
+            uid,
+            pt: PageTable::new(len_words),
+            len_words,
+        };
         let idx = match self.free.pop() {
             Some(i) => {
                 self.entries[i as usize] = Some(entry);
@@ -142,7 +155,10 @@ impl Ast {
     pub fn deactivate(&mut self, idx: AstIndex) -> AstEntry {
         let entry = self.entries[idx.0 as usize].take().expect("AST slot empty");
         assert!(
-            entry.pt.iter().all(|(_, p)| p.state == PageState::NotInCore),
+            entry
+                .pt
+                .iter()
+                .all(|(_, p)| p.state == PageState::NotInCore),
             "deactivating segment with resident pages"
         );
         self.by_uid.remove(&entry.uid);
@@ -157,12 +173,16 @@ impl Ast {
 
     /// Borrows an entry. Panics on a stale index.
     pub fn entry(&self, idx: AstIndex) -> &AstEntry {
-        self.entries[idx.0 as usize].as_ref().expect("stale AST index")
+        self.entries[idx.0 as usize]
+            .as_ref()
+            .expect("stale AST index")
     }
 
     /// Mutably borrows an entry. Panics on a stale index.
     pub fn entry_mut(&mut self, idx: AstIndex) -> &mut AstEntry {
-        self.entries[idx.0 as usize].as_mut().expect("stale AST index")
+        self.entries[idx.0 as usize]
+            .as_mut()
+            .expect("stale AST index")
     }
 
     /// Number of currently active segments.

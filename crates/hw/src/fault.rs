@@ -102,6 +102,21 @@ impl Fault {
         )
     }
 
+    /// Short stable name of the fault kind, used as trace-record detail.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::NoDescriptor { .. } => "no_descriptor",
+            Fault::OutOfBounds { .. } => "out_of_bounds",
+            Fault::AccessViolation { .. } => "access_violation",
+            Fault::RingViolation { .. } => "ring_violation",
+            Fault::NotAGate { .. } => "not_a_gate",
+            Fault::MissingSegment { .. } => "missing_segment",
+            Fault::MissingPage { .. } => "missing_page",
+            Fault::LinkageFault { .. } => "linkage_fault",
+            Fault::OutwardCall { .. } => "outward_call",
+        }
+    }
+
     /// True for faults that signal an attempted protection violation.
     pub fn is_violation(&self) -> bool {
         matches!(
@@ -124,8 +139,15 @@ impl core::fmt::Display for Fault {
             Fault::AccessViolation { seg, attempted } => {
                 write!(f, "{attempted:?} access denied by mode bits on {seg:?}")
             }
-            Fault::RingViolation { seg, from_ring, attempted } => {
-                write!(f, "{attempted:?} from ring {from_ring} denied by brackets on {seg:?}")
+            Fault::RingViolation {
+                seg,
+                from_ring,
+                attempted,
+            } => {
+                write!(
+                    f,
+                    "{attempted:?} from ring {from_ring} denied by brackets on {seg:?}"
+                )
             }
             Fault::NotAGate { seg, offset } => {
                 write!(f, "offset {offset} of {seg:?} is not a gate entry point")
@@ -137,8 +159,15 @@ impl core::fmt::Display for Fault {
             Fault::LinkageFault { seg, link_index } => {
                 write!(f, "unsnapped link {link_index} in segment {seg:?}")
             }
-            Fault::OutwardCall { seg, from_ring, to_ring } => {
-                write!(f, "outward call from ring {from_ring} to ring {to_ring} of {seg:?}")
+            Fault::OutwardCall {
+                seg,
+                from_ring,
+                to_ring,
+            } => {
+                write!(
+                    f,
+                    "outward call from ring {from_ring} to ring {to_ring} of {seg:?}"
+                )
             }
         }
     }
@@ -155,14 +184,37 @@ mod tests {
     fn directed_and_violation_are_disjoint() {
         let faults = [
             Fault::NoDescriptor { seg: SegNo(1) },
-            Fault::OutOfBounds { seg: SegNo(1), offset: 9 },
-            Fault::AccessViolation { seg: SegNo(1), attempted: AttemptKind::Read },
-            Fault::RingViolation { seg: SegNo(1), from_ring: 4, attempted: AttemptKind::Write },
-            Fault::NotAGate { seg: SegNo(1), offset: 3 },
+            Fault::OutOfBounds {
+                seg: SegNo(1),
+                offset: 9,
+            },
+            Fault::AccessViolation {
+                seg: SegNo(1),
+                attempted: AttemptKind::Read,
+            },
+            Fault::RingViolation {
+                seg: SegNo(1),
+                from_ring: 4,
+                attempted: AttemptKind::Write,
+            },
+            Fault::NotAGate {
+                seg: SegNo(1),
+                offset: 3,
+            },
             Fault::MissingSegment { seg: SegNo(1) },
-            Fault::MissingPage { seg: SegNo(1), page: 0 },
-            Fault::LinkageFault { seg: SegNo(1), link_index: 2 },
-            Fault::OutwardCall { seg: SegNo(1), from_ring: 0, to_ring: 4 },
+            Fault::MissingPage {
+                seg: SegNo(1),
+                page: 0,
+            },
+            Fault::LinkageFault {
+                seg: SegNo(1),
+                link_index: 2,
+            },
+            Fault::OutwardCall {
+                seg: SegNo(1),
+                from_ring: 0,
+                to_ring: 4,
+            },
         ];
         for f in faults {
             assert!(!(f.is_directed() && f.is_violation()), "{f}");
@@ -171,7 +223,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let f = Fault::MissingPage { seg: SegNo(7), page: 3 };
+        let f = Fault::MissingPage {
+            seg: SegNo(7),
+            page: 3,
+        };
         assert!(format!("{f}").contains("page 3"));
     }
 }

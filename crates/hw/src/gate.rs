@@ -34,7 +34,12 @@ impl GateDef {
         callable_from: RingNo,
         entries: Vec<&'static str>,
     ) -> GateDef {
-        GateDef { name, target_ring, callable_from, entries }
+        GateDef {
+            name,
+            target_ring,
+            callable_from,
+            entries,
+        }
     }
 
     /// Number of entry points (the hardware call limiter value).
@@ -44,7 +49,10 @@ impl GateDef {
 
     /// Looks up an entry point by name.
     pub fn entry(&self, name: &str) -> Option<EntryIndex> {
-        self.entries.iter().position(|e| *e == name).map(|i| EntryIndex(i as u32))
+        self.entries
+            .iter()
+            .position(|e| *e == name)
+            .map(|i| EntryIndex(i as u32))
     }
 
     /// True if ordinary user rings (ring 4 in the standard Multics

@@ -43,7 +43,7 @@ pub use fault::Fault;
 pub use gate::{EntryIndex, GateDef};
 pub use machine::{AccessType, CallOutcome, Machine};
 pub use mem::{FrameId, PhysMem, PAGE_WORDS};
-pub use module::{Category, ModuleInfo, source_weight};
+pub use module::{source_weight, Category, ModuleInfo};
 pub use ring::{RingBrackets, RingNo, NR_RINGS};
 pub use sdw::{AccessMode, Sdw};
 pub use space::{AddrSpace, SegNo};

@@ -18,6 +18,7 @@ use crate::ring::{CallEffect, RingNo};
 use crate::sdw::Sdw;
 use crate::space::{AddrSpace, SegNo};
 use crate::word::Word;
+use mks_trace::{EventKind, Layer, TraceHandle};
 
 /// What kind of memory access to perform/check.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -53,6 +54,9 @@ pub struct Machine {
     pub mem: PhysMem,
     /// The active segment table.
     pub ast: Ast,
+    /// The flight recorder, sharing this machine's clock. Every layer
+    /// of the simulation reaches the recorder through the machine.
+    pub trace: TraceHandle,
     faults_taken: u64,
     calls_made: u64,
     ring_crossings: u64,
@@ -62,12 +66,15 @@ impl Machine {
     /// Builds a machine of the given generation with `nr_frames` of primary
     /// memory.
     pub fn new(model: CpuModel, nr_frames: usize) -> Machine {
+        let clock = Clock::new();
+        let trace = TraceHandle::new(clock.clone());
         Machine {
             model,
-            clock: Clock::new(),
+            clock,
             cost: CostModel::for_model(model),
             mem: PhysMem::new(nr_frames),
             ast: Ast::new(),
+            trace,
             faults_taken: 0,
             calls_made: 0,
             ring_crossings: 0,
@@ -92,6 +99,9 @@ impl Machine {
     fn fault(&mut self, f: Fault) -> Fault {
         self.faults_taken += 1;
         self.clock.advance(self.cost.fault_entry);
+        self.trace.counter_add("hw.faults", 1);
+        self.trace
+            .event(Layer::Hw, EventKind::FaultDispatch, f.name());
         f
     }
 
@@ -115,19 +125,31 @@ impl Machine {
             return Err(self.fault(Fault::OutOfBounds { seg, offset }));
         }
         let (mode_ok, ring_ok, attempted) = match kind {
-            AccessType::Read => (sdw.mode.read, sdw.brackets.read_allowed(ring), AttemptKind::Read),
-            AccessType::Write => {
-                (sdw.mode.write, sdw.brackets.write_allowed(ring), AttemptKind::Write)
-            }
-            AccessType::Execute => {
-                (sdw.mode.execute, sdw.brackets.read_allowed(ring), AttemptKind::Execute)
-            }
+            AccessType::Read => (
+                sdw.mode.read,
+                sdw.brackets.read_allowed(ring),
+                AttemptKind::Read,
+            ),
+            AccessType::Write => (
+                sdw.mode.write,
+                sdw.brackets.write_allowed(ring),
+                AttemptKind::Write,
+            ),
+            AccessType::Execute => (
+                sdw.mode.execute,
+                sdw.brackets.read_allowed(ring),
+                AttemptKind::Execute,
+            ),
         };
         if !mode_ok {
             return Err(self.fault(Fault::AccessViolation { seg, attempted }));
         }
         if !ring_ok {
-            return Err(self.fault(Fault::RingViolation { seg, from_ring: ring, attempted }));
+            return Err(self.fault(Fault::RingViolation {
+                seg,
+                from_ring: ring,
+                attempted,
+            }));
         }
         let page = offset / PAGE_WORDS;
         let entry = self.ast.entry_mut(sdw.astx);
@@ -166,19 +188,31 @@ impl Machine {
             return Err(self.fault(Fault::OutOfBounds { seg, offset }));
         }
         let (mode_ok, ring_ok, attempted) = match kind {
-            AccessType::Read => (sdw.mode.read, sdw.brackets.read_allowed(ring), AttemptKind::Read),
-            AccessType::Write => {
-                (sdw.mode.write, sdw.brackets.write_allowed(ring), AttemptKind::Write)
-            }
-            AccessType::Execute => {
-                (sdw.mode.execute, sdw.brackets.read_allowed(ring), AttemptKind::Execute)
-            }
+            AccessType::Read => (
+                sdw.mode.read,
+                sdw.brackets.read_allowed(ring),
+                AttemptKind::Read,
+            ),
+            AccessType::Write => (
+                sdw.mode.write,
+                sdw.brackets.write_allowed(ring),
+                AttemptKind::Write,
+            ),
+            AccessType::Execute => (
+                sdw.mode.execute,
+                sdw.brackets.read_allowed(ring),
+                AttemptKind::Execute,
+            ),
         };
         if !mode_ok {
             return Err(self.fault(Fault::AccessViolation { seg, attempted }));
         }
         if !ring_ok {
-            return Err(self.fault(Fault::RingViolation { seg, from_ring: ring, attempted }));
+            return Err(self.fault(Fault::RingViolation {
+                seg,
+                from_ring: ring,
+                attempted,
+            }));
         }
         Ok(())
     }
@@ -242,25 +276,47 @@ impl Machine {
             None => return Err(self.fault(Fault::NoDescriptor { seg })),
         };
         if !sdw.mode.execute {
-            return Err(self.fault(Fault::AccessViolation { seg, attempted: AttemptKind::Call }));
+            return Err(self.fault(Fault::AccessViolation {
+                seg,
+                attempted: AttemptKind::Call,
+            }));
         }
         let entry = self.ast.entry(sdw.astx);
         if entry_offset >= entry.len_words {
-            return Err(self.fault(Fault::OutOfBounds { seg, offset: entry_offset }));
+            return Err(self.fault(Fault::OutOfBounds {
+                seg,
+                offset: entry_offset,
+            }));
         }
         self.calls_made += 1;
+        self.trace.counter_add("hw.calls", 1);
         match sdw.brackets.classify_call(seg, from_ring) {
             Ok(CallEffect::SameRing) => {
                 self.clock.advance(self.cost.call_intra_ring);
-                Ok(CallOutcome { new_ring: from_ring, crossed: false })
+                Ok(CallOutcome {
+                    new_ring: from_ring,
+                    crossed: false,
+                })
             }
             Ok(CallEffect::InwardTo(target)) => {
                 if !sdw.is_gate_entry(entry_offset) {
-                    return Err(self.fault(Fault::NotAGate { seg, offset: entry_offset }));
+                    return Err(self.fault(Fault::NotAGate {
+                        seg,
+                        offset: entry_offset,
+                    }));
                 }
                 self.ring_crossings += 1;
                 self.clock.advance(self.cost.call_cross_ring);
-                Ok(CallOutcome { new_ring: target, crossed: true })
+                self.trace.counter_add("hw.ring_crossings", 1);
+                self.trace.event(
+                    Layer::Hw,
+                    EventKind::GateTransfer,
+                    &format!("call seg {} ring {} -> {}", seg.0, from_ring, target),
+                );
+                Ok(CallOutcome {
+                    new_ring: target,
+                    crossed: true,
+                })
             }
             Err(f) => Err(self.fault(f)),
         }
@@ -271,6 +327,9 @@ impl Machine {
     /// hardware's own crossings.
     pub fn charge_gate_crossing(&mut self) -> Cycles {
         self.ring_crossings += 1;
+        self.trace.counter_add("hw.ring_crossings", 1);
+        self.trace
+            .event(Layer::Hw, EventKind::GateTransfer, "kernel gate entry");
         self.clock.advance(self.cost.call_cross_ring)
     }
 
@@ -325,7 +384,10 @@ mod tests {
     #[test]
     fn missing_descriptor_faults() {
         let (mut m, sp) = setup(AccessMode::RW, RingBrackets::private_to(4));
-        assert!(matches!(m.read(&sp, 4, SegNo(9), 0), Err(Fault::NoDescriptor { .. })));
+        assert!(matches!(
+            m.read(&sp, 4, SegNo(9), 0),
+            Err(Fault::NoDescriptor { .. })
+        ));
         assert_eq!(m.faults_taken(), 1);
     }
 
@@ -364,7 +426,10 @@ mod tests {
         let mut m = Machine::new(CpuModel::H6180, 8);
         let astx = m.ast.activate(SegUid(2), PAGE_WORDS);
         let mut sp = AddrSpace::new();
-        sp.set(SegNo(1), Sdw::plain(astx, AccessMode::RW, RingBrackets::private_to(4)));
+        sp.set(
+            SegNo(1),
+            Sdw::plain(astx, AccessMode::RW, RingBrackets::private_to(4)),
+        );
         assert!(matches!(
             m.read(&sp, 4, SegNo(1), 3),
             Err(Fault::MissingPage { page: 0, .. })
@@ -379,9 +444,21 @@ mod tests {
         let mut sp = AddrSpace::new();
         sp.set(SegNo(2), Sdw::gate(astx, RingBrackets::gate(0, 5), 4));
         let out = m.call(&sp, 4, SegNo(2), 2).unwrap();
-        assert_eq!(out, CallOutcome { new_ring: 0, crossed: true });
-        assert!(matches!(m.call(&sp, 4, SegNo(2), 7), Err(Fault::NotAGate { .. })));
-        assert!(matches!(m.call(&sp, 6, SegNo(2), 2), Err(Fault::RingViolation { .. })));
+        assert_eq!(
+            out,
+            CallOutcome {
+                new_ring: 0,
+                crossed: true
+            }
+        );
+        assert!(matches!(
+            m.call(&sp, 4, SegNo(2), 7),
+            Err(Fault::NotAGate { .. })
+        ));
+        assert!(matches!(
+            m.call(&sp, 6, SegNo(2), 2),
+            Err(Fault::RingViolation { .. })
+        ));
         assert_eq!(m.ring_crossings(), 1);
     }
 
@@ -389,7 +466,13 @@ mod tests {
     fn intra_ring_call_does_not_cross() {
         let (mut m, sp) = setup(AccessMode::RE, RingBrackets::new(4, 4, 4));
         let out = m.call(&sp, 4, SegNo(1), 0).unwrap();
-        assert_eq!(out, CallOutcome { new_ring: 4, crossed: false });
+        assert_eq!(
+            out,
+            CallOutcome {
+                new_ring: 4,
+                crossed: false
+            }
+        );
     }
 
     #[test]
@@ -413,7 +496,10 @@ mod tests {
             let ratio = cross as f64 / intra as f64;
             assert!(ratio <= max_ratio, "{model:?}: ratio {ratio}");
             if model == CpuModel::H645 {
-                assert!(ratio > 50.0, "645 crossing should be expensive, got {ratio}");
+                assert!(
+                    ratio > 50.0,
+                    "645 crossing should be expensive, got {ratio}"
+                );
             }
         }
     }

@@ -21,7 +21,10 @@ pub type FrameData = Box<[Word; PAGE_WORDS]>;
 pub fn zeroed_frame() -> FrameData {
     // Box::new([Word::ZERO; PAGE_WORDS]) would build on the stack first;
     // go through a Vec to allocate directly on the heap.
-    vec![Word::ZERO; PAGE_WORDS].into_boxed_slice().try_into().expect("length is PAGE_WORDS")
+    vec![Word::ZERO; PAGE_WORDS]
+        .into_boxed_slice()
+        .try_into()
+        .expect("length is PAGE_WORDS")
 }
 
 /// Primary memory: `nr_frames` page frames of [`PAGE_WORDS`] words each.
@@ -33,7 +36,9 @@ pub struct PhysMem {
 impl PhysMem {
     /// Creates a primary memory of `nr_frames` zeroed frames.
     pub fn new(nr_frames: usize) -> PhysMem {
-        PhysMem { frames: (0..nr_frames).map(|_| zeroed_frame()).collect() }
+        PhysMem {
+            frames: (0..nr_frames).map(|_| zeroed_frame()).collect(),
+        }
     }
 
     /// Number of frames configured.

@@ -95,7 +95,11 @@ impl RingBrackets {
         } else if r <= self.r3 {
             Ok(CallEffect::InwardTo(self.r2))
         } else {
-            Err(Fault::RingViolation { seg, from_ring: r, attempted: AttemptKind::Call })
+            Err(Fault::RingViolation {
+                seg,
+                from_ring: r,
+                attempted: AttemptKind::Call,
+            })
         }
     }
 }
@@ -144,7 +148,10 @@ mod tests {
     #[test]
     fn call_above_r3_faults() {
         let b = RingBrackets::new(0, 0, 5);
-        assert!(matches!(b.classify_call(SEG, 6), Err(Fault::RingViolation { .. })));
+        assert!(matches!(
+            b.classify_call(SEG, 6),
+            Err(Fault::RingViolation { .. })
+        ));
     }
 
     #[test]

@@ -22,14 +22,30 @@ pub struct AccessMode {
 
 impl AccessMode {
     /// Read-only data.
-    pub const R: AccessMode = AccessMode { read: true, write: false, execute: false };
+    pub const R: AccessMode = AccessMode {
+        read: true,
+        write: false,
+        execute: false,
+    };
     /// Read-write data.
-    pub const RW: AccessMode = AccessMode { read: true, write: true, execute: false };
+    pub const RW: AccessMode = AccessMode {
+        read: true,
+        write: true,
+        execute: false,
+    };
     /// Pure procedure (read + execute, the normal Multics procedure mode).
-    pub const RE: AccessMode = AccessMode { read: true, write: false, execute: true };
+    pub const RE: AccessMode = AccessMode {
+        read: true,
+        write: false,
+        execute: true,
+    };
     /// Everything (used by some legacy-configuration supervisor segments —
     /// exactly the kind of over-privilege the kernel project removes).
-    pub const REW: AccessMode = AccessMode { read: true, write: true, execute: true };
+    pub const REW: AccessMode = AccessMode {
+        read: true,
+        write: true,
+        execute: true,
+    };
 }
 
 /// A segment descriptor word.
@@ -50,12 +66,22 @@ pub struct Sdw {
 impl Sdw {
     /// Descriptor for an ordinary (non-gate) segment.
     pub fn plain(astx: AstIndex, mode: AccessMode, brackets: RingBrackets) -> Sdw {
-        Sdw { astx, mode, brackets, call_limiter: None }
+        Sdw {
+            astx,
+            mode,
+            brackets,
+            call_limiter: None,
+        }
     }
 
     /// Descriptor for a gate segment with `entries` entry points.
     pub fn gate(astx: AstIndex, brackets: RingBrackets, entries: u32) -> Sdw {
-        Sdw { astx, mode: AccessMode::RE, brackets, call_limiter: Some(entries) }
+        Sdw {
+            astx,
+            mode: AccessMode::RE,
+            brackets,
+            call_limiter: Some(entries),
+        }
     }
 
     /// Is `offset` a valid gate entry point for call-bracket callers?

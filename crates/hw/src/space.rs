@@ -63,12 +63,12 @@ impl AddrSpace {
         if self.sdws.len() < start {
             self.sdws.resize(start, None);
         }
-        let slot = (start..self.sdws.len()).find(|&i| self.sdws[i].is_none()).unwrap_or_else(
-            || {
+        let slot = (start..self.sdws.len())
+            .find(|&i| self.sdws[i].is_none())
+            .unwrap_or_else(|| {
                 self.sdws.push(None);
                 self.sdws.len() - 1
-            },
-        );
+            });
         self.sdws[slot] = Some(sdw);
         let seg = SegNo(slot as u16);
         self.next_hint = seg.0;

@@ -4,8 +4,8 @@
 
 use mks_hw::ast::PageState;
 use mks_hw::{
-    AccessMode, AccessType, AddrSpace, CpuModel, Fault, FrameId, Machine, RingBrackets, Sdw,
-    SegNo, SegUid, Word, PAGE_WORDS,
+    AccessMode, AccessType, AddrSpace, CpuModel, Fault, FrameId, Machine, RingBrackets, Sdw, SegNo,
+    SegUid, Word, PAGE_WORDS,
 };
 use proptest::prelude::*;
 
@@ -26,13 +26,19 @@ fn arb_setup() -> impl Strategy<Value = Setup> {
         0usize..(2 * PAGE_WORDS + 10),
         any::<bool>(),
     )
-        .prop_map(|((read, write, execute), (a, b, c), ring, offset, resident)| Setup {
-            mode: AccessMode { read, write, execute },
-            brackets: RingBrackets::new(a, b, c),
-            ring,
-            offset,
-            resident,
-        })
+        .prop_map(
+            |((read, write, execute), (a, b, c), ring, offset, resident)| Setup {
+                mode: AccessMode {
+                    read,
+                    write,
+                    execute,
+                },
+                brackets: RingBrackets::new(a, b, c),
+                ring,
+                offset,
+                resident,
+            },
+        )
 }
 
 fn build(s: &Setup) -> (Machine, AddrSpace) {
@@ -43,7 +49,15 @@ fn build(s: &Setup) -> (Machine, AddrSpace) {
         m.ast.entry_mut(astx).pt.ptw_mut(1).state = PageState::InCore(FrameId(1));
     }
     let mut sp = AddrSpace::new();
-    sp.set(SegNo(1), Sdw { astx, mode: s.mode, brackets: s.brackets, call_limiter: None });
+    sp.set(
+        SegNo(1),
+        Sdw {
+            astx,
+            mode: s.mode,
+            brackets: s.brackets,
+            call_limiter: None,
+        },
+    );
     (m, sp)
 }
 

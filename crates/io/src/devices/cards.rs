@@ -20,7 +20,11 @@ pub struct CardReaderDim {
 impl CardReaderDim {
     /// An empty hopper.
     pub fn new() -> CardReaderDim {
-        CardReaderDim { hopper: Vec::new(), next: 0, jammed: false }
+        CardReaderDim {
+            hopper: Vec::new(),
+            next: 0,
+            jammed: false,
+        }
     }
 
     /// Loads a deck; each line is padded/truncated to 80 columns.
@@ -94,7 +98,9 @@ pub struct CardPunchDim {
 impl CardPunchDim {
     /// An empty stacker.
     pub fn new() -> CardPunchDim {
-        CardPunchDim { stacker: Vec::new() }
+        CardPunchDim {
+            stacker: Vec::new(),
+        }
     }
 
     /// Cards punched so far.
@@ -177,8 +183,14 @@ mod tests {
         let mut r = CardReaderDim::new();
         r.load_deck(&["data", "+++EOF"]);
         r.submit(DeviceOp::Read { count: 1 });
-        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(Vec::new()));
-        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected("hopper empty"));
+        assert_eq!(
+            r.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Data(Vec::new())
+        );
+        assert_eq!(
+            r.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Rejected("hopper empty")
+        );
     }
 
     #[test]
@@ -189,16 +201,29 @@ mod tests {
             r.submit(DeviceOp::Write { data: vec![1] }),
             DeviceResult::Rejected(_)
         ));
-        assert!(matches!(r.submit(DeviceOp::Control { order: "x" }), DeviceResult::Rejected(_)));
-        assert!(matches!(p.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected(_)));
+        assert!(matches!(
+            r.submit(DeviceOp::Control { order: "x" }),
+            DeviceResult::Rejected(_)
+        ));
+        assert!(matches!(
+            p.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Rejected(_)
+        ));
     }
 
     #[test]
     fn punch_pads_and_bounds_records() {
         let mut p = CardPunchDim::new();
-        assert_eq!(p.submit(DeviceOp::Write { data: b"ab".to_vec() }), DeviceResult::Done);
         assert_eq!(
-            p.submit(DeviceOp::Write { data: vec![b'x'; 81] }),
+            p.submit(DeviceOp::Write {
+                data: b"ab".to_vec()
+            }),
+            DeviceResult::Done
+        );
+        assert_eq!(
+            p.submit(DeviceOp::Write {
+                data: vec![b'x'; 81]
+            }),
             DeviceResult::Rejected("record exceeds 80 columns")
         );
         assert_eq!(p.punched(), 1);
@@ -208,14 +233,21 @@ mod tests {
     #[test]
     fn punched_eof_reads_back_as_eof() {
         let mut p = CardPunchDim::new();
-        p.submit(DeviceOp::Write { data: b"payload".to_vec() });
+        p.submit(DeviceOp::Write {
+            data: b"payload".to_vec(),
+        });
         p.submit(DeviceOp::Control { order: "punch_eof" });
         // Feed the punched deck into a reader.
         let mut r = CardReaderDim::new();
         for card in p.stacker() {
             r.hopper.push(*card);
         }
-        assert!(matches!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(d) if !d.is_empty()));
-        assert_eq!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(Vec::new()));
+        assert!(
+            matches!(r.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(d) if !d.is_empty())
+        );
+        assert_eq!(
+            r.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Data(Vec::new())
+        );
     }
 }

@@ -28,7 +28,12 @@ impl Default for PrinterDim {
 impl PrinterDim {
     /// A printer at top of form.
     pub fn new() -> PrinterDim {
-        PrinterDim { output: Vec::new(), line_on_page: 0, pages: 0, upper_only: true }
+        PrinterDim {
+            output: Vec::new(),
+            line_on_page: 0,
+            pages: 0,
+            upper_only: true,
+        }
     }
 
     fn advance_line(&mut self) {
@@ -108,22 +113,30 @@ mod tests {
     #[test]
     fn short_lines_print_uppercased_by_default() {
         let mut p = PrinterDim::new();
-        p.submit(DeviceOp::Write { data: b"Hello".to_vec() });
+        p.submit(DeviceOp::Write {
+            data: b"Hello".to_vec(),
+        });
         assert_eq!(p.output(), ["HELLO"]);
     }
 
     #[test]
     fn lowercase_train_preserves_case() {
         let mut p = PrinterDim::new();
-        p.submit(DeviceOp::Control { order: "lowercase_train" });
-        p.submit(DeviceOp::Write { data: b"Hello".to_vec() });
+        p.submit(DeviceOp::Control {
+            order: "lowercase_train",
+        });
+        p.submit(DeviceOp::Write {
+            data: b"Hello".to_vec(),
+        });
         assert_eq!(p.output(), ["Hello"]);
     }
 
     #[test]
     fn long_records_wrap_at_line_width() {
         let mut p = PrinterDim::new();
-        p.submit(DeviceOp::Write { data: vec![b'x'; LINE_WIDTH + 10] });
+        p.submit(DeviceOp::Write {
+            data: vec![b'x'; LINE_WIDTH + 10],
+        });
         assert_eq!(p.output().len(), 2);
         assert_eq!(p.output()[0].len(), LINE_WIDTH);
         assert_eq!(p.output()[1].len(), 10);
@@ -133,7 +146,9 @@ mod tests {
     fn pages_advance_every_60_lines() {
         let mut p = PrinterDim::new();
         for _ in 0..PAGE_LINES {
-            p.submit(DeviceOp::Write { data: b"line".to_vec() });
+            p.submit(DeviceOp::Write {
+                data: b"line".to_vec(),
+            });
         }
         assert_eq!(p.pages(), 1);
     }
@@ -141,10 +156,14 @@ mod tests {
     #[test]
     fn skip_page_forces_a_form_feed() {
         let mut p = PrinterDim::new();
-        p.submit(DeviceOp::Write { data: b"a".to_vec() });
+        p.submit(DeviceOp::Write {
+            data: b"a".to_vec(),
+        });
         p.submit(DeviceOp::Control { order: "skip_page" });
         assert_eq!(p.pages(), 1);
-        p.submit(DeviceOp::Write { data: b"b".to_vec() });
+        p.submit(DeviceOp::Write {
+            data: b"b".to_vec(),
+        });
         assert_eq!(p.output().last().unwrap(), "B");
     }
 }

@@ -27,13 +27,21 @@ impl Default for TapeDim {
 impl TapeDim {
     /// Mounts a blank reel with the write ring in.
     pub fn new() -> TapeDim {
-        TapeDim { reel: Vec::new(), position: 0, write_ring: true }
+        TapeDim {
+            reel: Vec::new(),
+            position: 0,
+            write_ring: true,
+        }
     }
 
     /// Mounts a prerecorded reel, write-protected.
     pub fn mounted(blocks: Vec<Vec<u8>>) -> TapeDim {
         let reel = blocks.into_iter().map(TapeRecord::Block).collect();
-        TapeDim { reel, position: 0, write_ring: false }
+        TapeDim {
+            reel,
+            position: 0,
+            write_ring: false,
+        }
     }
 
     /// Records on the reel (for tests/audits).
@@ -130,19 +138,34 @@ mod tests {
     #[test]
     fn write_rewind_read_round_trip() {
         let mut t = TapeDim::new();
-        t.submit(DeviceOp::Write { data: b"rec1".to_vec() });
-        t.submit(DeviceOp::Write { data: b"rec2".to_vec() });
+        t.submit(DeviceOp::Write {
+            data: b"rec1".to_vec(),
+        });
+        t.submit(DeviceOp::Write {
+            data: b"rec2".to_vec(),
+        });
         t.submit(DeviceOp::Control { order: "rewind" });
-        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"rec1".to_vec()));
-        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"rec2".to_vec()));
-        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Rejected("end of tape"));
+        assert_eq!(
+            t.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Data(b"rec1".to_vec())
+        );
+        assert_eq!(
+            t.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Data(b"rec2".to_vec())
+        );
+        assert_eq!(
+            t.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Rejected("end of tape")
+        );
     }
 
     #[test]
     fn write_protection_is_enforced() {
         let mut t = TapeDim::mounted(vec![b"x".to_vec()]);
         assert_eq!(
-            t.submit(DeviceOp::Write { data: b"y".to_vec() }),
+            t.submit(DeviceOp::Write {
+                data: b"y".to_vec()
+            }),
             DeviceResult::Rejected("write ring out")
         );
     }
@@ -155,19 +178,31 @@ mod tests {
         }
         t.submit(DeviceOp::Control { order: "rewind" });
         t.submit(DeviceOp::Read { count: 1 });
-        t.submit(DeviceOp::Write { data: b"B".to_vec() });
+        t.submit(DeviceOp::Write {
+            data: b"B".to_vec(),
+        });
         assert_eq!(t.nr_records(), 2, "records after the new write are gone");
     }
 
     #[test]
     fn file_marks_and_skip_file() {
         let mut t = TapeDim::new();
-        t.submit(DeviceOp::Write { data: b"f1".to_vec() });
+        t.submit(DeviceOp::Write {
+            data: b"f1".to_vec(),
+        });
         t.submit(DeviceOp::Control { order: "write_eof" });
-        t.submit(DeviceOp::Write { data: b"f2".to_vec() });
+        t.submit(DeviceOp::Write {
+            data: b"f2".to_vec(),
+        });
         t.submit(DeviceOp::Control { order: "rewind" });
-        assert_eq!(t.submit(DeviceOp::Control { order: "skip_file" }), DeviceResult::Done);
-        assert_eq!(t.submit(DeviceOp::Read { count: 1 }), DeviceResult::Data(b"f2".to_vec()));
+        assert_eq!(
+            t.submit(DeviceOp::Control { order: "skip_file" }),
+            DeviceResult::Done
+        );
+        assert_eq!(
+            t.submit(DeviceOp::Read { count: 1 }),
+            DeviceResult::Data(b"f2".to_vec())
+        );
     }
 
     #[test]

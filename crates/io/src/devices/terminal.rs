@@ -109,7 +109,13 @@ impl Device for TerminalDim {
             ring: 0,
             category: Category::Io,
             weight: mks_hw::source_weight(include_str!("terminal.rs")),
-            entries: vec!["tty_read", "tty_write", "tty_order", "tty_attach", "tty_detach"],
+            entries: vec![
+                "tty_read",
+                "tty_write",
+                "tty_order",
+                "tty_attach",
+                "tty_detach",
+            ],
         }
     }
 }
@@ -164,7 +170,9 @@ mod tests {
     fn unknown_orders_are_rejected() {
         let mut t = TerminalDim::new();
         assert_eq!(
-            t.submit(DeviceOp::Control { order: "warp_speed" }),
+            t.submit(DeviceOp::Control {
+                order: "warp_speed"
+            }),
             DeviceResult::Rejected("unknown tty order")
         );
     }

@@ -103,6 +103,12 @@ impl InSituInterrupts {
         self.masked = true;
         let t0 = m.clock.now();
         m.charge_interrupt();
+        m.trace.counter_add("io.interrupts", 1);
+        m.trace.event(
+            mks_trace::Layer::Io,
+            mks_trace::EventKind::Interrupt,
+            &format!("in-situ {irq:?}"),
+        );
         if let Some(h) = self.handlers.get_mut(&irq) {
             self.stats.shared_touches += u64::from(h(m));
         }
@@ -159,7 +165,14 @@ impl ProcessInterrupts {
         ctx: &mut C,
         irq: Irq,
     ) -> bool {
-        ctx.machine().charge_interrupt();
+        let m = ctx.machine();
+        m.charge_interrupt();
+        m.trace.counter_add("io.interrupts", 1);
+        m.trace.event(
+            mks_trace::Layer::Io,
+            mks_trace::EventKind::Interrupt,
+            &format!("wakeup {irq:?}"),
+        );
         match self.channels.get(&irq) {
             Some(e) => {
                 tc.wakeup_external(ctx, *e);
@@ -204,15 +217,21 @@ mod tests {
     #[test]
     fn process_design_turns_interrupts_into_wakeups() {
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc: TrafficController<Machine> =
-            TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 4, quantum: 4 });
+        let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 4,
+            quantum: 4,
+        });
         let event = tc.alloc_event();
         let served = std::rc::Rc::new(std::cell::Cell::new(0u32));
         let s = served.clone();
-        tc.add_dedicated(Box::new(FnJob::new("tty-handler", move |_e: &mut Effects<'_, Machine>| {
-            s.set(s.get() + 1);
-            Step::Block(event)
-        })));
+        tc.add_dedicated(Box::new(FnJob::new(
+            "tty-handler",
+            move |_e: &mut Effects<'_, Machine>| {
+                s.set(s.get() + 1);
+                Step::Block(event)
+            },
+        )));
         tc.run_until_quiet(&mut m, 100); // handler parks on its channel
         let mut ints = ProcessInterrupts::new();
         ints.assign(Irq::Tty, event);
@@ -238,6 +257,10 @@ mod tests {
         assert_eq!(ints.stats().handled, 0);
         ints.masked = false;
         ints.take_interrupt(&mut m, Irq::Tty, false);
-        assert_eq!(ints.stats().handled, 2, "deferred interrupt drains after unmask");
+        assert_eq!(
+            ints.stats().handled,
+            2,
+            "deferred interrupt drains after unmask"
+        );
     }
 }

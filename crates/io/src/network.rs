@@ -90,7 +90,10 @@ impl NetworkAttachment {
 
     /// Messages queued to the wire on `id` (simulation-side observer).
     pub fn outbound(&self, id: StreamId) -> &[NetworkMessage] {
-        self.streams.get(&id).map(|s| s.outbound.as_slice()).unwrap_or(&[])
+        self.streams
+            .get(&id)
+            .map(|s| s.outbound.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Unconsumed inbound backlog on `id`.
@@ -106,7 +109,13 @@ impl NetworkAttachment {
             category: Category::Io,
             weight: mks_hw::source_weight(include_str!("network.rs"))
                 + mks_hw::source_weight(include_str!("infinite.rs")),
-            entries: vec!["net_open", "net_close", "net_read", "net_write", "net_status"],
+            entries: vec![
+                "net_open",
+                "net_close",
+                "net_read",
+                "net_write",
+                "net_status",
+            ],
         }
     }
 }
@@ -164,7 +173,12 @@ mod tests {
         let mut n = NetworkAttachment::new();
         let a = n.open();
         let b = n.open();
-        n.deliver_inbound(a, NetworkMessage { data: b"for-a".to_vec() });
+        n.deliver_inbound(
+            a,
+            NetworkMessage {
+                data: b"for-a".to_vec(),
+            },
+        );
         assert_eq!(n.backlog(a), 1);
         assert_eq!(n.backlog(b), 0);
         assert_eq!(n.read(a).unwrap().data, b"for-a");
@@ -176,7 +190,12 @@ mod tests {
         let mut n = NetworkAttachment::new();
         let s = n.open();
         for i in 0..5_000u32 {
-            n.deliver_inbound(s, NetworkMessage { data: i.to_be_bytes().to_vec() });
+            n.deliver_inbound(
+                s,
+                NetworkMessage {
+                    data: i.to_be_bytes().to_vec(),
+                },
+            );
         }
         let mut got = 0u32;
         while let Some(m) = n.read(s) {
@@ -201,7 +220,12 @@ mod tests {
         let mut n = NetworkAttachment::new();
         let s = n.open();
         let mut adapter = UserAdapter::new(Box::new(PrinterDim::new()), s);
-        n.deliver_inbound(s, NetworkMessage { data: b"report line".to_vec() });
+        n.deliver_inbound(
+            s,
+            NetworkMessage {
+                data: b"report line".to_vec(),
+            },
+        );
         adapter.serve(&mut n);
         let m = adapter.module_info();
         assert_eq!(m.ring, 4);

@@ -11,7 +11,7 @@ enum Op {
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        prop_oneof![ (any::<u32>()).prop_map(Op::Push), Just(Op::Pop) ],
+        prop_oneof![(any::<u32>()).prop_map(Op::Push), Just(Op::Pop)],
         0..200,
     )
 }

@@ -65,7 +65,9 @@ impl Default for LegacyLinker {
 impl LegacyLinker {
     /// Creates the supervisor-resident linker.
     pub fn new() -> LegacyLinker {
-        LegacyLinker { refnames: RefNameManager::new() }
+        LegacyLinker {
+            refnames: RefNameManager::new(),
+        }
     }
 
     /// Services a linkage fault: parse the faulting object image *in ring
@@ -80,8 +82,14 @@ impl LegacyLinker {
     ) -> LegacyLinkOutcome {
         let object = match legacy_parse("faulting", image) {
             LegacyParse::Ok(o) => o,
-            LegacyParse::Breach { stray_address, kind } => {
-                return LegacyLinkOutcome::SupervisorBreach { stray_address, kind }
+            LegacyParse::Breach {
+                stray_address,
+                kind,
+            } => {
+                return LegacyLinkOutcome::SupervisorBreach {
+                    stray_address,
+                    kind,
+                }
             }
         };
         let Some((seg_name, entry_name)) = object.links.get(link_index) else {
@@ -92,7 +100,14 @@ impl LegacyLinker {
                 kind: "link index beyond linkage section",
             };
         };
-        match snap(env, &mut self.refnames, rules, faulting_ring, seg_name, entry_name) {
+        match snap(
+            env,
+            &mut self.refnames,
+            rules,
+            faulting_ring,
+            seg_name,
+            entry_name,
+        ) {
             Ok(l) => LegacyLinkOutcome::Snapped(l),
             Err(e) => LegacyLinkOutcome::Error(e),
         }
@@ -128,7 +143,12 @@ mod tests {
         let lib = SegNo(11);
         e.add_dir(
             lib,
-            vec![ObjectSegment::new("sqrt_", 100, vec![("sqrt".into(), 7)], vec![])],
+            vec![ObjectSegment::new(
+                "sqrt_",
+                100,
+                vec![("sqrt".into(), 7)],
+                vec![],
+            )],
         );
         let caller = ObjectSegment::new(
             "caller",

@@ -84,12 +84,20 @@ impl ObjectSegment {
         entries: Vec<(String, usize)>,
         links: Vec<(String, String)>,
     ) -> ObjectSegment {
-        ObjectSegment { name: name.into(), code_len, entries, links }
+        ObjectSegment {
+            name: name.into(),
+            code_len,
+            entries,
+            links,
+        }
     }
 
     /// Finds an exported entry's code offset.
     pub fn entry_offset(&self, entry: &str) -> Option<usize> {
-        self.entries.iter().find(|(n, _)| n == entry).map(|(_, o)| *o)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == entry)
+            .map(|(_, o)| *o)
     }
 
     /// Encodes into the word-level image.
@@ -100,8 +108,14 @@ impl ObjectSegment {
             pool.extend_from_slice(s.as_bytes());
             (off, s.len())
         };
-        let entries: Vec<(usize, usize, usize)> =
-            self.entries.iter().map(|(n, o)| { let (p, l) = intern(n); (p, l, *o) }).collect();
+        let entries: Vec<(usize, usize, usize)> = self
+            .entries
+            .iter()
+            .map(|(n, o)| {
+                let (p, l) = intern(n);
+                (p, l, *o)
+            })
+            .collect();
         let links: Vec<(usize, usize, usize, usize)> = self
             .links
             .iter()
@@ -169,8 +183,9 @@ impl ObjectSegment {
             if off + len > strpool_len {
                 return Err(ParseError::BadString);
             }
-            let bytes: Vec<u8> =
-                (0..len).map(|i| image[strpool_off + off + i].raw() as u8).collect();
+            let bytes: Vec<u8> = (0..len)
+                .map(|i| image[strpool_off + off + i].raw() as u8)
+                .collect();
             String::from_utf8(bytes).map_err(|_| ParseError::BadString)
         };
         let mut entries = Vec::with_capacity(nr_entries);
@@ -191,7 +206,12 @@ impl ObjectSegment {
             links.push((seg, ent));
             i += 4;
         }
-        Ok(ObjectSegment { name: name.into(), code_len, entries, links })
+        Ok(ObjectSegment {
+            name: name.into(),
+            code_len,
+            entries,
+            links,
+        })
     }
 }
 
@@ -222,7 +242,10 @@ pub enum LegacyParse {
 pub fn legacy_parse(name: &str, image: &[Word]) -> LegacyParse {
     if image.len() < HDR_LEN || image[0].raw() != OBJ_MAGIC {
         // Even the legacy linker checked the magic word.
-        return LegacyParse::Breach { stray_address: BREACH_NONE, kind: "rejected: bad magic" };
+        return LegacyParse::Breach {
+            stray_address: BREACH_NONE,
+            kind: "rejected: bad magic",
+        };
     }
     let nr_entries = image[4].raw() as usize;
     let nr_links = image[5].raw() as usize;
@@ -347,7 +370,10 @@ mod tests {
     fn legacy_parser_breaches_on_string_escape() {
         let mut img = sample().encode();
         img[8] = Word::new(1 << 30);
-        assert!(matches!(legacy_parse("x", &img), LegacyParse::Breach { .. }));
+        assert!(matches!(
+            legacy_parse("x", &img),
+            LegacyParse::Breach { .. }
+        ));
     }
 
     #[test]

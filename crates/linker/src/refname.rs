@@ -19,7 +19,9 @@ pub struct RefNameManager {
 
 impl Default for RefNameManager {
     fn default() -> RefNameManager {
-        RefNameManager { tables: (0..NR_RINGS).map(|_| HashMap::new()).collect() }
+        RefNameManager {
+            tables: (0..NR_RINGS).map(|_| HashMap::new()).collect(),
+        }
     }
 }
 

@@ -103,10 +103,12 @@ pub fn snap<E: LinkEnv>(
             s
         }
     };
-    let offset = env.entry_offset(segno, entry_name).ok_or_else(|| LinkError::EntryNotFound {
-        segment: seg_name.to_string(),
-        entry: entry_name.to_string(),
-    })?;
+    let offset = env
+        .entry_offset(segno, entry_name)
+        .ok_or_else(|| LinkError::EntryNotFound {
+            segment: seg_name.to_string(),
+            entry: entry_name.to_string(),
+        })?;
     Ok(SnappedLink { segno, offset })
 }
 
@@ -127,7 +129,10 @@ pub(crate) mod testenv {
 
     impl MiniEnv {
         pub fn new() -> MiniEnv {
-            MiniEnv { next_segno: 100, ..MiniEnv::default() }
+            MiniEnv {
+                next_segno: 100,
+                ..MiniEnv::default()
+            }
         }
 
         pub fn add_dir(&mut self, dir: SegNo, objects: Vec<ObjectSegment>) {
@@ -164,7 +169,12 @@ mod tests {
         let lib = SegNo(11);
         e.add_dir(
             wd,
-            vec![ObjectSegment::new("mine_", 50, vec![("go".into(), 5)], vec![])],
+            vec![ObjectSegment::new(
+                "mine_",
+                50,
+                vec![("go".into(), 5)],
+                vec![],
+            )],
         );
         e.add_dir(
             lib,
@@ -199,7 +209,10 @@ mod tests {
         snap(&mut e, &mut rn, &rules, 4, "sqrt_", "sqrt").unwrap();
         let inits = e.initiations;
         snap(&mut e, &mut rn, &rules, 4, "sqrt_", "sqrt").unwrap();
-        assert_eq!(e.initiations, inits, "second snap must hit the refname table");
+        assert_eq!(
+            e.initiations, inits,
+            "second snap must hit the refname table"
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ impl Default for UserLinker {
 impl UserLinker {
     /// Creates a user-ring linker.
     pub fn new() -> UserLinker {
-        UserLinker { refnames: RefNameManager::new() }
+        UserLinker {
+            refnames: RefNameManager::new(),
+        }
     }
 
     /// Services a linkage fault entirely within `ring`.
@@ -110,7 +112,12 @@ mod tests {
         let lib = SegNo(11);
         e.add_dir(
             lib,
-            vec![ObjectSegment::new("sqrt_", 100, vec![("sqrt".into(), 7)], vec![])],
+            vec![ObjectSegment::new(
+                "sqrt_",
+                100,
+                vec![("sqrt".into(), 7)],
+                vec![],
+            )],
         );
         let caller = ObjectSegment::new(
             "caller",
@@ -171,10 +178,9 @@ mod tests {
         let a = legacy.handle_linkage_fault(&mut env_a, &rules, 4, &image, 0);
         let b = user.handle_linkage_fault(&mut env_b, &rules, 4, &image, 0);
         match (a, b) {
-            (
-                crate::kernel_cfg::LegacyLinkOutcome::Snapped(x),
-                UserLinkOutcome::Snapped(y),
-            ) => assert_eq!(x.offset, y.offset),
+            (crate::kernel_cfg::LegacyLinkOutcome::Snapped(x), UserLinkOutcome::Snapped(y)) => {
+                assert_eq!(x.offset, y.offset)
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -17,8 +17,10 @@ fn arb_object() -> impl Strategy<Value = ObjectSegment> {
     )
         .prop_map(|(name, code_len, entries, links)| {
             // Entry offsets must be inside the code.
-            let entries =
-                entries.into_iter().map(|(n, o)| (n, o % code_len)).collect::<Vec<_>>();
+            let entries = entries
+                .into_iter()
+                .map(|(n, o)| (n, o % code_len))
+                .collect::<Vec<_>>();
             ObjectSegment::new(&name, code_len, entries, links)
         })
 }

@@ -32,7 +32,9 @@ impl Compartments {
 
     /// Builds a set from a list of compartment numbers.
     pub fn of(list: &[u8]) -> Compartments {
-        list.iter().fold(Compartments::NONE, |acc, n| acc.union(Compartments::single(*n)))
+        list.iter().fold(Compartments::NONE, |acc, n| {
+            acc.union(Compartments::single(*n))
+        })
     }
 
     /// Set union.
@@ -92,12 +94,17 @@ pub struct Label {
 impl Label {
     /// The bottom of the lattice: unclassified, no compartments. System
     /// housekeeping objects default here.
-    pub const BOTTOM: Label =
-        Label { level: Level::UNCLASSIFIED, compartments: Compartments::NONE };
+    pub const BOTTOM: Label = Label {
+        level: Level::UNCLASSIFIED,
+        compartments: Compartments::NONE,
+    };
 
     /// Builds a label.
     pub fn new(level: Level, compartments: Compartments) -> Label {
-        Label { level, compartments }
+        Label {
+            level,
+            compartments,
+        }
     }
 
     /// Dominance: `self ≥ other` iff the level is at least as high **and**

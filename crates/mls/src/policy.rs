@@ -75,7 +75,10 @@ mod tests {
     fn read_up_is_denied() {
         let subj = lab(1, &[]);
         let obj = lab(2, &[]);
-        assert_eq!(mls_check(&subj, &obj, AccessKind::Read), Err(MlsDenied::ReadUp));
+        assert_eq!(
+            mls_check(&subj, &obj, AccessKind::Read),
+            Err(MlsDenied::ReadUp)
+        );
         assert!(mls_check(&obj, &subj, AccessKind::Read).is_ok());
     }
 
@@ -83,7 +86,10 @@ mod tests {
     fn write_down_is_denied() {
         let subj = lab(2, &[]);
         let obj = lab(1, &[]);
-        assert_eq!(mls_check(&subj, &obj, AccessKind::Write), Err(MlsDenied::WriteDown));
+        assert_eq!(
+            mls_check(&subj, &obj, AccessKind::Write),
+            Err(MlsDenied::WriteDown)
+        );
         // Blind write-up is allowed by the *-property.
         assert!(mls_check(&lab(1, &[]), &lab(2, &[]), AccessKind::Write).is_ok());
     }
@@ -92,7 +98,10 @@ mod tests {
     fn compartments_block_reads_across() {
         let subj = lab(3, &[1]);
         let obj = lab(0, &[2]);
-        assert_eq!(mls_check(&subj, &obj, AccessKind::Read), Err(MlsDenied::ReadUp));
+        assert_eq!(
+            mls_check(&subj, &obj, AccessKind::Read),
+            Err(MlsDenied::ReadUp)
+        );
     }
 
     #[test]

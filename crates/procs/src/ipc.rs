@@ -28,7 +28,10 @@ struct Channel<W> {
 
 impl<W> Default for Channel<W> {
     fn default() -> Channel<W> {
-        Channel { waiters: Vec::new(), pending: false }
+        Channel {
+            waiters: Vec::new(),
+            pending: false,
+        }
     }
 }
 
@@ -160,7 +163,10 @@ mod tests {
         t.wakeup(e);
         t.wakeup(e);
         assert!(t.block(VpIndex(0), e));
-        assert!(!t.block(VpIndex(0), e), "second wakeup must have been absorbed");
+        assert!(
+            !t.block(VpIndex(0), e),
+            "second wakeup must have been absorbed"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct Effects<'a, C> {
 impl<'a, C> Effects<'a, C> {
     /// Creates an effects wrapper around `ctx`.
     pub fn new(ctx: &'a mut C) -> Effects<'a, C> {
-        Effects { ctx, wakeups: Vec::new() }
+        Effects {
+            ctx,
+            wakeups: Vec::new(),
+        }
     }
 
     /// Queues a wakeup of `event`, delivered when this step completes.

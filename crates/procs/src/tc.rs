@@ -50,7 +50,11 @@ pub struct TcConfig {
 
 impl Default for TcConfig {
     fn default() -> TcConfig {
-        TcConfig { nr_cpus: 2, nr_vprocs: 8, quantum: 8 }
+        TcConfig {
+            nr_cpus: 2,
+            nr_vprocs: 8,
+            quantum: 8,
+        }
     }
 }
 
@@ -171,7 +175,13 @@ impl<C: HasMachine> TrafficController<C> {
     pub fn spawn(&mut self, job: Box<dyn Job<C>>) -> ProcessId {
         let pid = ProcessId(self.next_pid);
         self.next_pid += 1;
-        self.processes.insert(pid, ProcEntry { job, state: PState::Ready });
+        self.processes.insert(
+            pid,
+            ProcEntry {
+                job,
+                state: PState::Ready,
+            },
+        );
         self.proc_ready.push_back(pid);
         self.stats.processes_created += 1;
         pid
@@ -189,7 +199,9 @@ impl<C: HasMachine> TrafficController<C> {
     /// virtual processor, a blocked one is removed from every wait queue.
     /// Returns `false` if the process is unknown or already done.
     pub fn kill(&mut self, pid: ProcessId) -> bool {
-        let Some(entry) = self.processes.get_mut(&pid) else { return false };
+        let Some(entry) = self.processes.get_mut(&pid) else {
+            return false;
+        };
         let prev = entry.state;
         if prev == PState::Done {
             return false;
@@ -212,13 +224,23 @@ impl<C: HasMachine> TrafficController<C> {
 
     /// Number of shared slots currently free.
     pub fn free_shared_slots(&self) -> usize {
-        self.vprocs.iter().filter(|v| v.binding == VpBinding::Free).count()
+        self.vprocs
+            .iter()
+            .filter(|v| v.binding == VpBinding::Free)
+            .count()
     }
 
     /// Delivers an external wakeup (e.g. from a device interrupt) on
     /// `event`, charging the wakeup cost.
     pub fn wakeup_external(&mut self, ctx: &mut C, event: EventId) {
-        ctx.machine().charge_wakeup();
+        let m = ctx.machine();
+        m.charge_wakeup();
+        m.trace.counter_add("procs.wakeups_sent", 1);
+        m.trace.event(
+            mks_trace::Layer::Procs,
+            mks_trace::EventKind::IpcSend,
+            &format!("external wakeup on event {}", event.0),
+        );
         let woken = self.events.wakeup(event);
         self.deliver(woken);
     }
@@ -249,7 +271,11 @@ impl<C: HasMachine> TrafficController<C> {
     /// Layer 2: bind ready, unbound processes to free shared slots.
     fn bind_processes(&mut self) {
         while let Some(&pid) = self.proc_ready.front() {
-            let slot = match self.vprocs.iter().position(|v| v.binding == VpBinding::Free) {
+            let slot = match self
+                .vprocs
+                .iter()
+                .position(|v| v.binding == VpBinding::Free)
+            {
                 Some(s) => s,
                 None => break,
             };
@@ -276,17 +302,26 @@ impl<C: HasMachine> TrafficController<C> {
     fn dispatch(&mut self, ctx: &mut C, vp: VpIndex) {
         let slot = vp.0 as usize;
         self.stats.dispatches += 1;
-        ctx.machine().charge_processor_swap();
+        let m = ctx.machine();
+        m.charge_processor_swap();
+        m.trace.counter_add("procs.dispatches", 1);
+        m.trace.event(
+            mks_trace::Layer::Procs,
+            mks_trace::EventKind::Dispatch,
+            &format!("vp {}", vp.0),
+        );
         for used in 0..self.cfg.quantum {
             // Borrow the job out of its home so we can pass &mut self data
             // into deliver() after the step.
             let mut job = match self.vprocs[slot].binding {
-                VpBinding::Dedicated => {
-                    self.dedicated_jobs[slot].take().expect("dedicated job missing")
-                }
-                VpBinding::Process(pid) => {
-                    self.processes.get_mut(&pid).expect("bound process missing").job_take()
-                }
+                VpBinding::Dedicated => self.dedicated_jobs[slot]
+                    .take()
+                    .expect("dedicated job missing"),
+                VpBinding::Process(pid) => self
+                    .processes
+                    .get_mut(&pid)
+                    .expect("bound process missing")
+                    .job_take(),
                 VpBinding::Free => return, // slot was freed mid-quantum
             };
             let mut eff = Effects::new(ctx);
@@ -297,12 +332,22 @@ impl<C: HasMachine> TrafficController<C> {
             match self.vprocs[slot].binding {
                 VpBinding::Dedicated => self.dedicated_jobs[slot] = Some(job),
                 VpBinding::Process(pid) => {
-                    self.processes.get_mut(&pid).expect("process vanished").job_put(job);
+                    self.processes
+                        .get_mut(&pid)
+                        .expect("process vanished")
+                        .job_put(job);
                 }
                 VpBinding::Free => unreachable!(),
             }
             for e in wakeups {
-                ctx.machine().charge_wakeup();
+                let m = ctx.machine();
+                m.charge_wakeup();
+                m.trace.counter_add("procs.wakeups_sent", 1);
+                m.trace.event(
+                    mks_trace::Layer::Procs,
+                    mks_trace::EventKind::IpcSend,
+                    &format!("wakeup on event {}", e.0),
+                );
                 let woken = self.events.wakeup(e);
                 self.deliver(woken);
             }
@@ -318,6 +363,13 @@ impl<C: HasMachine> TrafficController<C> {
                     return;
                 }
                 Step::Block(event) => {
+                    let trace = &ctx.machine().trace;
+                    trace.counter_add("procs.blocks", 1);
+                    trace.event(
+                        mks_trace::Layer::Procs,
+                        mks_trace::EventKind::IpcReceive,
+                        &format!("block on event {}", event.0),
+                    );
                     let waiter = match self.vprocs[slot].binding {
                         VpBinding::Dedicated => Waiter::Dedicated(vp),
                         VpBinding::Process(pid) => Waiter::Process(pid),
@@ -351,8 +403,10 @@ impl<C: HasMachine> TrafficController<C> {
                             self.vprocs[slot].state = VpState::Idle;
                         }
                         VpBinding::Process(pid) => {
-                            self.processes.get_mut(&pid).expect("process vanished").state =
-                                PState::Done;
+                            self.processes
+                                .get_mut(&pid)
+                                .expect("process vanished")
+                                .state = PState::Done;
                             self.stats.processes_finished += 1;
                             self.unbind(vp);
                         }
@@ -402,12 +456,18 @@ impl<C: HasMachine> TrafficController<C> {
     pub fn run_until_quiet(&mut self, ctx: &mut C, max_rounds: u64) -> RunOutcome {
         for round in 0..max_rounds {
             if !self.tick(ctx) {
-                return RunOutcome { rounds: round, quiescent: true };
+                return RunOutcome {
+                    rounds: round,
+                    quiescent: true,
+                };
             }
         }
         // One more probe: quiescent only if nothing is ready now.
         let quiescent = self.vp_ready.is_empty() && self.proc_ready.is_empty();
-        RunOutcome { rounds: max_rounds, quiescent }
+        RunOutcome {
+            rounds: max_rounds,
+            quiescent,
+        }
     }
 }
 
@@ -441,26 +501,30 @@ mod tests {
         Machine::new(CpuModel::H6180, 4)
     }
 
-    fn counter_job(
-        n: u32,
-        counter: std::rc::Rc<std::cell::Cell<u32>>,
-    ) -> Box<dyn Job<Machine>> {
+    fn counter_job(n: u32, counter: std::rc::Rc<std::cell::Cell<u32>>) -> Box<dyn Job<Machine>> {
         let mut left = n;
-        Box::new(FnJob::new("counter", move |_eff: &mut Effects<'_, Machine>| {
-            counter.set(counter.get() + 1);
-            left -= 1;
-            if left == 0 {
-                Step::Done
-            } else {
-                Step::Continue
-            }
-        }))
+        Box::new(FnJob::new(
+            "counter",
+            move |_eff: &mut Effects<'_, Machine>| {
+                counter.set(counter.get() + 1);
+                left -= 1;
+                if left == 0 {
+                    Step::Done
+                } else {
+                    Step::Continue
+                }
+            },
+        ))
     }
 
     #[test]
     fn processes_run_to_completion() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 4,
+        });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         let pid = tc.spawn(counter_job(10, c.clone()));
         let out = tc.run_until_quiet(&mut m, 1000);
@@ -472,9 +536,15 @@ mod tests {
     #[test]
     fn more_processes_than_vprocs_all_finish() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 3, quantum: 2 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 2,
+            nr_vprocs: 3,
+            quantum: 2,
+        });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
-        let pids: Vec<_> = (0..10).map(|_| tc.spawn(counter_job(5, c.clone()))).collect();
+        let pids: Vec<_> = (0..10)
+            .map(|_| tc.spawn(counter_job(5, c.clone())))
+            .collect();
         let out = tc.run_until_quiet(&mut m, 10_000);
         assert!(out.quiescent);
         assert!(pids.iter().all(|p| tc.process_done(*p)));
@@ -490,8 +560,9 @@ mod tests {
 
         let log1 = log.clone();
         let mut phase = 0;
-        let consumer = Box::new(FnJob::new("consumer", move |_eff: &mut Effects<'_, Machine>| {
-            match phase {
+        let consumer = Box::new(FnJob::new(
+            "consumer",
+            move |_eff: &mut Effects<'_, Machine>| match phase {
                 0 => {
                     phase = 1;
                     Step::Block(event)
@@ -500,20 +571,23 @@ mod tests {
                     log1.borrow_mut().push("consumed");
                     Step::Done
                 }
-            }
-        }));
+            },
+        ));
         let log2 = log.clone();
         let mut produced = false;
-        let producer = Box::new(FnJob::new("producer", move |eff: &mut Effects<'_, Machine>| {
-            if !produced {
-                produced = true;
-                log2.borrow_mut().push("produced");
-                eff.notify(event);
-                Step::Done
-            } else {
-                Step::Done
-            }
-        }));
+        let producer = Box::new(FnJob::new(
+            "producer",
+            move |eff: &mut Effects<'_, Machine>| {
+                if !produced {
+                    produced = true;
+                    log2.borrow_mut().push("produced");
+                    eff.notify(event);
+                    Step::Done
+                } else {
+                    Step::Done
+                }
+            },
+        ));
 
         let cons = tc.spawn(consumer);
         let prod = tc.spawn(producer);
@@ -526,25 +600,32 @@ mod tests {
     #[test]
     fn pending_wakeup_lets_block_fall_through() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 4,
+        });
         let event = tc.alloc_event();
         // Wakeup arrives before anyone blocks (e.g. an early interrupt).
         tc.wakeup_external(&mut m, event);
         let mut phase = 0;
         let done = std::rc::Rc::new(std::cell::Cell::new(false));
         let d = done.clone();
-        let pid = tc.spawn(Box::new(FnJob::new("late", move |_eff: &mut Effects<'_, Machine>| {
-            match phase {
-                0 => {
-                    phase = 1;
-                    Step::Block(event) // must not deadlock: switch is pending
+        let pid = tc.spawn(Box::new(FnJob::new(
+            "late",
+            move |_eff: &mut Effects<'_, Machine>| {
+                match phase {
+                    0 => {
+                        phase = 1;
+                        Step::Block(event) // must not deadlock: switch is pending
+                    }
+                    _ => {
+                        d.set(true);
+                        Step::Done
+                    }
                 }
-                _ => {
-                    d.set(true);
-                    Step::Done
-                }
-            }
-        })));
+            },
+        )));
         let out = tc.run_until_quiet(&mut m, 1000);
         assert!(out.quiescent);
         assert!(tc.process_done(pid));
@@ -554,16 +635,22 @@ mod tests {
     #[test]
     fn dedicated_jobs_occupy_fixed_slots() {
         let mut m = machine();
-        let mut tc: TrafficController<Machine> =
-            TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 4,
+        });
         let event = tc.alloc_event();
         // A daemon that waits for work forever.
         let served = std::rc::Rc::new(std::cell::Cell::new(0u32));
         let s = served.clone();
-        tc.add_dedicated(Box::new(FnJob::new("daemon", move |_eff: &mut Effects<'_, Machine>| {
-            s.set(s.get() + 1);
-            Step::Block(event)
-        })));
+        tc.add_dedicated(Box::new(FnJob::new(
+            "daemon",
+            move |_eff: &mut Effects<'_, Machine>| {
+                s.set(s.get() + 1);
+                Step::Block(event)
+            },
+        )));
         assert_eq!(tc.free_shared_slots(), 1);
         let out = tc.run_until_quiet(&mut m, 100);
         assert!(out.quiescent);
@@ -577,7 +664,11 @@ mod tests {
     #[test]
     fn quantum_preempts_long_runners_fairly() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 2 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 2,
+        });
         let c1 = std::rc::Rc::new(std::cell::Cell::new(0));
         let c2 = std::rc::Rc::new(std::cell::Cell::new(0));
         tc.spawn(counter_job(20, c1.clone()));
@@ -595,7 +686,11 @@ mod tests {
     #[test]
     fn dispatches_charge_the_clock() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 4 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 4,
+        });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         tc.spawn(counter_job(4, c));
         let t0 = m.clock.now();
@@ -607,19 +702,27 @@ mod tests {
     #[test]
     fn kill_stops_ready_blocked_and_bound_processes() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 3, quantum: 2 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 3,
+            quantum: 2,
+        });
         let event = tc.alloc_event();
         let ran = std::rc::Rc::new(std::cell::Cell::new(0u32));
         // A blocked process.
-        let blocked = tc.spawn(Box::new(FnJob::new("b", move |_e: &mut Effects<'_, Machine>| {
-            Step::Block(event)
-        })));
+        let blocked = tc.spawn(Box::new(FnJob::new(
+            "b",
+            move |_e: &mut Effects<'_, Machine>| Step::Block(event),
+        )));
         // A long runner.
         let r = ran.clone();
-        let runner = tc.spawn(Box::new(FnJob::new("r", move |_e: &mut Effects<'_, Machine>| {
-            r.set(r.get() + 1);
-            Step::Continue
-        })));
+        let runner = tc.spawn(Box::new(FnJob::new(
+            "r",
+            move |_e: &mut Effects<'_, Machine>| {
+                r.set(r.get() + 1);
+                Step::Continue
+            },
+        )));
         for _ in 0..3 {
             tc.tick(&mut m);
         }
@@ -641,7 +744,11 @@ mod tests {
     #[test]
     fn killed_ready_process_is_skipped_by_the_queue() {
         let mut m = machine();
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: 2, quantum: 2 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 1,
+            nr_vprocs: 2,
+            quantum: 2,
+        });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         let pid = tc.spawn(counter_job(10, c.clone()));
         assert!(tc.kill(pid), "kill before first dispatch");
@@ -653,14 +760,22 @@ mod tests {
     fn run_is_deterministic() {
         let trace = || {
             let mut m = machine();
-            let mut tc =
-                TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 4, quantum: 3 });
+            let mut tc = TrafficController::new(TcConfig {
+                nr_cpus: 2,
+                nr_vprocs: 4,
+                quantum: 3,
+            });
             let c = std::rc::Rc::new(std::cell::Cell::new(0));
             for _ in 0..6 {
                 tc.spawn(counter_job(7, c.clone()));
             }
             tc.run_until_quiet(&mut m, 10_000);
-            (m.clock.now(), tc.stats().dispatches, tc.stats().steps, c.get())
+            (
+                m.clock.now(),
+                tc.stats().dispatches,
+                tc.stats().steps,
+                c.get(),
+            )
         };
         assert_eq!(trace(), trace());
     }

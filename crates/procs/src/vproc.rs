@@ -43,7 +43,10 @@ pub struct VProc {
 impl VProc {
     /// A fresh idle slot.
     pub fn idle() -> VProc {
-        VProc { state: VpState::Idle, binding: VpBinding::Free }
+        VProc {
+            state: VpState::Idle,
+            binding: VpBinding::Free,
+        }
     }
 }
 

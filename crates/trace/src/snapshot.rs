@@ -1,0 +1,300 @@
+//! Read-only snapshots of the flight recorder, and their JSON form.
+//!
+//! A snapshot is what crosses the protection boundary: the metering
+//! gate hands user rings a [`Snapshot`] (or its JSON rendering), never
+//! a live handle, so non-kernel code can *read* metrics but can never
+//! reset or rewrite them. The JSON form is integers-and-strings only,
+//! so it round-trips losslessly through [`Snapshot::to_json`] and
+//! [`Snapshot::from_json`].
+
+use crate::clock::Cycles;
+use crate::json::{self, Value};
+use crate::metrics::Histogram;
+use crate::record::Layer;
+use crate::span::LayerTotals;
+
+/// Summary of one histogram in a snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Histogram name (e.g. `vm.fault_latency`).
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub total: u128,
+    /// Largest observation.
+    pub max: Cycles,
+    /// Non-empty log2 buckets as `(bucket, count)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Captures a histogram under its registry name.
+    pub fn capture(name: &str, h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count(),
+            total: h.total(),
+            max: h.max(),
+            buckets: h.nonzero_buckets(),
+        }
+    }
+
+    /// Mean observation (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-layer span accounting in a snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayerSnapshot {
+    /// The layer.
+    pub layer: Layer,
+    /// Completed spans owned by the layer.
+    pub spans: u64,
+    /// Total inclusive cycles of those spans.
+    pub inclusive: Cycles,
+    /// Total exclusive cycles (sums across layers to root-inclusive).
+    pub exclusive: Cycles,
+}
+
+/// Trace-ring occupancy in a snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RingSnapshot {
+    /// Configured capacity.
+    pub capacity: u64,
+    /// Records currently held.
+    pub len: u64,
+    /// Records overwritten so far.
+    pub dropped: u64,
+    /// Next sequence number (= records ever appended).
+    pub next_seq: u64,
+}
+
+/// A complete, immutable reading of the flight recorder.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Snapshot {
+    /// Simulated time of capture.
+    pub at: Cycles,
+    /// All counters, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// All histograms, name-ordered.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Per-layer span totals, [`Layer::ALL`]-ordered (layers with no
+    /// spans omitted).
+    pub layers: Vec<LayerSnapshot>,
+    /// Ring occupancy.
+    pub ring: RingSnapshot,
+}
+
+impl Snapshot {
+    /// Value of a counter in this snapshot (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The named histogram summary, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The named layer's totals, if it completed any span.
+    pub fn layer(&self, layer: Layer) -> Option<&LayerSnapshot> {
+        self.layers.iter().find(|l| l.layer == layer)
+    }
+
+    /// Builds the per-layer list from an accumulation map.
+    pub(crate) fn layers_from_totals(
+        totals: &std::collections::BTreeMap<Layer, LayerTotals>,
+    ) -> Vec<LayerSnapshot> {
+        Layer::ALL
+            .iter()
+            .filter_map(|l| {
+                totals.get(l).map(|t| LayerSnapshot {
+                    layer: *l,
+                    spans: t.spans,
+                    inclusive: t.inclusive,
+                    exclusive: t.exclusive,
+                })
+            })
+            .collect()
+    }
+
+    /// Renders the snapshot as compact JSON.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("value".to_string(), Value::Num(u128::from(*value))),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(h.name.clone())),
+                    ("count".to_string(), Value::Num(u128::from(h.count))),
+                    ("total".to_string(), Value::Num(h.total)),
+                    ("max".to_string(), Value::Num(u128::from(h.max))),
+                    (
+                        "buckets".to_string(),
+                        Value::Arr(
+                            h.buckets
+                                .iter()
+                                .map(|(b, c)| {
+                                    Value::Arr(vec![
+                                        Value::Num(*b as u128),
+                                        Value::Num(u128::from(*c)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                Value::Obj(vec![
+                    (
+                        "layer".to_string(),
+                        Value::Str(l.layer.as_str().to_string()),
+                    ),
+                    ("spans".to_string(), Value::Num(u128::from(l.spans))),
+                    ("inclusive".to_string(), Value::Num(u128::from(l.inclusive))),
+                    ("exclusive".to_string(), Value::Num(u128::from(l.exclusive))),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("at".to_string(), Value::Num(u128::from(self.at))),
+            ("counters".to_string(), Value::Arr(counters)),
+            ("histograms".to_string(), Value::Arr(histograms)),
+            ("layers".to_string(), Value::Arr(layers)),
+            (
+                "ring".to_string(),
+                Value::Obj(vec![
+                    (
+                        "capacity".to_string(),
+                        Value::Num(u128::from(self.ring.capacity)),
+                    ),
+                    ("len".to_string(), Value::Num(u128::from(self.ring.len))),
+                    (
+                        "dropped".to_string(),
+                        Value::Num(u128::from(self.ring.dropped)),
+                    ),
+                    (
+                        "next_seq".to_string(),
+                        Value::Num(u128::from(self.ring.next_seq)),
+                    ),
+                ]),
+            ),
+        ])
+        .emit()
+    }
+
+    /// Parses a snapshot back from its JSON rendering.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let at = field_u64(&v, "at")?;
+        let counters = v
+            .get("counters")
+            .and_then(Value::as_arr)
+            .ok_or("missing counters")?
+            .iter()
+            .map(|c| {
+                Ok((
+                    c.get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("counter name")?
+                        .to_string(),
+                    field_u64(c, "value")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = v
+            .get("histograms")
+            .and_then(Value::as_arr)
+            .ok_or("missing histograms")?
+            .iter()
+            .map(|h| {
+                let buckets = h
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or("histogram buckets")?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_arr().ok_or("bucket pair")?;
+                        let b = pair.first().and_then(Value::as_u64).ok_or("bucket index")?;
+                        let c = pair.get(1).and_then(Value::as_u64).ok_or("bucket count")?;
+                        Ok((b as usize, c))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(HistogramSnapshot {
+                    name: h
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or("histogram name")?
+                        .to_string(),
+                    count: field_u64(h, "count")?,
+                    total: h
+                        .get("total")
+                        .and_then(Value::as_num)
+                        .ok_or("histogram total")?,
+                    max: field_u64(h, "max")?,
+                    buckets,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let layers = v
+            .get("layers")
+            .and_then(Value::as_arr)
+            .ok_or("missing layers")?
+            .iter()
+            .map(|l| {
+                let name = l.get("layer").and_then(Value::as_str).ok_or("layer name")?;
+                Ok(LayerSnapshot {
+                    layer: Layer::from_str_opt(name).ok_or("unknown layer")?,
+                    spans: field_u64(l, "spans")?,
+                    inclusive: field_u64(l, "inclusive")?,
+                    exclusive: field_u64(l, "exclusive")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let ring = v.get("ring").ok_or("missing ring")?;
+        Ok(Snapshot {
+            at,
+            counters,
+            histograms,
+            layers,
+            ring: RingSnapshot {
+                capacity: field_u64(ring, "capacity")?,
+                len: field_u64(ring, "len")?,
+                dropped: field_u64(ring, "dropped")?,
+                next_seq: field_u64(ring, "next_seq")?,
+            },
+        })
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key}"))
+}

@@ -32,7 +32,11 @@ pub struct BulkStore {
 impl BulkStore {
     /// Creates a bulk store of `capacity` records.
     pub fn new(capacity: usize) -> BulkStore {
-        BulkStore { capacity, pages: HashMap::new(), order: std::collections::VecDeque::new() }
+        BulkStore {
+            capacity,
+            pages: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+        }
     }
 
     /// Total records.
@@ -147,7 +151,10 @@ mod tests {
     use mks_hw::Word;
 
     fn addr(u: u64, p: usize) -> PageAddr {
-        PageAddr { uid: SegUid(u), page: p }
+        PageAddr {
+            uid: SegUid(u),
+            page: p,
+        }
     }
 
     fn frame_with(v: u64) -> FrameData {

@@ -75,23 +75,53 @@ pub struct VmWorld {
     pub free_frames: Vec<FrameId>,
     /// The core map: pages currently resident, in load order.
     pub resident: Vec<ResidentPage>,
-    /// Activity counters.
-    pub stats: VmStats,
 }
 
 impl VmWorld {
     /// Creates a world in which *all* primary frames start free and the bulk
     /// store holds `bulk_records` page records.
     pub fn new(machine: Machine, bulk_records: usize) -> VmWorld {
-        let free_frames = (0..machine.mem.nr_frames() as u32).rev().map(FrameId).collect();
+        let free_frames = (0..machine.mem.nr_frames() as u32)
+            .rev()
+            .map(FrameId)
+            .collect();
         VmWorld {
             machine,
             bulk: BulkStore::new(bulk_records),
             disk: Disk::new(),
             free_frames,
             resident: Vec::new(),
-            stats: VmStats::default(),
         }
+    }
+
+    /// Materializes the activity counters from the flight recorder's
+    /// metrics registry. [`VmStats`] is a view: page control writes the
+    /// registry (see [`stats::keys`]) and this is the only reader, so
+    /// the struct and the registry cannot disagree.
+    pub fn stats(&self) -> VmStats {
+        self.machine.trace.read(VmStats::from_registry)
+    }
+
+    /// Increments one of the [`stats::keys`] counters.
+    pub(crate) fn bump(&self, key: &str) {
+        self.machine.trace.counter_add(key, 1);
+    }
+
+    /// Records the completion of one fault service that took `steps`
+    /// distinct actions and `latency` cycles: bumps the fault counter
+    /// and feeds both fault-path histograms, as one atomic step —
+    /// which is what keeps `VmStats.faults` and the histogram counts
+    /// in exact agreement.
+    pub fn record_fault_path(&self, steps: u32, latency: Cycles) {
+        let trace = &self.machine.trace;
+        trace.counter_add(stats::keys::FAULTS, 1);
+        trace.observe(stats::keys::FAULT_STEPS, u64::from(steps));
+        trace.observe(stats::keys::FAULT_LATENCY, latency);
+        trace.event(
+            mks_trace::Layer::Vm,
+            mks_trace::EventKind::FaultService,
+            &format!("steps {steps} latency {latency}"),
+        );
     }
 
     /// Takes a free frame if one is available.

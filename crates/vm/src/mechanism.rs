@@ -107,7 +107,9 @@ pub fn usage_stats(w: &mut VmWorld) -> Vec<PageUsage> {
 }
 
 fn resident_index(w: &VmWorld, uid: SegUid, page: usize) -> Option<usize> {
-    w.resident.iter().position(|r| r.uid == uid && r.page == page)
+    w.resident
+        .iter()
+        .position(|r| r.uid == uid && r.page == page)
 }
 
 /// Gate: evict the named page from primary memory.
@@ -135,10 +137,12 @@ pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), Me
     if ptw.modified || !has_lower_copy {
         let data = w.machine.mem.export_frame(frame);
         w.bulk.store(addr, data).map_err(|_| MechError::BulkFull)?;
-        w.machine.clock.advance(w.machine.cost.page_move_primary_bulk);
-        w.stats.evictions_core += 1;
+        w.machine
+            .clock
+            .advance(w.machine.cost.page_move_primary_bulk);
+        w.bump(crate::stats::keys::EVICTIONS_CORE);
     } else {
-        w.stats.clean_drops += 1;
+        w.bump(crate::stats::keys::CLEAN_DROPS);
     }
     let entry = w.machine.ast.entry_mut(astx);
     let ptw = entry.pt.ptw_mut(page);
@@ -156,11 +160,16 @@ pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), Me
 /// latency of both legs is charged but no frame is occupied (the staging
 /// buffer was a dedicated kernel frame).
 pub fn evict_bulk_to_disk(w: &mut VmWorld, addr: PageAddr) -> Result<(), MechError> {
-    let data = w.bulk.remove(addr).ok_or(MechError::NotInBulk(addr.uid, addr.page))?;
-    w.machine.clock.advance(w.machine.cost.page_move_primary_bulk);
+    let data = w
+        .bulk
+        .remove(addr)
+        .ok_or(MechError::NotInBulk(addr.uid, addr.page))?;
+    w.machine
+        .clock
+        .advance(w.machine.cost.page_move_primary_bulk);
     w.machine.clock.advance(w.machine.cost.page_move_bulk_disk);
     w.disk.store(addr, data);
-    w.stats.evictions_bulk += 1;
+    w.bump(crate::stats::keys::EVICTIONS_BULK);
     Ok(())
 }
 
@@ -174,7 +183,11 @@ pub fn evict_bulk_to_disk(w: &mut VmWorld, addr: PageAddr) -> Result<(), MechErr
 /// * [`MechError::AlreadyResident`] — double load.
 /// * [`MechError::NoFreeFrame`] — the caller must free a frame first.
 pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, MechError> {
-    let astx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+    let astx = w
+        .machine
+        .ast
+        .find(uid)
+        .ok_or(MechError::InactiveSegment(uid))?;
     if page >= w.machine.ast.entry(astx).pt.nr_pages() {
         return Err(MechError::BadPage(uid, page));
     }
@@ -189,14 +202,18 @@ pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, M
     let frame = w.take_free_frame().expect("checked non-empty");
     if let Some(data) = w.bulk.read(addr) {
         w.machine.mem.import_frame(frame, data);
-        w.machine.clock.advance(w.machine.cost.page_move_primary_bulk);
+        w.machine
+            .clock
+            .advance(w.machine.cost.page_move_primary_bulk);
     } else if let Some(data) = w.disk.read(addr) {
         w.machine.mem.import_frame(frame, data);
         w.machine.clock.advance(w.machine.cost.page_move_bulk_disk);
-        w.machine.clock.advance(w.machine.cost.page_move_primary_bulk);
+        w.machine
+            .clock
+            .advance(w.machine.cost.page_move_primary_bulk);
     } else {
         // First touch: the frame is already scrubbed by release_frame.
-        w.stats.zero_fills += 1;
+        w.bump(crate::stats::keys::ZERO_FILLS);
     }
     let now = w.machine.clock.now();
     let entry = w.machine.ast.entry_mut(astx);
@@ -204,8 +221,14 @@ pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, M
     ptw.state = PageState::InCore(frame);
     ptw.used = true;
     ptw.modified = false;
-    w.resident.push(crate::ResidentPage { astx, uid, page, loaded_at: now, last_used: now });
-    w.stats.loads += 1;
+    w.resident.push(crate::ResidentPage {
+        astx,
+        uid,
+        page,
+        loaded_at: now,
+        last_used: now,
+    });
+    w.bump(crate::stats::keys::LOADS);
     Ok(frame)
 }
 
@@ -230,7 +253,7 @@ mod tests {
         let uid = activate(&mut w, 1, 2);
         let f = load_page(&mut w, uid, 0).unwrap();
         assert_eq!(w.machine.mem.read(f, 0), Word::ZERO);
-        assert_eq!(w.stats.zero_fills, 1);
+        assert_eq!(w.stats().zero_fills, 1);
         assert_eq!(w.resident.len(), 1);
     }
 
@@ -239,7 +262,10 @@ mod tests {
         let mut w = world(4, 4);
         let uid = activate(&mut w, 1, 1);
         load_page(&mut w, uid, 0).unwrap();
-        assert_eq!(load_page(&mut w, uid, 0), Err(MechError::AlreadyResident(uid, 0)));
+        assert_eq!(
+            load_page(&mut w, uid, 0),
+            Err(MechError::AlreadyResident(uid, 0))
+        );
         assert_eq!(load_page(&mut w, uid, 5), Err(MechError::BadPage(uid, 5)));
         assert_eq!(
             load_page(&mut w, SegUid(99), 0),
@@ -257,7 +283,7 @@ mod tests {
         let astx = w.machine.ast.find(uid).unwrap();
         w.machine.ast.entry_mut(astx).pt.ptw_mut(0).modified = true;
         evict_to_bulk(&mut w, uid, 0).unwrap();
-        assert_eq!(w.stats.evictions_core, 1);
+        assert_eq!(w.stats().evictions_core, 1);
         assert_eq!(w.nr_free_frames(), 1);
         // Reload and observe the data survived.
         let f2 = load_page(&mut w, uid, 0).unwrap();
@@ -274,8 +300,8 @@ mod tests {
         evict_to_bulk(&mut w, uid, 0).unwrap(); // writes copy to bulk
         load_page(&mut w, uid, 0).unwrap(); // reload, clean
         evict_to_bulk(&mut w, uid, 0).unwrap(); // should be a clean drop
-        assert_eq!(w.stats.clean_drops, 1);
-        assert_eq!(w.stats.evictions_core, 1);
+        assert_eq!(w.stats().clean_drops, 1);
+        assert_eq!(w.stats().evictions_core, 1);
     }
 
     #[test]
@@ -287,7 +313,11 @@ mod tests {
         load_page(&mut w, b, 0).unwrap();
         evict_to_bulk(&mut w, a, 0).unwrap(); // fills the single bulk record
         assert_eq!(evict_to_bulk(&mut w, b, 0), Err(MechError::BulkFull));
-        assert_eq!(w.resident.len(), 1, "refused eviction must not remove the page");
+        assert_eq!(
+            w.resident.len(),
+            1,
+            "refused eviction must not remove the page"
+        );
         // Cascade: push the bulk copy to disk, then the eviction succeeds.
         evict_bulk_to_disk(&mut w, PageAddr { uid: a, page: 0 }).unwrap();
         evict_to_bulk(&mut w, b, 0).unwrap();
@@ -335,7 +365,10 @@ mod tests {
     fn eviction_errors_name_the_page() {
         let mut w = world(1, 1);
         let uid = activate(&mut w, 1, 1);
-        assert_eq!(evict_to_bulk(&mut w, uid, 0), Err(MechError::NotResident(uid, 0)));
+        assert_eq!(
+            evict_to_bulk(&mut w, uid, 0),
+            Err(MechError::NotResident(uid, 0))
+        );
         assert_eq!(
             evict_bulk_to_disk(&mut w, PageAddr { uid, page: 0 }),
             Err(MechError::NotInBulk(uid, 0))

@@ -38,7 +38,12 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
-        ParallelConfig { core_low: 2, core_target: 4, bulk_low: 4, bulk_target: 8 }
+        ParallelConfig {
+            core_low: 2,
+            core_target: 4,
+            bulk_low: 4,
+            bulk_target: 8,
+        }
     }
 }
 
@@ -129,12 +134,17 @@ pub fn try_resolve_fault(
     t0: Cycles,
 ) -> Result<ParallelFault, MechError> {
     if w.nr_free_frames() == 0 {
-        w.stats.fault_waits += 1;
+        w.bump(crate::stats::keys::FAULT_WAITS);
         return Ok(ParallelFault::MustWait);
     }
+    let span = w
+        .machine
+        .trace
+        .span(mks_trace::Layer::Vm, "vm.fault_service");
     let frame = mechanism::load_page(w, uid, page)?;
     let latency = w.machine.clock.now() - t0;
-    w.stats.record_fault_path(2, latency);
+    w.record_fault_path(2, latency);
+    span.end();
     Ok(ParallelFault::Loaded { frame, steps: 2 })
 }
 
@@ -243,7 +253,13 @@ pub struct TraceJob {
 impl TraceJob {
     /// Creates a job that touches `refs` in order.
     pub fn new(refs: Vec<(SegUid, usize)>, write_every: usize) -> TraceJob {
-        TraceJob { refs, pos: 0, write_every: write_every.max(1), pending_t0: None, completed: 0 }
+        TraceJob {
+            refs,
+            pos: 0,
+            write_every: write_every.max(1),
+            pending_t0: None,
+            completed: 0,
+        }
     }
 }
 
@@ -314,7 +330,11 @@ mod tests {
     use mks_procs::TcConfig;
 
     fn system(frames: usize, bulk: usize) -> (VmSystem, TrafficController<VmSystem>) {
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 6, quantum: 4 });
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus: 2,
+            nr_vprocs: 6,
+            quantum: 4,
+        });
         let world = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
         let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
         (VmSystem { world, pc }, tc)
@@ -341,7 +361,7 @@ mod tests {
         let out = tc.run_until_quiet(&mut sys, 10_000);
         assert!(out.quiescent);
         assert!(tc.process_done(pid));
-        assert_eq!(sys.world.stats.faults, 4);
+        assert_eq!(sys.world.stats().faults, 4);
     }
 
     #[test]
@@ -356,14 +376,20 @@ mod tests {
         let out = tc.run_until_quiet(&mut sys, 100_000);
         assert!(out.quiescent, "system wedged");
         assert!(tc.process_done(pid), "trace did not finish");
-        assert!(sys.world.stats.evictions_core + sys.world.stats.clean_drops > 0);
+        let s = sys.world.stats();
+        assert!(s.evictions_core + s.clean_drops > 0);
     }
 
     #[test]
     fn bulk_freer_cascades_to_disk() {
         // Tiny bulk store forces the bulk freer into action.
         let (mut sys, mut tc) = system(3, 4);
-        sys.pc.cfg = ParallelConfig { core_low: 1, core_target: 2, bulk_low: 2, bulk_target: 3 };
+        sys.pc.cfg = ParallelConfig {
+            core_low: 1,
+            core_target: 2,
+            bulk_low: 2,
+            bulk_target: 3,
+        };
         install_daemons(&mut tc);
         let uid = activate(&mut sys, 1, 16);
         let refs: Vec<_> = (0..16).map(|p| (uid, p)).collect();
@@ -371,7 +397,7 @@ mod tests {
         let out = tc.run_until_quiet(&mut sys, 200_000);
         assert!(out.quiescent);
         assert!(tc.process_done(pid));
-        assert!(sys.world.stats.evictions_bulk > 0, "bulk freer never ran");
+        assert!(sys.world.stats().evictions_bulk > 0, "bulk freer never ran");
         assert!(sys.world.disk.nr_pages() > 0);
     }
 
@@ -383,7 +409,11 @@ mod tests {
         let refs: Vec<_> = (0..3).map(|p| (uid, p)).collect();
         tc.spawn(Box::new(TraceJob::new(refs, 2)));
         tc.run_until_quiet(&mut sys, 10_000);
-        assert_eq!(sys.world.stats.mean_fault_steps(), 2.0, "the paper's simplified path");
+        assert_eq!(
+            sys.world.stats().mean_fault_steps(),
+            2.0,
+            "the paper's simplified path"
+        );
     }
 
     #[test]
@@ -401,19 +431,27 @@ mod tests {
         for pid in pids {
             assert!(tc.process_done(pid));
         }
-        assert_eq!(sys.world.stats.faults, 24);
+        assert_eq!(sys.world.stats().faults, 24);
     }
 
     #[test]
     fn waits_are_counted_under_pressure() {
         let (mut sys, mut tc) = system(2, 32);
-        sys.pc.cfg = ParallelConfig { core_low: 1, core_target: 1, bulk_low: 4, bulk_target: 8 };
+        sys.pc.cfg = ParallelConfig {
+            core_low: 1,
+            core_target: 1,
+            bulk_low: 4,
+            bulk_target: 8,
+        };
         install_daemons(&mut tc);
         let uid = activate(&mut sys, 1, 10);
         let refs: Vec<_> = (0..10).map(|p| (uid, p)).collect();
         tc.spawn(Box::new(TraceJob::new(refs, 2)));
         let out = tc.run_until_quiet(&mut sys, 200_000);
         assert!(out.quiescent);
-        assert!(sys.world.stats.fault_waits > 0, "expected at least one wait");
+        assert!(
+            sys.world.stats().fault_waits > 0,
+            "expected at least one wait"
+        );
     }
 }

@@ -25,7 +25,11 @@ pub struct FifoPolicy;
 
 impl ReplacePolicy for FifoPolicy {
     fn victim(&mut self, usage: &[PageUsage]) -> Option<usize> {
-        usage.iter().enumerate().min_by_key(|(_, u)| u.loaded_at).map(|(i, _)| i)
+        usage
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, u)| u.loaded_at)
+            .map(|(i, _)| i)
     }
 
     fn name(&self) -> &'static str {
@@ -39,7 +43,11 @@ pub struct LruPolicy;
 
 impl ReplacePolicy for LruPolicy {
     fn victim(&mut self, usage: &[PageUsage]) -> Option<usize> {
-        usage.iter().enumerate().min_by_key(|(_, u)| u.last_used).map(|(i, _)| i)
+        usage
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, u)| u.last_used)
+            .map(|(i, _)| i)
     }
 
     fn name(&self) -> &'static str {

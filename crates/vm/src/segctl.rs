@@ -20,6 +20,10 @@ impl SegControl {
     /// Activates `uid` with room for `len_words`, or returns its existing
     /// AST slot if already active.
     pub fn activate(w: &mut VmWorld, uid: SegUid, len_words: usize) -> AstIndex {
+        let _span = w
+            .machine
+            .trace
+            .span(mks_trace::Layer::Vm, "vm.segctl.activate");
         match w.machine.ast.find(uid) {
             Some(idx) => {
                 w.machine.ast.entry_mut(idx).pt.grow(len_words);
@@ -45,8 +49,11 @@ impl SegControl {
         };
         // Flush resident pages of this segment.
         loop {
-            let next =
-                w.resident.iter().find(|r| r.uid == uid).map(|r| (r.uid, r.page));
+            let next = w
+                .resident
+                .iter()
+                .find(|r| r.uid == uid)
+                .map(|r| (r.uid, r.page));
             let Some((u, p)) = next else { break };
             match mechanism::evict_to_bulk(w, u, p) {
                 Ok(()) => {}
@@ -63,7 +70,11 @@ impl SegControl {
 
     /// Grows `uid` to at least `len_words`.
     pub fn grow(w: &mut VmWorld, uid: SegUid, len_words: usize) -> Result<(), MechError> {
-        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let idx = w
+            .machine
+            .ast
+            .find(uid)
+            .ok_or(MechError::InactiveSegment(uid))?;
         let e = w.machine.ast.entry_mut(idx);
         e.pt.grow(len_words);
         if len_words > e.len_words {
@@ -75,7 +86,11 @@ impl SegControl {
     /// Truncates `uid` to `len_words`: pages wholly beyond the new length
     /// are discarded everywhere (frames scrubbed, lower copies dropped).
     pub fn truncate(w: &mut VmWorld, uid: SegUid, len_words: usize) -> Result<(), MechError> {
-        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let idx = w
+            .machine
+            .ast
+            .find(uid)
+            .ok_or(MechError::InactiveSegment(uid))?;
         let first_dead_page = len_words.div_ceil(mks_hw::PAGE_WORDS);
         let nr_pages = w.machine.ast.entry(idx).pt.nr_pages();
         for page in first_dead_page..nr_pages {
@@ -89,7 +104,11 @@ impl SegControl {
     /// frames are scrubbed. (The paper's threat model makes scrubbing a
     /// kernel duty: storage residue is an unauthorized-release channel.)
     pub fn delete(w: &mut VmWorld, uid: SegUid) -> Result<(), MechError> {
-        let idx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let idx = w
+            .machine
+            .ast
+            .find(uid)
+            .ok_or(MechError::InactiveSegment(uid))?;
         let nr_pages = w.machine.ast.entry(idx).pt.nr_pages();
         for page in 0..nr_pages {
             Self::discard_page(w, idx, uid, page);
@@ -101,7 +120,11 @@ impl SegControl {
     fn discard_page(w: &mut VmWorld, idx: AstIndex, uid: SegUid, page: usize) {
         let ptw = *w.machine.ast.entry(idx).pt.ptw(page);
         if let PageState::InCore(frame) = ptw.state {
-            if let Some(r) = w.resident.iter().position(|r| r.uid == uid && r.page == page) {
+            if let Some(r) = w
+                .resident
+                .iter()
+                .position(|r| r.uid == uid && r.page == page)
+            {
                 w.resident.remove(r);
             }
             let p = w.machine.ast.entry_mut(idx).pt.ptw_mut(page);
@@ -221,8 +244,17 @@ mod tests {
     fn operations_on_inactive_segments_are_refused() {
         let mut w = world(2, 2);
         let uid = SegUid(9);
-        assert_eq!(SegControl::deactivate(&mut w, uid), Err(MechError::InactiveSegment(uid)));
-        assert_eq!(SegControl::truncate(&mut w, uid, 0), Err(MechError::InactiveSegment(uid)));
-        assert_eq!(SegControl::delete(&mut w, uid), Err(MechError::InactiveSegment(uid)));
+        assert_eq!(
+            SegControl::deactivate(&mut w, uid),
+            Err(MechError::InactiveSegment(uid))
+        );
+        assert_eq!(
+            SegControl::truncate(&mut w, uid, 0),
+            Err(MechError::InactiveSegment(uid))
+        );
+        assert_eq!(
+            SegControl::delete(&mut w, uid),
+            Err(MechError::InactiveSegment(uid))
+        );
     }
 }

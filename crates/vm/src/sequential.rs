@@ -61,9 +61,13 @@ impl SequentialPageControl {
         uid: SegUid,
         page: usize,
     ) -> Result<FaultResolution, MechError> {
+        let span = w
+            .machine
+            .trace
+            .span(mks_trace::Layer::Vm, "vm.fault_service");
         let t0 = w.machine.clock.now();
         let mut steps: u32 = 1; // fault entry / lookup
-        // Make a frame available.
+                                // Make a frame available.
         while w.nr_free_frames() == 0 {
             let usage = mechanism::usage_stats(w);
             steps += 1;
@@ -89,15 +93,24 @@ impl SequentialPageControl {
         let frame = mechanism::load_page(w, uid, page)?;
         steps += 1;
         let latency = w.machine.clock.now() - t0;
-        w.stats.record_fault_path(steps, latency);
-        Ok(FaultResolution { frame, steps, latency })
+        w.record_fault_path(steps, latency);
+        span.end();
+        Ok(FaultResolution {
+            frame,
+            steps,
+            latency,
+        })
     }
 
     /// Touches `(uid, page)`, faulting it in if needed; convenience for
     /// tests and trace-driven experiments. Returns the steps taken (0 if the
     /// page was already resident).
     pub fn touch(&mut self, w: &mut VmWorld, uid: SegUid, page: usize) -> Result<u32, MechError> {
-        let astx = w.machine.ast.find(uid).ok_or(MechError::InactiveSegment(uid))?;
+        let astx = w
+            .machine
+            .ast
+            .find(uid)
+            .ok_or(MechError::InactiveSegment(uid))?;
         if page >= w.machine.ast.entry(astx).pt.nr_pages() {
             return Err(MechError::BadPage(uid, page));
         }
@@ -150,7 +163,8 @@ mod tests {
         pc.handle_fault(&mut w, uid, 1).unwrap();
         let r = pc.handle_fault(&mut w, uid, 2).unwrap();
         assert!(r.steps >= 4, "stats + evict + load, got {}", r.steps);
-        assert_eq!(w.stats.evictions_core + w.stats.clean_drops, 1);
+        let s = w.stats();
+        assert_eq!(s.evictions_core + s.clean_drops, 1);
     }
 
     #[test]
@@ -163,7 +177,7 @@ mod tests {
         pc.handle_fault(&mut w, uid, 1).unwrap(); // fills bulk
         let r = pc.handle_fault(&mut w, uid, 2).unwrap();
         assert!(r.steps >= 6, "deep cascade, got {}", r.steps);
-        assert!(w.stats.evictions_bulk >= 1);
+        assert!(w.stats().evictions_bulk >= 1);
         assert!(w.disk.nr_pages() >= 1);
     }
 
@@ -190,7 +204,7 @@ mod tests {
         let uid = seg(&mut w, 1, 1);
         assert!(pc.touch(&mut w, uid, 0).unwrap() > 0);
         assert_eq!(pc.touch(&mut w, uid, 0).unwrap(), 0);
-        assert_eq!(w.stats.faults, 1);
+        assert_eq!(w.stats().faults, 1);
     }
 
     #[test]

@@ -1,9 +1,43 @@
 //! Page-control activity counters and fault-path metrics.
+//!
+//! Since the flight-recorder refactor, [`VmStats`] is a **view**: the
+//! live store is the `mks-trace` metrics registry (page control writes
+//! the [`keys`] below as it runs), and `VmWorld::stats()` materializes
+//! a `VmStats` from the registry on demand. The struct keeps its
+//! original shape so experiment drivers and tests read the same fields
+//! they always did — but the counters and the registry cannot drift,
+//! because the registry is the only accumulator.
 
 use mks_hw::Cycles;
+use mks_trace::MetricsRegistry;
+
+/// Registry names under which page control publishes its metrics.
+/// Counters unless noted; `FAULT_STEPS` and `FAULT_LATENCY` are
+/// histograms (whose counts equal the `FAULTS` counter by
+/// construction — one observation per recorded fault).
+pub mod keys {
+    /// Missing-page faults serviced (counter).
+    pub const FAULTS: &str = "vm.faults";
+    /// Pages loaded into primary memory (counter).
+    pub const LOADS: &str = "vm.loads";
+    /// Pages created by zero-fill (counter).
+    pub const ZERO_FILLS: &str = "vm.zero_fills";
+    /// Evictions from primary memory to the bulk store (counter).
+    pub const EVICTIONS_CORE: &str = "vm.evictions_core";
+    /// Evictions from the bulk store to disk (counter).
+    pub const EVICTIONS_BULK: &str = "vm.evictions_bulk";
+    /// Frames freed without write-back (counter).
+    pub const CLEAN_DROPS: &str = "vm.clean_drops";
+    /// Times a faulting process waited for a free frame (counter).
+    pub const FAULT_WAITS: &str = "vm.fault_waits";
+    /// Per-fault path step counts (histogram).
+    pub const FAULT_STEPS: &str = "vm.fault_steps";
+    /// Per-fault service latency in cycles (histogram).
+    pub const FAULT_LATENCY: &str = "vm.fault_latency";
+}
 
 /// Counters kept by both page-control designs. Experiment E5 compares the
-//  two designs' `fault_path_steps` distributions and latencies.
+/// two designs' `fault_path_steps` distributions and latencies.
 #[derive(Debug, Default, Clone)]
 pub struct VmStats {
     /// Missing-page faults serviced.
@@ -31,8 +65,31 @@ pub struct VmStats {
 }
 
 impl VmStats {
+    /// Materializes the view from the live registry (the read half of
+    /// the flight-recorder contract; the write half is in
+    /// `VmWorld::record_fault_path` and the `bump` sites).
+    pub fn from_registry(reg: &MetricsRegistry) -> VmStats {
+        let steps = reg.histogram(keys::FAULT_STEPS);
+        let latency = reg.histogram(keys::FAULT_LATENCY);
+        VmStats {
+            faults: reg.counter(keys::FAULTS),
+            loads: reg.counter(keys::LOADS),
+            zero_fills: reg.counter(keys::ZERO_FILLS),
+            evictions_core: reg.counter(keys::EVICTIONS_CORE),
+            evictions_bulk: reg.counter(keys::EVICTIONS_BULK),
+            clean_drops: reg.counter(keys::CLEAN_DROPS),
+            fault_waits: reg.counter(keys::FAULT_WAITS),
+            fault_path_steps_total: steps.map_or(0, |h| h.total() as u64),
+            fault_path_steps_max: steps.map_or(0, |h| h.max() as u32),
+            fault_latency_total: latency.map_or(0, |h| h.total() as u64),
+            fault_latency_max: latency.map_or(0, |h| h.max()),
+        }
+    }
+
     /// Records the completion of one fault service that took `steps`
-    /// distinct actions and `latency` cycles.
+    /// distinct actions and `latency` cycles. (On the live path this
+    /// accumulation happens in the registry; the method remains for
+    /// building expected values in tests.)
     pub fn record_fault_path(&mut self, steps: u32, latency: Cycles) {
         self.faults += 1;
         self.fault_path_steps_total += u64::from(steps);
@@ -81,5 +138,23 @@ mod tests {
         let s = VmStats::default();
         assert_eq!(s.mean_fault_steps(), 0.0);
         assert_eq!(s.mean_fault_latency(), 0.0);
+    }
+
+    #[test]
+    fn view_materializes_from_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(keys::FAULTS, 2);
+        reg.counter_add(keys::LOADS, 5);
+        reg.observe(keys::FAULT_STEPS, 3);
+        reg.observe(keys::FAULT_STEPS, 7);
+        reg.observe(keys::FAULT_LATENCY, 100);
+        reg.observe(keys::FAULT_LATENCY, 50);
+        let s = VmStats::from_registry(&reg);
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.loads, 5);
+        assert_eq!(s.mean_fault_steps(), 5.0);
+        assert_eq!(s.fault_path_steps_max, 7);
+        assert_eq!(s.fault_latency_total, 150);
+        assert_eq!(s.fault_latency_max, 100);
     }
 }

@@ -58,8 +58,9 @@ impl RefTrace {
     pub fn generate(cfg: &TraceConfig) -> RefTrace {
         assert!(cfg.nr_segments > 0 && cfg.pages_per_segment > 0);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let segments: Vec<SegUid> =
-            (0..cfg.nr_segments as u64).map(|i| SegUid(1000 + i)).collect();
+        let segments: Vec<SegUid> = (0..cfg.nr_segments as u64)
+            .map(|i| SegUid(1000 + i))
+            .collect();
         let total_pages = cfg.nr_segments * cfg.pages_per_segment;
 
         // Zipf CDF over a permutation of all pages; the permutation changes
@@ -93,7 +94,11 @@ impl RefTrace {
             let page = flat % cfg.pages_per_segment;
             refs.push((seg, page));
         }
-        RefTrace { refs, segments, pages_per_segment: cfg.pages_per_segment }
+        RefTrace {
+            refs,
+            segments,
+            pages_per_segment: cfg.pages_per_segment,
+        }
     }
 
     /// Splits the trace round-robin into `n` per-process sub-traces.
@@ -128,14 +133,24 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = RefTrace::generate(&TraceConfig { seed: 1, ..TraceConfig::default() });
-        let b = RefTrace::generate(&TraceConfig { seed: 2, ..TraceConfig::default() });
+        let a = RefTrace::generate(&TraceConfig {
+            seed: 1,
+            ..TraceConfig::default()
+        });
+        let b = RefTrace::generate(&TraceConfig {
+            seed: 2,
+            ..TraceConfig::default()
+        });
         assert_ne!(a.refs, b.refs);
     }
 
     #[test]
     fn references_stay_in_range() {
-        let cfg = TraceConfig { nr_segments: 3, pages_per_segment: 8, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            nr_segments: 3,
+            pages_per_segment: 8,
+            ..TraceConfig::default()
+        };
         let t = RefTrace::generate(&cfg);
         assert_eq!(t.refs.len(), cfg.length);
         for (uid, page) in &t.refs {
@@ -146,7 +161,11 @@ mod tests {
 
     #[test]
     fn zipf_skew_concentrates_references() {
-        let cfg = TraceConfig { theta: 1.2, length: 5_000, ..TraceConfig::default() };
+        let cfg = TraceConfig {
+            theta: 1.2,
+            length: 5_000,
+            ..TraceConfig::default()
+        };
         let t = RefTrace::generate(&cfg);
         let mut counts = std::collections::HashMap::new();
         for r in &t.refs {
@@ -187,7 +206,10 @@ mod tests {
 
     #[test]
     fn split_preserves_every_reference() {
-        let t = RefTrace::generate(&TraceConfig { length: 100, ..TraceConfig::default() });
+        let t = RefTrace::generate(&TraceConfig {
+            length: 100,
+            ..TraceConfig::default()
+        });
         let parts = t.split(3);
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
     }

@@ -80,7 +80,10 @@ fn check_invariants(w: &mut VmWorld) -> Result<(), String> {
         ));
     }
     for r in &w.resident {
-        if !mapped.iter().any(|(_, uid, p)| *uid == r.uid && *p == r.page) {
+        if !mapped
+            .iter()
+            .any(|(_, uid, p)| *uid == r.uid && *p == r.page)
+        {
             return Err(format!("core map entry {r:?} not in PTWs"));
         }
     }

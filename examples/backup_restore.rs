@@ -27,8 +27,12 @@ fn main() {
     // Build a hierarchy with real contents.
     let mut fs = FileSystem::new(&admin());
     let mut vm = VmWorld::new(Machine::new(CpuModel::H6180, 16), 64);
-    let udd = fs.create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM).unwrap();
-    let csr = fs.create_directory(udd, "CSR", &admin(), Label::BOTTOM).unwrap();
+    let udd = fs
+        .create_directory(FileSystem::ROOT, "udd", &admin(), Label::BOTTOM)
+        .unwrap();
+    let csr = fs
+        .create_directory(udd, "CSR", &admin(), Label::BOTTOM)
+        .unwrap();
     let conf = Label::new(Level::CONFIDENTIAL, Compartments::NONE);
     let seg = fs
         .create_segment(
@@ -44,7 +48,9 @@ fn main() {
     SegControl::activate(&mut vm, seg, PAGE_WORDS);
     let frame = mechanism::load_page(&mut vm, seg, 0).unwrap();
     for off in (0..PAGE_WORDS).step_by(8) {
-        vm.machine.mem.write(frame, off, Word::new(off as u64 * 3 + 1));
+        vm.machine
+            .mem
+            .write(frame, off, Word::new(off as u64 * 3 + 1));
     }
     let astx = vm.machine.ast.find(seg).unwrap();
     vm.machine.ast.entry_mut(astx).pt.ptw_mut(0).modified = true;
@@ -52,11 +58,17 @@ fn main() {
     // Dump to the system tape.
     let mut tape = TapeDim::new();
     let records = dump(&fs, &mut vm, FileSystem::ROOT, &mut tape).unwrap();
-    println!("dumped {records} records to tape ({} tape blocks)", tape.nr_records());
+    println!(
+        "dumped {records} records to tape ({} tape blocks)",
+        tape.nr_records()
+    );
 
     // Salvage a clean hierarchy: nothing to do.
     let report = fs.salvage();
-    println!("salvager on the live hierarchy: {} problems", report.problems.len());
+    println!(
+        "salvager on the live hierarchy: {} problems",
+        report.problems.len()
+    );
 
     // Restore into a brand-new system (e.g. after replacing a disk).
     tape.submit(mks_io::devices::DeviceOp::Control { order: "rewind" });
@@ -71,7 +83,11 @@ fn main() {
     let b = fs2.peek_branch(csr2, "ledger").unwrap();
     assert_eq!(b.label, conf);
     let uid2 = b.uid;
-    let astx2 = vm2.machine.ast.find(uid2).expect("restore left the segment active");
+    let astx2 = vm2
+        .machine
+        .ast
+        .find(uid2)
+        .expect("restore left the segment active");
     let f2 = match vm2.machine.ast.entry(astx2).pt.ptw(0).state {
         mks_hw::ast::PageState::InCore(f) => f,
         mks_hw::ast::PageState::NotInCore => mechanism::load_page(&mut vm2, uid2, 0).unwrap(),
@@ -81,7 +97,10 @@ fn main() {
         assert_eq!(vm2.machine.mem.read(f2, off), Word::new(off as u64 * 3 + 1));
         checked += 1;
     }
-    println!("verified {checked} words of >udd>CSR>ledger (label {:?})", b.label);
+    println!(
+        "verified {checked} words of >udd>CSR>ledger (label {:?})",
+        b.label
+    );
 
     // The salvager confirms the restored tree is consistent.
     let report = fs2.salvage();

@@ -80,11 +80,19 @@ fn main() {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            DirMode::SA,
+        )
         .unwrap();
 
     // The borrower and her private data.
-    let jones = sys.world.create_process(UserId::new("Jones", "CSR", "a"), Label::BOTTOM, 4);
+    let jones = sys
+        .world
+        .create_process(UserId::new("Jones", "CSR", "a"), Label::BOTTOM, 4);
     let root_j = sys.world.bind_root(jones);
     let udd_j = Monitor::initiate_dir(&mut sys.world, jones, root_j, "udd");
     let payroll = Monitor::create_segment(
@@ -130,7 +138,8 @@ fn main() {
     // input. It is a *protected subsystem* of Jones's session: a separate
     // authority domain entered through declared gates.
     let sandbox =
-        sys.world.create_process(UserId::new("Jones", "CSR", "borrowed"), Label::BOTTOM, 4);
+        sys.world
+            .create_process(UserId::new("Jones", "CSR", "borrowed"), Label::BOTTOM, 4);
     let root_s = sys.world.bind_root(sandbox);
     let udd_s = Monitor::initiate_dir(&mut sys.world, sandbox, root_s, "udd");
     let input_s = Monitor::initiate(&mut sys.world, sandbox, udd_s, "q3-figures")

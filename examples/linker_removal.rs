@@ -31,14 +31,22 @@ impl Library {
         let mut objects = HashMap::new();
         for (name, entries) in [
             ("sqrt_", vec![("sqrt".to_string(), 12)]),
-            ("ioa_", vec![("format".to_string(), 0), ("print".to_string(), 30)]),
+            (
+                "ioa_",
+                vec![("format".to_string(), 0), ("print".to_string(), 30)],
+            ),
         ] {
             objects.insert(
                 name.to_string(),
                 ObjectSegment::new(name, 100, entries, vec![]),
             );
         }
-        Library { dir: SegNo(10), objects, bound: HashMap::new(), next: 100 }
+        Library {
+            dir: SegNo(10),
+            objects,
+            bound: HashMap::new(),
+            next: 100,
+        }
     }
 }
 
@@ -67,7 +75,10 @@ fn main() {
         "report_gen",
         50,
         vec![("main".into(), 0)],
-        vec![("sqrt_".into(), "sqrt".into()), ("ioa_".into(), "print".into())],
+        vec![
+            ("sqrt_".into(), "sqrt".into()),
+            ("ioa_".into(), "print".into()),
+        ],
     )
     .encode();
 
@@ -81,13 +92,19 @@ fn main() {
     for link in 0..2 {
         match legacy.handle_linkage_fault(&mut lib, &rules, 4, &honest, link) {
             LegacyLinkOutcome::Snapped(s) => {
-                println!("  honest link {link} snapped to {:?} offset {}", s.segno, s.offset)
+                println!(
+                    "  honest link {link} snapped to {:?} offset {}",
+                    s.segno, s.offset
+                )
             }
             other => panic!("{other:?}"),
         }
     }
     match legacy.handle_linkage_fault(&mut lib, &rules, 4, &trojan, 0) {
-        LegacyLinkOutcome::SupervisorBreach { stray_address, kind } => {
+        LegacyLinkOutcome::SupervisorBreach {
+            stray_address,
+            kind,
+        } => {
             println!("  trojan: SUPERVISOR BREACH — {kind} (stray address {stray_address:#o})");
             println!("  (ring-0 code was driven out of bounds by user data)");
         }
@@ -100,7 +117,10 @@ fn main() {
     for link in 0..2 {
         match user.handle_linkage_fault(&mut lib, &rules, 4, &honest, link) {
             UserLinkOutcome::Snapped(s) => {
-                println!("  honest link {link} snapped to {:?} offset {}", s.segno, s.offset)
+                println!(
+                    "  honest link {link} snapped to {:?} offset {}",
+                    s.segno, s.offset
+                )
             }
             other => panic!("{other:?}"),
         }

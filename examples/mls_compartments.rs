@@ -31,14 +31,24 @@ fn main() {
         Monitor::create_directory(&mut sys.world, admin, root, name, label).unwrap();
         sys.world
             .fs
-            .set_dir_acl_entry(mks_fs::FileSystem::ROOT, name, &admin_user(), "*.*.*", DirMode::SA)
+            .set_dir_acl_entry(
+                mks_fs::FileSystem::ROOT,
+                name,
+                &admin_user(),
+                "*.*.*",
+                DirMode::SA,
+            )
             .unwrap();
     }
     println!("created upgraded directories >crypto (S/crypto) and >nato (S/nato)");
 
     // Two cleared analysts, one per compartment.
-    let alice = sys.world.create_process(UserId::new("Alice", "Crypto", "a"), secret_crypto, 4);
-    let boris = sys.world.create_process(UserId::new("Boris", "Nato", "a"), secret_nato, 4);
+    let alice = sys
+        .world
+        .create_process(UserId::new("Alice", "Crypto", "a"), secret_crypto, 4);
+    let boris = sys
+        .world
+        .create_process(UserId::new("Boris", "Nato", "a"), secret_nato, 4);
 
     // Alice files a report in her compartment — ACL wide open on purpose:
     // the labels alone must protect it.
@@ -70,7 +80,9 @@ fn main() {
 
     // A second crypto-cleared analyst shares freely *within* the
     // compartment: the sharing layer is common only inside it.
-    let carol = sys.world.create_process(UserId::new("Carol", "Crypto", "a"), secret_crypto, 4);
+    let carol = sys
+        .world
+        .create_process(UserId::new("Carol", "Crypto", "a"), secret_crypto, 4);
     let root_c = root_of(&mut sys, carol);
     let crypto_c = Monitor::initiate_dir(&mut sys.world, carol, root_c, "crypto");
     let seg_c = Monitor::initiate(&mut sys.world, carol, crypto_c, "keybreak-report").unwrap();
@@ -80,7 +92,9 @@ fn main() {
     // A TOP SECRET crypto officer may read Alice's report (read down) but
     // cannot write into it (that would be a downward flow from TS).
     let ts_crypto = Label::new(Level::TOP_SECRET, Compartments::of(&[1]));
-    let dana = sys.world.create_process(UserId::new("Dana", "Crypto", "a"), ts_crypto, 4);
+    let dana = sys
+        .world
+        .create_process(UserId::new("Dana", "Crypto", "a"), ts_crypto, 4);
     let root_d = root_of(&mut sys, dana);
     let crypto_d = Monitor::initiate_dir(&mut sys.world, dana, root_d, "crypto");
     let seg_d = Monitor::initiate(&mut sys.world, dana, crypto_d, "keybreak-report").unwrap();

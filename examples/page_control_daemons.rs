@@ -41,10 +41,18 @@ fn main() {
     println!("memory: 10 primary frames, 24 bulk records, unbounded disk\n");
 
     let (seq, seq_cycles) = run_sequential(10, 24, &trace, 3);
-    show("sequential design (fault handler runs the whole cascade)", &seq, seq_cycles);
+    show(
+        "sequential design (fault handler runs the whole cascade)",
+        &seq,
+        seq_cycles,
+    );
     println!();
     let (par, par_cycles) = run_parallel(10, 24, &trace, 3, 3);
-    show("parallel design (core freer + bulk freer daemons)", &par, par_cycles);
+    show(
+        "parallel design (core freer + bulk freer daemons)",
+        &par,
+        par_cycles,
+    );
 
     println!();
     println!(

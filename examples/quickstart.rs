@@ -33,13 +33,21 @@ fn main() {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            DirMode::SA,
+        )
         .unwrap();
 
     // 3. Register and log in a user. In this configuration the login
     //    machinery is unprivileged: exactly one privileged gate is used.
     let jones = UserId::new("Jones", "CSR", "a");
-    sys.world.auth.register(&jones, "plugh xyzzy", Label::BOTTOM);
+    sys.world
+        .auth
+        .register(&jones, "plugh xyzzy", Label::BOTTOM);
     let session = login(&mut sys.world, &jones, "plugh xyzzy", Label::BOTTOM, 4)
         .expect("credentials are right");
     println!(
@@ -65,10 +73,15 @@ fn main() {
     Monitor::write(&mut sys.world, pid, seg, 0, Word::new(1974)).unwrap();
     let w = Monitor::read(&mut sys.world, pid, seg, 0).unwrap();
     println!("wrote and read back {w:?} through the reference monitor");
-    println!("page faults serviced on the way: {}", sys.world.vm.stats.faults);
+    println!(
+        "page faults serviced on the way: {}",
+        sys.world.vm.stats().faults
+    );
 
     // 5. Another principal gets nothing — and learns nothing.
-    let smith = sys.world.create_process(UserId::new("Smith", "Guest", "a"), Label::BOTTOM, 4);
+    let smith = sys
+        .world
+        .create_process(UserId::new("Smith", "Guest", "a"), Label::BOTTOM, 4);
     let root_s = sys.world.bind_root(smith);
     let udd_s = Monitor::initiate_dir(&mut sys.world, smith, root_s, "udd");
     let denied = Monitor::initiate(&mut sys.world, smith, udd_s, "notebook");

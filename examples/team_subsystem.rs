@@ -43,7 +43,10 @@ fn installer_submit(
     for (proc, obj) in procs.iter().zip(module.procs.iter()) {
         match validate(proc, obj) {
             Verdict::Certified { vectors_checked } => {
-                println!("  certified {name}${} ({vectors_checked} vectors)", proc.name);
+                println!(
+                    "  certified {name}${} ({vectors_checked} vectors)",
+                    proc.name
+                );
             }
             Verdict::Rejected { reason } => {
                 return Err(format!("rejected {name}${}: {reason}", proc.name))
@@ -85,12 +88,21 @@ fn main() {
         .unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "complib", &admin_user(), "*.CompTeam.*", DirMode::S)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "complib",
+            &admin_user(),
+            "*.CompTeam.*",
+            DirMode::S,
+        )
         .unwrap();
 
     let installer =
-        sys.world.create_process(UserId::new("Installer", "CompTeam", "a"), Label::BOTTOM, 4);
-    let alice = sys.world.create_process(UserId::new("Alice", "CompTeam", "a"), Label::BOTTOM, 4);
+        sys.world
+            .create_process(UserId::new("Installer", "CompTeam", "a"), Label::BOTTOM, 4);
+    let alice = sys
+        .world
+        .create_process(UserId::new("Alice", "CompTeam", "a"), Label::BOTTOM, 4);
     let root_i = sys.world.bind_root(installer);
     let lib_i = Monitor::initiate_dir(&mut sys.world, installer, root_i, "complib");
 
@@ -132,7 +144,10 @@ fn main() {
     let mut fuel = 10_000;
     let kinds: Vec<i64> = [b'7', b'Q', b'x', b'+']
         .iter()
-        .map(|c| env.call(lexer_a, "classify", &[i64::from(*c)], &mut fuel).unwrap())
+        .map(|c| {
+            env.call(lexer_a, "classify", &[i64::from(*c)], &mut fuel)
+                .unwrap()
+        })
         .collect();
     println!("\nAlice runs lexer_$classify over \"7Qx+\": {kinds:?}");
     assert_eq!(kinds, [1, 2, 3, 0]);

@@ -20,7 +20,10 @@ use mks_hw::{AstIndex, RingBrackets as RB, Sdw};
 use mks_mls::{Compartments, Label, Level};
 
 fn module(name: &str) -> Module {
-    let (_, src) = KERNEL_SOURCES.iter().find(|(n, _)| *n == name).expect("module exists");
+    let (_, src) = KERNEL_SOURCES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .expect("module exists");
     let procs = parse_program(src).unwrap();
     compile_module(name, &procs).unwrap()
 }
@@ -38,9 +41,12 @@ fn ring_access_model_matches_the_hardware_exhaustively() {
         for r1 in 0u8..8 {
             for r2 in r1..8 {
                 let b = RingBrackets::new(r1, r2, 7);
-                let want =
-                    i64::from(b.read_allowed(ring)) + 2 * i64::from(b.write_allowed(ring));
-                let got = call(&m, "ring_access", &[i64::from(ring), i64::from(r1), i64::from(r2)]);
+                let want = i64::from(b.read_allowed(ring)) + 2 * i64::from(b.write_allowed(ring));
+                let got = call(
+                    &m,
+                    "ring_access",
+                    &[i64::from(ring), i64::from(r1), i64::from(r2)],
+                );
                 assert_eq!(got, want, "ring {ring} brackets ({r1},{r2})");
             }
         }
@@ -60,7 +66,11 @@ fn ring_call_model_matches_the_hardware_exhaustively() {
                     Ok(CallEffect::InwardTo(t)) => 10 + i64::from(t),
                     Err(_) => -1,
                 };
-                let got = call(&m, "ring_call", &[i64::from(ring), i64::from(r2), i64::from(r3)]);
+                let got = call(
+                    &m,
+                    "ring_call",
+                    &[i64::from(ring), i64::from(r2), i64::from(r3)],
+                );
                 assert_eq!(got, want, "ring {ring} brackets ({r2},{r2},{r3})");
             }
         }
@@ -73,13 +83,15 @@ fn quota_model_matches_the_mechanism_exhaustively() {
     for limit in 0u64..12 {
         for used in 0..=limit {
             for req in 0u64..14 {
-                let mut cell = mks_fs::QuotaCell { limit_pages: limit, used_pages: used };
+                let mut cell = mks_fs::QuotaCell {
+                    limit_pages: limit,
+                    used_pages: used,
+                };
                 let want = match cell.charge(req) {
                     Ok(()) => cell.used_pages as i64,
                     Err(_) => -1,
                 };
-                let got =
-                    call(&m, "quota_charge", &[used as i64, limit as i64, req as i64]);
+                let got = call(&m, "quota_charge", &[used as i64, limit as i64, req as i64]);
                 assert_eq!(got, want, "limit {limit} used {used} req {req}");
             }
         }
@@ -92,8 +104,10 @@ fn quota_move_model_matches_the_mechanism() {
     for parent_limit in 0u64..10 {
         for parent_used in 0..=parent_limit {
             for amount in 0u64..12 {
-                let mut parent =
-                    mks_fs::QuotaCell { limit_pages: parent_limit, used_pages: parent_used };
+                let mut parent = mks_fs::QuotaCell {
+                    limit_pages: parent_limit,
+                    used_pages: parent_used,
+                };
                 let mut child = mks_fs::QuotaCell::with_limit(3);
                 let want = match parent.move_to(&mut child, amount) {
                     Ok(()) => child.limit_pages as i64,
@@ -177,8 +191,7 @@ fn page_fault_path_model_matches_the_parallel_design() {
         assert_eq!(sys.world.nr_free_frames(), free);
         let pc_copy = sys.pc;
         let outcome =
-            mks_vm::parallel::try_resolve_fault(&mut sys.world, &pc_copy, target, 0, 0)
-                .unwrap();
+            mks_vm::parallel::try_resolve_fault(&mut sys.world, &pc_copy, target, 0, 0).unwrap();
         let want = match outcome {
             mks_vm::parallel::ParallelFault::Loaded { .. } => 1,
             mks_vm::parallel::ParallelFault::MustWait => 0,

@@ -24,7 +24,13 @@ fn boot() -> (System, KProcId) {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            DirMode::SA,
+        )
         .unwrap();
     (sys, admin)
 }
@@ -62,7 +68,7 @@ fn boot_login_work_logout_cycle() {
             Word::new(i as u64)
         );
     }
-    assert!(sys.world.vm.stats.faults >= 1);
+    assert!(sys.world.vm.stats().faults >= 1);
 
     Monitor::terminate(&mut sys.world, pid, seg).unwrap();
     assert!(sys.world.destroy_process(pid).is_some());
@@ -86,7 +92,9 @@ fn pathname_resolution_end_to_end_with_lies() {
     )
     .unwrap();
     // Resolve by pathname from a completely separate process.
-    let user = sys.world.create_process(UserId::new("U", "P", "a"), Label::BOTTOM, 4);
+    let user = sys
+        .world
+        .create_process(UserId::new("U", "P", "a"), Label::BOTTOM, 4);
     let seg = Monitor::initiate_path(&mut sys.world, user, ">udd>CSR>prog").unwrap();
     assert!(Monitor::read(&mut sys.world, user, seg, 0).is_ok());
     // A probe of a fictitious path gets exactly the same error as a
@@ -104,13 +112,20 @@ fn mls_and_acl_compose_end_to_end() {
     let root = root_of(&mut sys, admin);
     let udd = Monitor::initiate_dir(&mut sys.world, admin, root, "udd");
     Monitor::create_directory(&mut sys.world, admin, udd, "vault", s_crypto).unwrap();
-    let udd_uid = sys.world.fs.peek_branch(mks_fs::FileSystem::ROOT, "udd").unwrap().uid;
+    let udd_uid = sys
+        .world
+        .fs
+        .peek_branch(mks_fs::FileSystem::ROOT, "udd")
+        .unwrap()
+        .uid;
     sys.world
         .fs
         .set_dir_acl_entry(udd_uid, "vault", &admin_user(), "*.*.*", DirMode::SA)
         .unwrap();
 
-    let alice = sys.world.create_process(UserId::new("Alice", "X", "a"), s_crypto, 4);
+    let alice = sys
+        .world
+        .create_process(UserId::new("Alice", "X", "a"), s_crypto, 4);
     let root_a = root_of(&mut sys, alice);
     let udd_a = Monitor::initiate_dir(&mut sys.world, alice, root_a, "udd");
     let vault_a = Monitor::initiate_dir(&mut sys.world, alice, udd_a, "vault");
@@ -127,7 +142,9 @@ fn mls_and_acl_compose_end_to_end() {
     Monitor::write(&mut sys.world, alice, seg, 0, Word::new(3)).unwrap();
 
     // Same compartment, but not on the ACL: denied by the ACL.
-    let carol = sys.world.create_process(UserId::new("Carol", "X", "a"), s_crypto, 4);
+    let carol = sys
+        .world
+        .create_process(UserId::new("Carol", "X", "a"), s_crypto, 4);
     let root_c = root_of(&mut sys, carol);
     let udd_c = Monitor::initiate_dir(&mut sys.world, carol, root_c, "udd");
     let vault_c = Monitor::initiate_dir(&mut sys.world, carol, udd_c, "vault");
@@ -153,8 +170,12 @@ fn mls_and_acl_compose_end_to_end() {
 #[test]
 fn ipc_guard_follows_the_acl() {
     let (mut sys, _admin) = boot();
-    let a = sys.world.create_process(UserId::new("A", "P", "a"), Label::BOTTOM, 4);
-    let b = sys.world.create_process(UserId::new("B", "P", "a"), Label::BOTTOM, 4);
+    let a = sys
+        .world
+        .create_process(UserId::new("A", "P", "a"), Label::BOTTOM, 4);
+    let b = sys
+        .world
+        .create_process(UserId::new("B", "P", "a"), Label::BOTTOM, 4);
     let root_a = root_of(&mut sys, a);
     let udd_a = Monitor::initiate_dir(&mut sys.world, a, root_a, "udd");
     // A's mailbox allows B to write (and hence to notify).
@@ -176,7 +197,9 @@ fn ipc_guard_follows_the_acl() {
     let mbx_b = Monitor::initiate_path(&mut sys.world, b, ">udd>mailbox").unwrap();
     assert!(Monitor::may_notify_channel(&mut sys.world, b, mbx_b, 0).is_ok());
     // A third user with no ACL entry cannot even initiate it.
-    let c = sys.world.create_process(UserId::new("C", "Q", "a"), Label::BOTTOM, 4);
+    let c = sys
+        .world
+        .create_process(UserId::new("C", "Q", "a"), Label::BOTTOM, 4);
     assert_eq!(
         Monitor::initiate_path(&mut sys.world, c, ">udd>mailbox"),
         Err(AccessError::NoInfo)

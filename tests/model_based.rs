@@ -22,9 +22,19 @@ const SEGS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
 #[derive(Debug, Clone)]
 enum Cmd {
     /// user creates SEGS[s] granting rw to grantee, at label level `lvl`.
-    Create { user: usize, seg: usize, grantee: usize, lvl: u8 },
+    Create {
+        user: usize,
+        seg: usize,
+        grantee: usize,
+        lvl: u8,
+    },
     /// user writes value into SEGS[s] at offset.
-    Write { user: usize, seg: usize, off: usize, val: u64 },
+    Write {
+        user: usize,
+        seg: usize,
+        off: usize,
+        val: u64,
+    },
     /// user reads SEGS[s] at offset.
     Read { user: usize, seg: usize, off: usize },
 }
@@ -32,10 +42,21 @@ enum Cmd {
 fn arb_cmd() -> impl Strategy<Value = Cmd> {
     prop_oneof![
         (0..3usize, 0..4usize, 0..3usize, 0u8..3).prop_map(|(user, seg, grantee, lvl)| {
-            Cmd::Create { user, seg, grantee, lvl }
+            Cmd::Create {
+                user,
+                seg,
+                grantee,
+                lvl,
+            }
         }),
-        (0..3usize, 0..4usize, 0..64usize, 1u64..1000)
-            .prop_map(|(user, seg, off, val)| Cmd::Write { user, seg, off, val }),
+        (0..3usize, 0..4usize, 0..64usize, 1u64..1000).prop_map(|(user, seg, off, val)| {
+            Cmd::Write {
+                user,
+                seg,
+                off,
+                val,
+            }
+        }),
         (0..3usize, 0..4usize, 0..64usize).prop_map(|(user, seg, off)| Cmd::Read {
             user,
             seg,
@@ -63,7 +84,8 @@ impl Model {
         if mls_check(&subj, &Label::BOTTOM, AccessKind::Write).is_err() {
             return false;
         }
-        self.segs.insert(seg, (user, grantee, label, HashMap::new()));
+        self.segs
+            .insert(seg, (user, grantee, label, HashMap::new()));
         true
     }
 
@@ -95,9 +117,15 @@ impl Model {
 
     fn read(&self, user: usize, seg: usize, off: usize) -> Option<u64> {
         match self.mode(user, seg) {
-            Some((true, _)) => {
-                Some(self.segs.get(&seg).unwrap().3.get(&off).copied().unwrap_or(0))
-            }
+            Some((true, _)) => Some(
+                self.segs
+                    .get(&seg)
+                    .unwrap()
+                    .3
+                    .get(&off)
+                    .copied()
+                    .unwrap_or(0),
+            ),
             _ => None,
         }
     }
@@ -123,21 +151,30 @@ impl Real {
         Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
         sys.world
             .fs
-            .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+            .set_dir_acl_entry(
+                mks_fs::FileSystem::ROOT,
+                "udd",
+                &admin_user(),
+                "*.*.*",
+                DirMode::SA,
+            )
             .unwrap();
         let mut pids = Vec::new();
         let mut udd = Vec::new();
         for (i, name) in USERS.iter().enumerate() {
-            let pid = sys.world.create_process(
-                UserId::new(name, "Proj", "a"),
-                proc_label(i),
-                4,
-            );
+            let pid = sys
+                .world
+                .create_process(UserId::new(name, "Proj", "a"), proc_label(i), 4);
             let root = sys.world.bind_root(pid);
             udd.push(Monitor::initiate_dir(&mut sys.world, pid, root, "udd"));
             pids.push(pid);
         }
-        Real { sys, pids, udd, segnos: HashMap::new() }
+        Real {
+            sys,
+            pids,
+            udd,
+            segnos: HashMap::new(),
+        }
     }
 
     fn segno(&mut self, user: usize, seg: usize) -> Option<SegNo> {
@@ -176,13 +213,17 @@ impl Real {
     }
 
     fn write(&mut self, user: usize, seg: usize, off: usize, val: u64) -> bool {
-        let Some(s) = self.segno(user, seg) else { return false };
+        let Some(s) = self.segno(user, seg) else {
+            return false;
+        };
         Monitor::write(&mut self.sys.world, self.pids[user], s, off, Word::new(val)).is_ok()
     }
 
     fn read(&mut self, user: usize, seg: usize, off: usize) -> Option<u64> {
         let s = self.segno(user, seg)?;
-        Monitor::read(&mut self.sys.world, self.pids[user], s, off).ok().map(|w| w.raw())
+        Monitor::read(&mut self.sys.world, self.pids[user], s, off)
+            .ok()
+            .map(|w| w.raw())
     }
 }
 

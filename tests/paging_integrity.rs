@@ -7,9 +7,8 @@
 use mks_hw::{CpuModel, Machine, SegUid, Word, PAGE_WORDS};
 use mks_procs::{TcConfig, TrafficController};
 use mks_vm::{
-    VmAccess,
     mechanism, BulkFreerJob, ClockPolicy, CoreFreerJob, FifoPolicy, ParallelConfig,
-    ParallelPageControl, SegControl, SequentialPageControl, VmWorld,
+    ParallelPageControl, SegControl, SequentialPageControl, VmAccess, VmWorld,
 };
 
 fn value(uid: u64, page: usize, off: usize) -> Word {
@@ -59,8 +58,8 @@ fn sequential_design_preserves_every_word() {
             }
         }
     }
-    assert!(w.stats.evictions_core > 0, "the test must actually churn");
-    assert!(w.stats.evictions_bulk > 0, "…through the bulk store too");
+    assert!(w.stats().evictions_core > 0, "the test must actually churn");
+    assert!(w.stats().evictions_bulk > 0, "…through the bulk store too");
 }
 
 #[test]
@@ -90,7 +89,11 @@ fn parallel_design_preserves_every_word() {
                 match state {
                     mks_hw::ast::PageState::InCore(frame) => {
                         while self.off < PAGE_WORDS {
-                            w.machine.mem.write(frame, self.off, value(self.uid.0, self.page, self.off));
+                            w.machine.mem.write(
+                                frame,
+                                self.off,
+                                value(self.uid.0, self.page, self.off),
+                            );
                             self.off += 97;
                         }
                         let astx = w.machine.ast.find(self.uid).unwrap();
@@ -103,8 +106,7 @@ fn parallel_design_preserves_every_word() {
                         mks_procs::Step::Continue
                     }
                     mks_hw::ast::PageState::NotInCore => {
-                        let t0 =
-                            *self.t0.get_or_insert_with(|| w.machine.clock.now());
+                        let t0 = *self.t0.get_or_insert_with(|| w.machine.clock.now());
                         match mks_vm::parallel::try_resolve_fault(w, &pc, self.uid, self.page, t0)
                             .unwrap()
                         {
@@ -126,11 +128,19 @@ fn parallel_design_preserves_every_word() {
         }
     }
 
-    let mut tc: TrafficController<mks_vm::parallel::VmSystem> =
-        TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs: 8, quantum: 6 });
+    let mut tc: TrafficController<mks_vm::parallel::VmSystem> = TrafficController::new(TcConfig {
+        nr_cpus: 2,
+        nr_vprocs: 8,
+        quantum: 6,
+    });
     let world = VmWorld::new(Machine::new(CpuModel::H6180, 4), 6);
     let pc = ParallelPageControl::new(
-        ParallelConfig { core_low: 1, core_target: 2, bulk_low: 2, bulk_target: 3 },
+        ParallelConfig {
+            core_low: 1,
+            core_target: 2,
+            bulk_low: 2,
+            bulk_target: 3,
+        },
         &mut tc,
     );
     let mut sys = mks_vm::parallel::VmSystem { world, pc };
@@ -142,7 +152,14 @@ fn parallel_design_preserves_every_word() {
     tc.add_dedicated(Box::new(BulkFreerJob));
     let pids: Vec<_> = segs
         .iter()
-        .map(|s| tc.spawn(Box::new(WriterJob { uid: *s, page: 0, off: 0, t0: None })))
+        .map(|s| {
+            tc.spawn(Box::new(WriterJob {
+                uid: *s,
+                page: 0,
+                off: 0,
+                t0: None,
+            }))
+        })
         .collect();
     let out = tc.run_until_quiet(&mut sys, 1_000_000);
     assert!(out.quiescent);
@@ -179,7 +196,7 @@ fn parallel_design_preserves_every_word() {
             }
         }
     }
-    assert!(w.stats.evictions_core > 0);
+    assert!(w.stats().evictions_core > 0);
 }
 
 #[test]

@@ -25,7 +25,13 @@ fn boot(cfg: KernelConfig) -> (System, KProcId) {
     Monitor::create_directory(&mut sys.world, admin, root, "udd", Label::BOTTOM).unwrap();
     sys.world
         .fs
-        .set_dir_acl_entry(mks_fs::FileSystem::ROOT, "udd", &admin_user(), "*.*.*", DirMode::SA)
+        .set_dir_acl_entry(
+            mks_fs::FileSystem::ROOT,
+            "udd",
+            &admin_user(),
+            "*.*.*",
+            DirMode::SA,
+        )
         .unwrap();
     (sys, admin)
 }
@@ -36,7 +42,9 @@ fn scenario(cfg: KernelConfig) -> Vec<String> {
     let (mut sys, _admin) = boot(cfg);
     let jones = UserId::new("Jones", "CSR", "a");
     sys.world.auth.register(&jones, "pw", Label::BOTTOM);
-    let pid = login(&mut sys.world, &jones, "pw", Label::BOTTOM, 4).unwrap().pid;
+    let pid = login(&mut sys.world, &jones, "pw", Label::BOTTOM, 4)
+        .unwrap()
+        .pid;
 
     // Create a tree and some segments by pathname.
     let root = root_of(&mut sys, pid);
@@ -68,7 +76,9 @@ fn scenario(cfg: KernelConfig) -> Vec<String> {
     names.sort();
     out.push(format!("home={names:?}"));
     // Denials for a foreign user are also part of the observable contract.
-    let smith = sys.world.create_process(UserId::new("Smith", "XYZ", "a"), Label::BOTTOM, 4);
+    let smith = sys
+        .world
+        .create_process(UserId::new("Smith", "XYZ", "a"), Label::BOTTOM, 4);
     let denied = Monitor::initiate_path(&mut sys.world, smith, ">udd>Jones>alpha").is_err();
     out.push(format!("smith_denied={denied}"));
     // Terminate and re-initiate.
@@ -89,7 +99,10 @@ fn legitimate_programs_see_identical_behaviour() {
 #[test]
 fn each_intermediate_rung_also_preserves_behaviour() {
     let base = scenario(KernelConfig::legacy());
-    for cfg in [KernelConfig::legacy_linker_removed(), KernelConfig::legacy_both_removals()] {
+    for cfg in [
+        KernelConfig::legacy_linker_removed(),
+        KernelConfig::legacy_both_removals(),
+    ] {
         assert_eq!(base, scenario(cfg), "{}", cfg.name());
     }
 }
@@ -132,8 +145,10 @@ fn linking_resolves_identically_in_both_packagings() {
     for link in 0..2 {
         let mut legacy = LegacyLinker::new();
         let mut user = UserLinker::new();
-        let a = legacy.handle_linkage_fault(&mut Env(Default::default(), 100), &rules, 4, &image, link);
-        let b = user.handle_linkage_fault(&mut Env(Default::default(), 100), &rules, 4, &image, link);
+        let a =
+            legacy.handle_linkage_fault(&mut Env(Default::default(), 100), &rules, 4, &image, link);
+        let b =
+            user.handle_linkage_fault(&mut Env(Default::default(), 100), &rules, 4, &image, link);
         match (a, b) {
             (LegacyLinkOutcome::Snapped(x), UserLinkOutcome::Snapped(y)) => {
                 assert_eq!(x.offset, y.offset);
