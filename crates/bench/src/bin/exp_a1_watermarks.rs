@@ -1,63 +1,6 @@
-//! A1 — ablation: the freeing daemons' watermarks.
-//!
-//! The paper fixes the design ("some small number of free primary memory
-//! blocks always exist") but not the number. This sweep shows the
-//! trade-off the number controls: a high free-frame target means faulting
-//! processes never wait but hot pages get evicted and re-fetched; a low
-//! target wastes no frames but makes processes wait for the freer.
-
-use mks_bench::drivers::run_parallel_with;
-use mks_bench::report::{banner, Table};
-use mks_vm::{ParallelConfig, RefTrace, TraceConfig};
+//! A1 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::a1_watermarks`].
 
 fn main() {
-    banner(
-        "A1: free-frame watermark sweep for the dedicated freeing process",
-        "\"one process runs in a loop making sure that some small number of free primary memory blocks always exist\"",
-    );
-    let trace = RefTrace::generate(&TraceConfig {
-        seed: 21,
-        nr_segments: 4,
-        pages_per_segment: 10,
-        length: 2_000,
-        theta: 0.9,
-        phase_len: 500,
-    });
-    const FRAMES: usize = 16;
-    let mut t = Table::new(&[
-        "low/target watermarks",
-        "faults",
-        "waits",
-        "re-fetch ratio",
-        "mean latency (cyc)",
-    ]);
-    let distinct = trace.distinct_pages() as f64;
-    for (low, target) in [(1, 1), (1, 2), (2, 4), (4, 8), (6, 12)] {
-        let cfg = ParallelConfig {
-            core_low: low,
-            core_target: target,
-            bulk_low: 4,
-            bulk_target: 8,
-        };
-        let (s, _) = run_parallel_with(FRAMES, 64, &trace, 3, 3, cfg);
-        t.row(&[
-            format!("{low}/{target}"),
-            s.faults.to_string(),
-            s.fault_waits.to_string(),
-            format!("{:.2}x", s.faults as f64 / distinct),
-            format!("{:.0}", s.mean_fault_latency()),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "({FRAMES} primary frames; the trace touches {} distinct pages; a re-fetch",
-        trace.distinct_pages()
-    );
-    println!("ratio of 1.00x would mean every page faulted exactly once.)");
-    println!();
-    println!("Raising the target trades waits for re-fetches: the freer keeps more");
-    println!("frames free by evicting pages the processes still want. The fault");
-    println!("*path* stays 2 steps at every setting — the design's simplicity does");
-    println!("not depend on tuning, only its performance does.");
+    mks_bench::experiments::emit(&mks_bench::experiments::a1_watermarks::run());
 }

@@ -1,46 +1,6 @@
-//! A3 — structuring the kernel for certification: per-property audit
-//! scope under the layered organization vs a flat one.
-//!
-//! "One technique of modularization is to divide the kernel into domains
-//! arranged so that each property is implied by a subset of the domains."
-
-use mks_bench::report::{banner, Table};
-use mks_kernel::layers::StructureReport;
-use mks_kernel::KernelConfig;
+//! A3 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::a3_layering`].
 
 fn main() {
-    banner(
-        "A3: per-property certification scope, layered vs flat kernel",
-        "\"each property is implied by a subset of the domains ... each involves only a subset of the domains in the kernel\"",
-    );
-    let report = StructureReport::for_config(KernelConfig::kernel());
-    let mut t = Table::new(&[
-        "security property",
-        "layered scope (stmts)",
-        "flat scope (stmts)",
-        "fraction of kernel",
-    ]);
-    for s in &report.scopes {
-        t.row(&[
-            s.property.label().into(),
-            s.layered_weight.to_string(),
-            s.flat_weight.to_string(),
-            format!(
-                "{:.0}%",
-                100.0 * f64::from(s.layered_weight) / f64::from(s.flat_weight)
-            ),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "mean per-property audit scope: {:.0}% of the protected kernel",
-        100.0 * report.mean_scope_fraction()
-    );
-    println!();
-    println!("The MLS-at-the-bottom layering (the paper's partitioning proposal)");
-    println!("makes the compartmentalization property checkable against a fraction");
-    println!("of the kernel; complete mediation remains the widest property — the");
-    println!("reason the reference monitor is the part that must be smallest and");
-    println!("best understood.");
+    mks_bench::experiments::emit(&mks_bench::experiments::a3_layering::run());
 }

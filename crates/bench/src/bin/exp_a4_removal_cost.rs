@@ -1,109 +1,6 @@
-//! A4 — footnote 7: "There may still exist other performance penalties
-//! associated with removing functions from the supervisor ... One goal of
-//! the research is to understand better the performance cost of security."
-//!
-//! The cleanest such penalty: pathname initiation. The legacy supervisor
-//! resolves `>a>b>c` behind **one** gate crossing; the kernel
-//! configuration's user-ring loop crosses a gate **per component**. On the
-//! 645 that multiplication is ruinous; on the 6180 it costs almost
-//! nothing — which is exactly why the removal program waited for the 6180.
-
-use mks_bench::report::{banner, Table};
-use mks_fs::{Acl, AclMode, DirMode, UserId};
-use mks_hw::{CpuModel, RingBrackets};
-use mks_kernel::monitor::Monitor;
-use mks_kernel::world::{admin_user, System, SystemSize};
-use mks_kernel::KernelConfig;
-use mks_mls::Label;
-
-fn build(cfg: KernelConfig, cpu: CpuModel, depth: usize) -> (System, mks_kernel::KProcId, String) {
-    let mut sys = System::with_size(
-        cfg,
-        SystemSize {
-            frames: 64,
-            bulk_records: 256,
-            cpu,
-        },
-    );
-    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
-    let mut dir = sys.world.bind_root(admin);
-    let mut path = String::new();
-    for i in 0..depth {
-        let name = format!("d{i}");
-        dir = Monitor::create_directory(&mut sys.world, admin, dir, &name, Label::BOTTOM).unwrap();
-        path.push('>');
-        path.push_str(&name);
-    }
-    Monitor::create_segment(
-        &mut sys.world,
-        admin,
-        dir,
-        "leaf",
-        Acl::of("*.*.*", AclMode::RE),
-        RingBrackets::new(4, 4, 4),
-        Label::BOTTOM,
-    )
-    .unwrap();
-    // Let everyone traverse.
-    let _ = DirMode::S;
-    let user = sys
-        .world
-        .create_process(UserId::new("U", "P", "a"), Label::BOTTOM, 4);
-    path.push_str(">leaf");
-    (sys, user, path)
-}
-
-fn measure(cfg: KernelConfig, cpu: CpuModel, depth: usize) -> (u64, u64) {
-    let (mut sys, user, path) = build(cfg, cpu, depth);
-    let t0 = sys.world.vm.machine.clock.now();
-    let x0 = sys.world.vm.machine.ring_crossings();
-    const N: u64 = 200;
-    for _ in 0..N {
-        let seg = Monitor::initiate_path(&mut sys.world, user, &path).unwrap();
-        Monitor::terminate(&mut sys.world, user, seg).unwrap();
-    }
-    (
-        (sys.world.vm.machine.clock.now() - t0) / N,
-        (sys.world.vm.machine.ring_crossings() - x0) / N,
-    )
-}
+//! A4 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::a4_removal_cost`].
 
 fn main() {
-    banner(
-        "A4: the performance cost of removal — pathname initiation",
-        "footnote 7: \"understand better the performance cost of security\"",
-    );
-    let mut t = Table::new(&[
-        "path depth",
-        "machine",
-        "legacy: crossings/initiate",
-        "cycles",
-        "kernel: crossings/initiate",
-        "cycles",
-        "removal overhead",
-    ]);
-    for depth in [1usize, 3, 6] {
-        for cpu in [CpuModel::H645, CpuModel::H6180] {
-            let (lc, lx) = measure(KernelConfig::legacy(), cpu, depth);
-            let (kc, kx) = measure(KernelConfig::kernel(), cpu, depth);
-            t.row(&[
-                depth.to_string(),
-                cpu.name().into(),
-                lx.to_string(),
-                lc.to_string(),
-                kx.to_string(),
-                kc.to_string(),
-                format!("{:+.0}%", 100.0 * (kc as f64 - lc as f64) / lc as f64),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    println!();
-    println!("The kernel configuration crosses a gate per path component (the");
-    println!("user-ring resolution loop) where the legacy supervisor crossed once.");
-    println!("On the 645, each extra crossing costs thousands of cycles — the");
-    println!("pressure that had pushed everything into the supervisor. On the");
-    println!("6180 the same crossings are ~32 cycles, and the removal is close to");
-    println!("free: \"the performance penalty associated with supervisor calls has");
-    println!("been removed.\"");
+    mks_bench::experiments::emit(&mks_bench::experiments::a4_removal_cost::run());
 }

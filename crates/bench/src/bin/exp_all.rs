@@ -1,0 +1,117 @@
+//! `exp_all` — the whole experiment suite as one run.
+//!
+//! Executes every registered experiment (E1–E14, A1, A3, A4) across worker
+//! threads, regenerates `results/<bin>.txt` and the side artifacts,
+//! writes the machine-checked claim set to `results/claims.json`, prints
+//! the claim-by-claim summary table, and exits non-zero if any claim's
+//! verdict is `FAILED`. CI runs this binary as the claims gate.
+//!
+//! Usage: `exp_all [--workers N] [--quiet]`
+//!
+//! `--quiet` suppresses the per-experiment reports (the summary table and
+//! verdict tally are always printed).
+
+use std::process::ExitCode;
+
+use mks_bench::claims::{claims_json, summary_table, Tally};
+use mks_bench::experiments::{all_claims, default_workers, run_all, REGISTRY};
+use mks_bench::report::write_result;
+
+fn parse_args() -> Result<(usize, bool), String> {
+    let mut workers = default_workers();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|_| format!("bad --workers value: {v}"))?;
+            }
+            "--quiet" | "-q" => quiet = true,
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (try --workers N, --quiet)"
+                ))
+            }
+        }
+    }
+    Ok((workers, quiet))
+}
+
+fn main() -> ExitCode {
+    let (workers, quiet) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_all: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "running {} experiments on {} worker thread(s)...\n",
+        REGISTRY.len(),
+        workers.clamp(1, REGISTRY.len())
+    );
+    let outputs = run_all(workers);
+
+    // Regenerate results/: one .txt per experiment plus the side artifacts.
+    for (exp, out) in REGISTRY.iter().zip(&outputs) {
+        let txt = format!("{}.txt", exp.bin);
+        if let Err(e) = write_result(&txt, &out.report) {
+            eprintln!("exp_all: could not write results/{txt}: {e}");
+            return ExitCode::from(2);
+        }
+        for (name, contents) in &out.artifacts {
+            if let Err(e) = write_result(name, contents) {
+                eprintln!("exp_all: could not write results/{name}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if !quiet {
+            print!("{}", out.report);
+            println!();
+        }
+    }
+
+    let claims = all_claims(&outputs);
+    let json = claims_json(&claims, REGISTRY.len());
+    if let Err(e) = write_result("claims.json", &json) {
+        eprintln!("exp_all: could not write results/claims.json: {e}");
+        return ExitCode::from(2);
+    }
+
+    println!("claim verdicts ({} experiments):", REGISTRY.len());
+    print!("{}", summary_table(&claims).render());
+    println!();
+    for c in claims.iter().filter(|c| c.gap_note.is_some()) {
+        println!(
+            "note [{}]: {}",
+            c.id,
+            c.gap_note.expect("filtered on gap_note")
+        );
+    }
+    let t = Tally::of(&claims);
+    println!(
+        "\n{} claims: {} reproduced, {} reproduced-with-gap, {} failed",
+        t.total(),
+        t.reproduced,
+        t.with_gap,
+        t.failed
+    );
+    println!("wrote results/claims.json");
+
+    if t.failed > 0 {
+        for c in claims.iter().filter(|c| !c.verdict.passed()) {
+            eprintln!(
+                "FAILED {}: expected {}, measured {:.4} ({})",
+                c.id,
+                c.expected_shape.describe(),
+                c.measured,
+                c.measured_desc
+            );
+        }
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

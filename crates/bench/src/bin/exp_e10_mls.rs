@@ -1,86 +1,6 @@
-//! E10 — the Mitre model at the bottom layer: compartmentalized flow.
-//!
-//! "mechanisms to provide absolute compartmentalization of users and
-//! stored information be implemented at the bottom layer ..., and
-//! mechanisms to allow controlled sharing within the compartments be
-//! implemented at the next layer ... The second layer mechanisms would be
-//! common only within each compartment."
-
-use mks_bench::report::{banner, Table};
-use mks_mls::{mls_check, AccessKind, Compartments, Label, Level};
-
-fn lab(name: &str) -> Label {
-    match name {
-        "U" => Label::new(Level::UNCLASSIFIED, Compartments::NONE),
-        "C" => Label::new(Level::CONFIDENTIAL, Compartments::NONE),
-        "S" => Label::new(Level::SECRET, Compartments::NONE),
-        "S/crypto" => Label::new(Level::SECRET, Compartments::of(&[1])),
-        "S/nato" => Label::new(Level::SECRET, Compartments::of(&[2])),
-        "TS/crypto" => Label::new(Level::TOP_SECRET, Compartments::of(&[1])),
-        _ => unreachable!(),
-    }
-}
-
-const NAMES: [&str; 6] = ["U", "C", "S", "S/crypto", "S/nato", "TS/crypto"];
+//! E10 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e10_mls`].
 
 fn main() {
-    banner(
-        "E10: information-flow matrix over the compartment lattice",
-        "\"access constraints that restrict information flow in a hierarchy of compartments\"",
-    );
-    println!("cell = what a SUBJECT (row) may do to an OBJECT (column):");
-    println!("r = read (flow object->subject), w = write (flow subject->object),");
-    println!("rw = full sharing (labels equal), - = no flow permitted\n");
-    let mut header = vec!["subject \\ object"];
-    header.extend(NAMES);
-    let mut t = Table::new(&header);
-    for s in NAMES {
-        let mut row = vec![s.to_string()];
-        for o in NAMES {
-            let subj = lab(s);
-            let obj = lab(o);
-            let r = mls_check(&subj, &obj, AccessKind::Read).is_ok();
-            let w = mls_check(&subj, &obj, AccessKind::Write).is_ok();
-            row.push(match (r, w) {
-                (true, true) => "rw".into(),
-                (true, false) => "r".into(),
-                (false, true) => "w".into(),
-                (false, false) => "-".into(),
-            });
-        }
-        t.row(&row);
-    }
-    print!("{}", t.render());
-    println!();
-    // Verify the paper's structural claims mechanically.
-    let mut rw_cells = 0;
-    let mut violations = 0;
-    for s in NAMES {
-        for o in NAMES {
-            let subj = lab(s);
-            let obj = lab(o);
-            if mls_check(&subj, &obj, AccessKind::ReadWrite).is_ok() {
-                rw_cells += 1;
-                if subj != obj {
-                    violations += 1;
-                }
-            }
-            // No flow may run downward: if reading is allowed the subject
-            // dominates; if writing is allowed the object dominates.
-            if mls_check(&subj, &obj, AccessKind::Read).is_ok() && !subj.dominates(&obj) {
-                violations += 1;
-            }
-            if mls_check(&subj, &obj, AccessKind::Write).is_ok() && !obj.dominates(&subj) {
-                violations += 1;
-            }
-        }
-    }
-    println!("full-sharing (rw) cells: {rw_cells} — exactly the diagonal: sharing");
-    println!("mechanisms are \"common only within each compartment\".");
-    println!("downward flows found: {violations} (must be 0)");
-    assert_eq!(violations, 0);
-    assert_eq!(rw_cells, NAMES.len());
-    println!();
-    println!("S/crypto and S/nato are incomparable: no flow in either direction —");
-    println!("the \"absolute compartmentalization\" of the bottom layer.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e10_mls::run());
 }

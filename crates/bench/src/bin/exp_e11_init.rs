@@ -1,68 +1,6 @@
-//! E11 — initialization: re-bootstrap vs pre-initialized memory image.
-//!
-//! "One pattern of operation may be much simpler to certify than the
-//! other."
-
-use mks_bench::report::{banner, Table};
-use mks_hw::Clock;
-use mks_kernel::init::bootstrap::bootstrap;
-use mks_kernel::init::image::{build_image, load_hash, load_image};
-use mks_kernel::init::state_hash;
-use mks_kernel::KernelConfig;
+//! E11 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e11_init`].
 
 fn main() {
-    banner(
-        "E11: system start, incremental bootstrap vs memory image",
-        "\"produce on a system tape a bit pattern which, when loaded into memory, manifests a fully initialized system\"",
-    );
-    let mut t = Table::new(&[
-        "configuration",
-        "pattern",
-        "start-time steps",
-        "privileged ops",
-        "cycles",
-        "state hash",
-    ]);
-    for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
-        let clock = Clock::new();
-        let (bstate, btrace) = bootstrap(&cfg, &clock);
-        t.row(&[
-            cfg.name().into(),
-            "bootstrap".into(),
-            btrace.steps.len().to_string(),
-            btrace.privileged_ops.to_string(),
-            btrace.cycles.to_string(),
-            format!("{:016x}", state_hash(&bstate)),
-        ]);
-        let img = build_image(&cfg);
-        let clock = Clock::new();
-        let (istate, itrace) = load_image(&img, &clock).expect("image loads");
-        t.row(&[
-            cfg.name().into(),
-            "memory image".into(),
-            itrace.steps.len().to_string(),
-            itrace.privileged_ops.to_string(),
-            itrace.cycles.to_string(),
-            format!("{:016x}", state_hash(&istate)),
-        ]);
-        assert_eq!(bstate, istate, "both patterns must produce the same system");
-    }
-    print!("{}", t.render());
-    println!();
-    // Determinism: ten loads, one hash.
-    let img = build_image(&KernelConfig::kernel());
-    let hashes: Vec<u64> = (0..10).map(|_| load_hash(&img).unwrap()).collect();
-    let identical = hashes.windows(2).all(|w| w[0] == w[1]);
-    println!("10 repeated image loads produced identical states: {identical}");
-    // Tamper evidence.
-    let mut bad = build_image(&KernelConfig::kernel());
-    bad.words[1] = mks_hw::Word::new(bad.words[1].raw() ^ 0o40);
-    println!(
-        "tampered image load result: {:?}",
-        load_hash(&bad).unwrap_err()
-    );
-    println!();
-    println!("Certification surface at start time: ~22 ordered privileged steps");
-    println!("versus a loader and a checksum. Every load is bit-identical, so one");
-    println!("audit of one image covers every future start.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e11_init::run());
 }

@@ -1,57 +1,6 @@
-//! E12 — the penetration catalog against both configurations.
-//!
-//! "in all general-purpose systems confronted, a wily user can construct a
-//! program that can obtain unauthorized access" — and the kernel project's
-//! goal is a system where he cannot.
-
-use mks_bench::report::{banner, Table};
-use mks_kernel::penetration::{breaches, run_catalog, AttackOutcome};
-use mks_kernel::KernelConfig;
-
-fn outcome_cell(o: &AttackOutcome) -> String {
-    match o {
-        AttackOutcome::Breach(why) => format!("BREACH: {why}"),
-        AttackOutcome::Denied => "denied".into(),
-        AttackOutcome::DeniedUninformative => "denied (no info)".into(),
-        AttackOutcome::AuthorizedDenialOnly => "authorized denial only".into(),
-    }
-}
+//! E12 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e12_penetration`].
 
 fn main() {
-    banner(
-        "E12: the attack catalog, legacy supervisor vs security kernel",
-        "\"a wily user can construct a program that can obtain unauthorized access\" — on the legacy system",
-    );
-    let legacy = run_catalog(KernelConfig::legacy());
-    let kernel = run_catalog(KernelConfig::kernel());
-    let mut t = Table::new(&["attack", "class", "legacy supervisor", "security kernel"]);
-    for (l, k) in legacy.iter().zip(kernel.iter()) {
-        t.row(&[
-            l.name.into(),
-            l.class.into(),
-            outcome_cell(&l.outcome),
-            outcome_cell(&k.outcome),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "breaches: legacy {} / {}   kernel {} / {}",
-        breaches(&legacy),
-        legacy.len(),
-        breaches(&kernel),
-        kernel.len()
-    );
-    println!();
-    println!("intermediate rungs of the removal ladder:");
-    for cfg in [
-        KernelConfig::legacy(),
-        KernelConfig::legacy_linker_removed(),
-        KernelConfig::legacy_both_removals(),
-        KernelConfig::kernel(),
-    ] {
-        let r = run_catalog(cfg);
-        println!("  {:<38} {:>2} breaches", cfg.name(), breaches(&r));
-    }
-    assert_eq!(breaches(&kernel), 0);
+    mks_bench::experiments::emit(&mks_bench::experiments::e12_penetration::run());
 }

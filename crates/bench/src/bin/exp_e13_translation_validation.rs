@@ -1,105 +1,6 @@
-//! E13 — footnote 6: certify the compiler per program, not in general.
-//!
-//! "the compiler need compile correctly only the specific programs of the
-//! kernel ... the compiler's effect on the kernel can be certified by
-//! comparing the source code 'model' for each kernel module with the
-//! compiler-produced object code 'implementation'."
-
-use mks_bench::report::{banner, Table};
-use mks_cert::kernel_modules::KERNEL_SOURCES;
-use mks_cert::{compile, parse_program, validate, Op, Verdict};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Applies one random mutation to the object code (a compiler-bug model).
-fn mutate(code: &mut Vec<Op>, rng: &mut StdRng) {
-    let i = rng.gen_range(0..code.len());
-    code[i] = match rng.gen_range(0..6) {
-        0 => Op::Push(rng.gen_range(-9..9)),
-        1 => Op::Load(rng.gen_range(0..4)),
-        2 => Op::Store(rng.gen_range(0..4)),
-        3 => Op::Jmp(rng.gen_range(0..(code.len() as u32 + 8))),
-        4 => match code[i] {
-            Op::Add => Op::Sub,
-            Op::Sub => Op::Add,
-            Op::Lt => Op::Gt,
-            Op::Gt => Op::Lt,
-            other => other,
-        },
-        _ => Op::Ret,
-    };
-}
+//! E13 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e13_translation_validation`].
 
 fn main() {
-    banner(
-        "E13: per-program translation validation of the kernel's compiler",
-        "footnote 6: compare each module's source 'model' with its object-code 'implementation'",
-    );
-    let mut t = Table::new(&["kernel module", "procedures", "verdicts", "vectors checked"]);
-    let mut all_procs = Vec::new();
-    for (name, src) in KERNEL_SOURCES {
-        let procs = parse_program(src).expect("kernel sources parse");
-        let mut ok = 0;
-        let mut vectors = 0;
-        for p in &procs {
-            let obj = compile(p).expect("kernel sources compile");
-            match validate(p, &obj) {
-                Verdict::Certified { vectors_checked } => {
-                    ok += 1;
-                    vectors += vectors_checked;
-                }
-                Verdict::Rejected { reason } => panic!("{name}::{}: {reason}", p.name),
-            }
-            all_procs.push((p.clone(), obj));
-        }
-        t.row(&[
-            (*name).into(),
-            procs.len().to_string(),
-            format!("{ok} certified"),
-            vectors.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-
-    // Mutation campaign: a buggy "compiler" whose output differs by one
-    // operation must be caught.
-    let mut rng = StdRng::seed_from_u64(0xC0DE);
-    let mut killed = 0;
-    let mut survived = 0;
-    let mut by_static = 0;
-    const MUTANTS: usize = 1_000;
-    for _ in 0..MUTANTS {
-        let (src, obj) = &all_procs[rng.gen_range(0..all_procs.len())];
-        let mut bad = obj.clone();
-        mutate(&mut bad.code, &mut rng);
-        if bad.code == obj.code {
-            continue; // identity mutation: not a bug
-        }
-        match validate(src, &bad) {
-            Verdict::Rejected { reason } => {
-                killed += 1;
-                if reason.contains("static") {
-                    by_static += 1;
-                }
-            }
-            Verdict::Certified { .. } => survived += 1,
-        }
-    }
-    println!(
-        "mutation campaign: {} mutants, {} killed ({} by static checks, {} by differential execution), {} survived",
-        killed + survived,
-        killed,
-        by_static,
-        killed - by_static,
-        survived
-    );
-    println!(
-        "kill rate: {:.1}% (survivors are semantically equivalent mutants, e.g. a",
-        100.0 * killed as f64 / (killed + survived) as f64
-    );
-    println!("jump retargeted to an equivalent instruction — not miscompilations).");
-    println!();
-    println!("The certified base never includes the compiler: each (source, object)");
-    println!("pair is checked mechanically, which is footnote 6's entire point.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e13_translation_validation::run());
 }

@@ -1,73 +1,6 @@
-//! E14 — the overall audit: "one wave of simplification applied to the
-//! central core of the system will produce a badly needed example of a
-//! structure that is significantly easier to understand."
-
-use mks_bench::report::{banner, Table};
-use mks_hw::module::Category;
-use mks_kernel::audit::AuditReport;
+//! E14 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e14_kernel_size`].
 
 fn main() {
-    banner(
-        "E14: whole-kernel audit across the configuration ladder",
-        "\"the isolation of the smallest, simplest security kernel that is capable of supporting the full functionality of the system\"",
-    );
-    let report = AuditReport::standard();
-    let mut t = Table::new(&[
-        "configuration",
-        "protected weight",
-        "user-ring weight",
-        "user gates",
-        "total gates",
-    ]);
-    for inv in &report.rows {
-        t.row(&[
-            inv.cfg.name().into(),
-            inv.protected_weight().to_string(),
-            inv.unprotected_weight().to_string(),
-            inv.gates.user_available_entries().to_string(),
-            inv.gates.total_entries().to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("protected weight by category (legacy -> kernel):");
-    let legacy = &report.rows[0];
-    let kernel = &report.rows[3];
-    let mut t2 = Table::new(&["category", "legacy", "kernel", "change"]);
-    for cat in [
-        Category::FileSystem,
-        Category::AddressSpace,
-        Category::Linker,
-        Category::PageControl,
-        Category::Processes,
-        Category::Ipc,
-        Category::Io,
-        Category::Interrupts,
-        Category::Mls,
-        Category::Auth,
-        Category::Init,
-        Category::Gates,
-    ] {
-        let l = legacy.protected_weight_of(cat);
-        let k = kernel.protected_weight_of(cat);
-        let change = if l == 0 && k > 0 {
-            "new layer".to_string()
-        } else if k == 0 && l > 0 {
-            "removed".to_string()
-        } else if l == 0 {
-            "-".to_string()
-        } else {
-            format!("{:+.0}%", 100.0 * (k as f64 - l as f64) / l as f64)
-        };
-        t2.row(&[cat.label().into(), l.to_string(), k.to_string(), change]);
-    }
-    print!("{}", t2.render());
-    println!();
-    println!("full inventory of the security-kernel configuration:\n");
-    print!("{}", kernel.render());
-    println!();
-    println!("Weights are measured statement counts of the Rust implementations in");
-    println!("this repository (see mks-kernel::audit). Function moved out of the");
-    println!("boundary, it did not disappear: the user-ring weight grows by what");
-    println!("the protected weight sheds, which is precisely the design intent.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e14_kernel_size::run());
 }

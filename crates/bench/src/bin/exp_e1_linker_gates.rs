@@ -1,34 +1,6 @@
-//! E1 — "the linker's removal eliminated 10% of the gate entry points
-//! into the supervisor."
-
-use mks_bench::report::{banner, Table};
-use mks_kernel::{GateTable, KernelConfig};
+//! E1 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e1_linker_gates`].
 
 fn main() {
-    banner(
-        "E1: gate entry points before/after the linker removal",
-        "\"the linker's removal eliminated 10% of the gate entry points into the supervisor\"",
-    );
-    let legacy = GateTable::build(&KernelConfig::legacy());
-    let removed = GateTable::build(&KernelConfig::legacy_linker_removed());
-    let cut = legacy.user_available_entries() - removed.user_available_entries();
-    let pct = 100.0 * cut as f64 / legacy.user_available_entries() as f64;
-
-    let mut t = Table::new(&["configuration", "user-available gate entries"]);
-    t.row(&[
-        "legacy supervisor".into(),
-        legacy.user_available_entries().to_string(),
-    ]);
-    t.row(&[
-        "legacy + linker removal".into(),
-        removed.user_available_entries().to_string(),
-    ]);
-    print!("{}", t.render());
-    println!();
-    println!("linker entries removed: {cut} ({pct:.1}% of the legacy surface)");
-    println!("paper's figure: 10%");
-    println!(
-        "removed entries: {:?}",
-        mks_linker::kernel_cfg::LEGACY_LINKER_GATES
-    );
+    mks_bench::experiments::emit(&mks_bench::experiments::e1_linker_gates::run());
 }

@@ -1,61 +1,6 @@
-//! E2 — "a reduction by a factor of ten in the size of the protected code
-//! needed to manage the address space" (Bratt's reference-name/KST split).
-
-use mks_bench::report::{banner, Table};
-use mks_hw::module::Category;
-use mks_kernel::{KernelConfig, SystemInventory};
+//! E2 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e2_kst_split`].
 
 fn main() {
-    banner(
-        "E2: protected address-space-management code, before/after the KST split",
-        "\"a reduction by a factor of ten in the size of the protected code needed to manage the address space\"",
-    );
-    let legacy = SystemInventory::build(KernelConfig::legacy());
-    let kernel = SystemInventory::build(KernelConfig::kernel());
-
-    let mut t = Table::new(&[
-        "configuration",
-        "protected weight",
-        "user-ring weight",
-        "naming gates",
-    ]);
-    for (inv, gates) in [
-        (&legacy, mks_kernel::gatetable::NAMING_GATES_LEGACY.len()),
-        (&kernel, mks_kernel::gatetable::NAMING_GATES_KERNEL.len()),
-    ] {
-        let protected = inv.protected_weight_of(Category::AddressSpace);
-        let unprotected: u32 = inv
-            .modules
-            .iter()
-            .filter(|m| !m.is_protected() && m.category == Category::AddressSpace)
-            .map(|m| m.weight)
-            .sum();
-        t.row(&[
-            inv.cfg.name().into(),
-            protected.to_string(),
-            unprotected.to_string(),
-            gates.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    let l = legacy.protected_weight_of(Category::AddressSpace);
-    let k = kernel.protected_weight_of(Category::AddressSpace);
-    println!();
-    println!(
-        "protected-code reduction: {:.1}x (paper: ~10x)",
-        l as f64 / k as f64
-    );
-    println!(
-        "protected naming gate reduction: {} -> {} ({:.1}x)",
-        mks_kernel::gatetable::NAMING_GATES_LEGACY.len(),
-        mks_kernel::gatetable::NAMING_GATES_KERNEL.len(),
-        mks_kernel::gatetable::NAMING_GATES_LEGACY.len() as f64
-            / mks_kernel::gatetable::NAMING_GATES_KERNEL.len() as f64
-    );
-    println!();
-    println!("note: the weights are measured statement counts of this repository's");
-    println!("implementations (fs/src/kst_legacy.rs vs fs/src/kst.rs). Our compact");
-    println!("reimplementation of the legacy KST understates the 1974 original, so");
-    println!("the measured factor is smaller than the paper's; the direction and");
-    println!("order (severalfold, plus 23->4 protected entry points) reproduce.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e2_kst_split::run());
 }

@@ -1,36 +1,6 @@
-//! E3 — "The linker and reference name removal projects together reduce
-//! the number of user-available supervisor entries by approximately one
-//! third."
-
-use mks_bench::report::{banner, Table};
-use mks_kernel::{GateTable, KernelConfig};
+//! E3 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e3_entries`].
 
 fn main() {
-    banner(
-        "E3: user-available supervisor entries across the removal ladder",
-        "\"the linker and reference name removal projects together reduce the number of user-available supervisor entries by approximately one third\"",
-    );
-    let ladder = [
-        KernelConfig::legacy(),
-        KernelConfig::legacy_linker_removed(),
-        KernelConfig::legacy_both_removals(),
-        KernelConfig::kernel(),
-    ];
-    let base = GateTable::build(&ladder[0]).user_available_entries();
-    let mut t = Table::new(&["configuration", "user entries", "vs legacy"]);
-    for cfg in &ladder {
-        let n = GateTable::build(cfg).user_available_entries();
-        t.row(&[
-            cfg.name().into(),
-            n.to_string(),
-            format!("-{:.0}%", 100.0 * (base - n) as f64 / base as f64),
-        ]);
-    }
-    print!("{}", t.render());
-    let both = GateTable::build(&ladder[2]).user_available_entries();
-    println!();
-    println!(
-        "linker + naming removals cut {:.1}% of user-available entries (paper: ~33%)",
-        100.0 * (base - both) as f64 / base as f64
-    );
+    mks_bench::experiments::emit(&mks_bench::experiments::e3_entries::run());
 }

@@ -1,113 +1,6 @@
-//! E4 — ring-crossing cost: 645 (software rings) vs 6180 (hardware rings).
-//!
-//! "a call that went from a user ring in a process to the supervisor ring
-//! cost much more than a call which did not change protection
-//! environments" (645) / "calls from one ring to another now cost no more
-//! than calls inside a ring" (6180).
-
-use mks_bench::report::{banner, layer_breakdown_from_json, write_result, Table};
-use mks_fs::{Acl, AclMode};
-use mks_hw::ast::PageState;
-use mks_hw::{
-    AccessMode, AddrSpace, CpuModel, FrameId, Machine, RingBrackets, Sdw, SegNo, SegUid, PAGE_WORDS,
-};
-use mks_kernel::monitor::Monitor;
-use mks_kernel::world::{admin_user, System};
-use mks_kernel::KernelConfig;
-use mks_mls::Label;
-
-const CALLS: u64 = 100_000;
-
-fn measure(model: CpuModel) -> (f64, f64, f64) {
-    let mut m = Machine::new(model, 4);
-    let astx = m.ast.activate(SegUid(1), PAGE_WORDS);
-    m.ast.entry_mut(astx).pt.ptw_mut(0).state = PageState::InCore(FrameId(0));
-    let mut sp = AddrSpace::new();
-    // Same-ring procedure, gate into ring 0, gate into ring 1.
-    sp.set(
-        SegNo(1),
-        Sdw::plain(astx, AccessMode::RE, RingBrackets::new(4, 4, 4)),
-    );
-    sp.set(SegNo(2), Sdw::gate(astx, RingBrackets::gate(0, 5), 8));
-    sp.set(SegNo(3), Sdw::gate(astx, RingBrackets::gate(1, 5), 8));
-    let mut run = |seg: SegNo| {
-        let t0 = m.clock.now();
-        for _ in 0..CALLS {
-            m.call(&sp, 4, seg, 0).expect("call ok");
-        }
-        (m.clock.now() - t0) as f64 / CALLS as f64
-    };
-    (run(SegNo(1)), run(SegNo(2)), run(SegNo(3)))
-}
+//! E4 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e4_ring_calls`].
 
 fn main() {
-    banner(
-        "E4: call costs, intra-ring vs cross-ring, per machine",
-        "645: cross-ring calls \"cost much more\"; 6180: \"no more than calls inside a ring\"",
-    );
-    let mut t = Table::new(&[
-        "machine",
-        "intra-ring (cyc/call)",
-        "gate to ring 0",
-        "gate to ring 1",
-        "cross/intra ratio",
-    ]);
-    for model in [CpuModel::H645, CpuModel::H6180] {
-        let (intra, to0, to1) = measure(model);
-        t.row(&[
-            model.name().into(),
-            format!("{intra:.0}"),
-            format!("{to0:.0}"),
-            format!("{to1:.0}"),
-            format!("{:.2}x", to0 / intra),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("{CALLS} calls per cell; costs are simulated machine cycles.");
-    println!("The 6180's parity is what makes the removal program affordable:");
-    println!("functions can leave the supervisor without a call-cost penalty.");
-    println!();
-    metering_section();
-}
-
-/// Where the cycles of a full kernel gate call go: drive a batch of
-/// initiate/read/terminate calls through the reference monitor, then read
-/// the flight recorder back through the `metering_get` gate and break the
-/// spans down by layer.
-fn metering_section() {
-    let mut sys = System::new(KernelConfig::kernel());
-    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
-    let root = sys.world.bind_root(admin);
-    let seg = Monitor::create_segment(
-        &mut sys.world,
-        admin,
-        root,
-        "probe",
-        Acl::of("Admin.SysAdmin.a", AclMode::RW),
-        RingBrackets::new(4, 4, 4),
-        Label::BOTTOM,
-    )
-    .expect("admin owns the root");
-    let _ = Monitor::read(&mut sys.world, admin, seg, 0).expect("first touch faults the page in");
-    Monitor::terminate(&mut sys.world, admin, seg).expect("bound");
-    for _ in 0..200 {
-        let s = Monitor::initiate(&mut sys.world, admin, root, "probe").expect("own segment");
-        let _ = Monitor::read(&mut sys.world, admin, s, 0).expect("readable");
-        Monitor::terminate(&mut sys.world, admin, s).expect("bound");
-    }
-    // Read the metering back the way a user-ring tool would: through the
-    // read-only gate, as JSON.
-    let json = Monitor::metering_snapshot(&mut sys.world, admin).expect("gate is user-callable");
-    match write_result("e4_ring_calls_metering.json", &json) {
-        Ok(path) => println!("flight-recorder snapshot written to {}", path.display()),
-        Err(e) => println!("(could not write results/: {e})"),
-    }
-    println!("per-layer cycle breakdown of the gate-call batch:");
-    print!(
-        "{}",
-        layer_breakdown_from_json(&json)
-            .expect("gate emits valid JSON")
-            .render()
-    );
+    mks_bench::experiments::emit(&mks_bench::experiments::e4_ring_calls::run());
 }

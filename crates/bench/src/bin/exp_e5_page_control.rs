@@ -1,78 +1,6 @@
-//! E5 — page control: the sequential cascade vs dedicated freeing
-//! processes.
-//!
-//! "The path taken by a user process on a page fault is greatly
-//! simplified. ... The overall structure looks as though it will be much
-//! simpler than that currently employed."
-
-use mks_bench::drivers::{run_parallel_metered, run_sequential_metered};
-use mks_bench::report::{banner, layer_breakdown, write_result, Table};
-use mks_vm::{RefTrace, TraceConfig};
+//! E5 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e5_page_control`].
 
 fn main() {
-    banner(
-        "E5: page-fault path, sequential cascade vs dedicated processes",
-        "\"the path taken by a user process on a page fault is greatly simplified\"",
-    );
-    let mut t = Table::new(&[
-        "primary frames",
-        "design",
-        "faults",
-        "mean steps/fault",
-        "max steps",
-        "mean latency (cyc)",
-        "waits",
-        "bulk evictions",
-    ]);
-    // Sweep memory pressure: fewer frames = deeper cascades. The last
-    // (highest-pressure) sweep's flight-recorder snapshots are kept for
-    // the per-layer breakdown below.
-    let mut metering = None;
-    for frames in [48, 24, 12, 6] {
-        let trace = RefTrace::generate(&TraceConfig {
-            seed: 11,
-            nr_segments: 4,
-            pages_per_segment: 12,
-            length: 2_000,
-            theta: 0.8,
-            phase_len: 500,
-        });
-        let (seq, _, seq_snap) = run_sequential_metered(frames, 16, &trace, 3);
-        let (par, _, par_snap) = run_parallel_metered(frames, 16, &trace, 3, 3);
-        metering = Some((frames, seq_snap, par_snap));
-        for (name, s) in [("sequential", &seq), ("parallel", &par)] {
-            t.row(&[
-                frames.to_string(),
-                name.into(),
-                s.faults.to_string(),
-                format!("{:.2}", s.mean_fault_steps()),
-                s.fault_path_steps_max.to_string(),
-                format!("{:.0}", s.mean_fault_latency()),
-                s.fault_waits.to_string(),
-                s.evictions_bulk.to_string(),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    println!();
-    if let Some((frames, seq_snap, par_snap)) = metering {
-        println!("where the cycles go at {frames} frames (flight-recorder spans):");
-        for (name, snap) in [("sequential", &seq_snap), ("parallel", &par_snap)] {
-            println!("  {name}:");
-            for line in layer_breakdown(snap).render().lines() {
-                println!("    {line}");
-            }
-            let file = format!("e5_page_control_{name}_metering.json");
-            match write_result(&file, &snap.to_json()) {
-                Ok(path) => println!("    snapshot written to {}", path.display()),
-                Err(e) => println!("    (could not write results/: {e})"),
-            }
-        }
-        println!();
-    }
-    println!("The parallel design's fault path is a constant 2 steps (check for a");
-    println!("free frame; initiate the transfer) regardless of pressure; the");
-    println!("sequential design's path grows with pressure as the in-fault cascade");
-    println!("(sample usage, evict, and — when the bulk store is full — stage a");
-    println!("page to disk via primary memory) runs inside the faulting process.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e5_page_control::run());
 }

@@ -1,143 +1,6 @@
-//! E6 — interrupt handling: in-situ handlers vs dedicated handler
-//! processes.
-//!
-//! "Each interrupt handler will be assigned its own process ... the system
-//! interrupt interceptor will simply turn each interrupt into a wakeup of
-//! the corresponding process ... greatly simplifying their structure."
-
-use mks_bench::report::{banner, Table};
-use mks_hw::{CpuModel, Machine};
-use mks_io::interrupts::{InSituInterrupts, Irq, ProcessInterrupts};
-use mks_procs::{Effects, EventId, FnJob, Step, TcConfig, TrafficController};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-const STORM: usize = 10_000;
-
-fn irq_stream(seed: u64) -> Vec<Irq> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..STORM)
-        .map(|_| match rng.gen_range(0..6) {
-            0 => Irq::Tty,
-            1 => Irq::Tape,
-            2 => Irq::CardReader,
-            3 => Irq::Printer,
-            4 => Irq::Network,
-            _ => Irq::Disk,
-        })
-        .collect()
-}
+//! E6 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e6_interrupts`].
 
 fn main() {
-    banner(
-        "E6: interrupt fielding, in-situ vs process-per-handler",
-        "\"the system interrupt interceptor will simply turn each interrupt into a wakeup\"",
-    );
-
-    // --- in-situ baseline ---
-    let mut m = Machine::new(CpuModel::H6180, 4);
-    let mut insitu = InSituInterrupts::new();
-    for irq in [
-        Irq::Tty,
-        Irq::Tape,
-        Irq::CardReader,
-        Irq::Printer,
-        Irq::Network,
-        Irq::Disk,
-    ] {
-        insitu.register(
-            irq,
-            Box::new(|m: &mut Machine| {
-                m.clock.advance(120); // handler body, masked
-                5 // shared driver words touched in the victim's context
-            }),
-        );
-    }
-    let mut rng = StdRng::seed_from_u64(3);
-    for irq in irq_stream(1) {
-        // The interrupted process is almost never the one the device
-        // concerns: model 15/16 victims as unrelated.
-        insitu.take_interrupt(&mut m, irq, rng.gen_range(0..16) != 0);
-    }
-    let insitu_stats = insitu.stats();
-    let insitu_cycles = m.clock.now();
-
-    // --- process-per-handler ---
-    let mut m2 = Machine::new(CpuModel::H6180, 4);
-    let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
-        nr_cpus: 2,
-        nr_vprocs: 10,
-        quantum: 4,
-    });
-    let mut intr = ProcessInterrupts::new();
-    let mut served_total = Vec::new();
-    for irq in [
-        Irq::Tty,
-        Irq::Tape,
-        Irq::CardReader,
-        Irq::Printer,
-        Irq::Network,
-        Irq::Disk,
-    ] {
-        let event: EventId = tc.alloc_event();
-        let served = std::rc::Rc::new(std::cell::Cell::new(0u64));
-        let s = served.clone();
-        served_total.push(served);
-        tc.add_dedicated(Box::new(FnJob::new(
-            "handler",
-            move |e: &mut Effects<'_, Machine>| {
-                s.set(s.get() + 1);
-                e.ctx.clock.advance(120); // same handler body, own context
-                Step::Block(event)
-            },
-        )));
-        intr.assign(irq, event);
-    }
-    tc.run_until_quiet(&mut m2, 1_000); // park the handlers
-    for irq in irq_stream(1) {
-        intr.take_interrupt(&mut tc, &mut m2, irq);
-        tc.run_until_quiet(&mut m2, 1_000);
-    }
-    let handled2 = intr.stats().handled;
-    let served: u64 = served_total.iter().map(|s| s.get()).sum::<u64>() - 6; // minus parks
-
-    let mut t = Table::new(&[
-        "design",
-        "interrupts",
-        "victim intrusions",
-        "masked cycles",
-        "interceptor path",
-        "handler coordination",
-    ]);
-    t.row(&[
-        "in-situ (legacy)".into(),
-        insitu_stats.handled.to_string(),
-        insitu_stats.victim_intrusions.to_string(),
-        insitu_stats.masked_cycles.to_string(),
-        "save+mask+run+unmask".into(),
-        "shared driver state".into(),
-    ]);
-    t.row(&[
-        "process-per-handler".into(),
-        handled2.to_string(),
-        "0".into(),
-        "0".into(),
-        "1 wakeup".into(),
-        "standard IPC".into(),
-    ]);
-    print!("{}", t.render());
-    println!();
-    println!("handler activations under the process design: {served}");
-    println!(
-        "total simulated cycles: in-situ {insitu_cycles}, process {}",
-        m2.clock.now()
-    );
-    println!();
-    println!("Every in-situ interrupt borrowed an unrelated process's context and");
-    println!(
-        "ran {} shared-state touches under a mask; the process design fields",
-        insitu_stats.shared_touches
-    );
-    println!("the same storm with zero intrusions and zero masked work — the");
-    println!("interceptor is one wakeup, and handlers coordinate like any process.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e6_interrupts::run());
 }

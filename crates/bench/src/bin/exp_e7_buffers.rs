@@ -1,89 +1,6 @@
-//! E7 — the circular input buffer vs the infinite (VM-backed) buffer.
-//!
-//! "The infinite buffer scheme is much simpler than the old circular
-//! buffer which had to be used over and over again, with attendant
-//! problems of old messages not being removed before a complete circuit of
-//! the buffer was made."
-
-use mks_bench::report::{banner, Table};
-use mks_io::{CircularBuffer, InfiniteBuffer};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// One round = a burst of arrivals (the network interrupt side), then the
-/// consumer drains at the same *average* rate. Long-run rates are matched;
-/// only burstiness varies — the historical failure was exactly this case,
-/// a burst lapping the ring before the consumer's next quantum.
-fn drive_circular(capacity: usize, burst: usize, bursts: usize, seed: u64) -> (u64, u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut buf: CircularBuffer<u64> = CircularBuffer::new(capacity);
-    let mut n = 0u64;
-    for _ in 0..bursts {
-        let size = rng.gen_range(1..=burst);
-        for _ in 0..size {
-            buf.push(n);
-            n += 1;
-        }
-        // The consumer's quantum arrives after the burst has landed.
-        for _ in 0..size {
-            let _ = buf.pop();
-        }
-    }
-    (buf.total_offered(), buf.overwrites())
-}
-
-fn drive_infinite(burst: usize, bursts: usize, seed: u64) -> (u64, u64, usize) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut buf: InfiniteBuffer<u64> = InfiniteBuffer::new();
-    let mut n = 0u64;
-    let mut peak = 0usize;
-    for _ in 0..bursts {
-        let size = rng.gen_range(1..=burst);
-        for _ in 0..size {
-            buf.push(n, 4);
-            n += 1;
-        }
-        peak = peak.max(buf.peak_backlog());
-        for _ in 0..size {
-            let _ = buf.pop();
-        }
-    }
-    (buf.total_produced(), buf.overwrites(), peak)
-}
+//! E7 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e7_buffers`].
 
 fn main() {
-    banner(
-        "E7: network input buffering, circular vs infinite",
-        "\"problems of old messages not being removed before a complete circuit of the buffer\"",
-    );
-    let mut t = Table::new(&[
-        "max burst",
-        "circular(32): lost",
-        "loss %",
-        "circular(256): lost",
-        "loss %",
-        "infinite: lost",
-        "peak backlog (msgs)",
-    ]);
-    for burst in [8, 32, 128, 512, 2048] {
-        let (offered_s, lost_s) = drive_circular(32, burst, 500, 9);
-        let (_, lost_l) = drive_circular(256, burst, 500, 9);
-        let (_, lost_inf, peak) = drive_infinite(burst, 500, 9);
-        t.row(&[
-            burst.to_string(),
-            lost_s.to_string(),
-            format!("{:.1}%", 100.0 * lost_s as f64 / offered_s as f64),
-            lost_l.to_string(),
-            format!("{:.1}%", 100.0 * lost_l as f64 / offered_s as f64),
-            lost_inf.to_string(),
-            peak.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("Any fixed ring loses messages once a burst laps the consumer, and");
-    println!("sizing it is a losing game; the VM-backed buffer loses none, because");
-    println!("it is not a special-purpose storage manager at all — it reuses \"the");
-    println!("standard storage management facility of the system — the virtual");
-    println!("memory\", and consumed pages are reclaimed by ordinary replacement.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e7_buffers::run());
 }

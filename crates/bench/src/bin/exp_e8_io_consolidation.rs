@@ -1,92 +1,6 @@
-//! E8 — replacing the device zoo with the single network attachment.
-//!
-//! "This would remove from the kernel a large bulk of special mechanisms
-//! for managing the various I/O devices, leaving behind a single mechanism
-//! for managing the network attachment."
-
-use mks_bench::report::{banner, Table};
-use mks_hw::module::Category;
-use mks_io::devices::legacy_zoo;
-use mks_io::NetworkAttachment;
-use mks_kernel::{GateTable, KernelConfig, SystemInventory};
+//! E8 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e8_io_consolidation`].
 
 fn main() {
-    banner(
-        "E8: kernel I/O surface, device zoo vs network attachment",
-        "\"leaving behind a single mechanism for managing the network attachment\"",
-    );
-    println!("kernel I/O modules, legacy configuration:");
-    let mut t = Table::new(&["module", "ring", "weight", "gates"]);
-    for d in legacy_zoo() {
-        let m = d.module_info();
-        t.row(&[
-            m.name.into(),
-            m.ring.to_string(),
-            m.weight.to_string(),
-            m.entries.len().to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-    println!("kernel I/O modules, kernel configuration:");
-    let m = NetworkAttachment::module_info();
-    let mut t2 = Table::new(&["module", "ring", "weight", "gates"]);
-    t2.row(&[
-        m.name.into(),
-        m.ring.to_string(),
-        m.weight.to_string(),
-        m.entries.len().to_string(),
-    ]);
-    print!("{}", t2.render());
-    println!();
-
-    let zoo = SystemInventory::build(KernelConfig::legacy());
-    let net = SystemInventory::build(KernelConfig::kernel());
-    let zoo_w = zoo.protected_weight_of(Category::Io);
-    let net_w = net.protected_weight_of(Category::Io);
-    let zoo_g = GateTable::build(&KernelConfig::legacy());
-    let net_g = GateTable::build(&KernelConfig::kernel());
-    println!(
-        "protected I/O weight: {zoo_w} -> {net_w}  ({:.1}x reduction)",
-        zoo_w as f64 / net_w as f64
-    );
-    println!(
-        "I/O gate entries: {} -> {}",
-        zoo_g.count_matching(&[
-            "tty_read",
-            "tty_write",
-            "tty_order",
-            "tty_attach",
-            "tty_detach",
-            "tape_read",
-            "tape_write",
-            "tape_order",
-            "tape_attach",
-            "tape_detach",
-            "tape_mount",
-            "crd_read",
-            "crd_attach",
-            "crd_detach",
-            "crd_order",
-            "pun_write",
-            "pun_attach",
-            "pun_detach",
-            "pun_order",
-            "prt_write",
-            "prt_order",
-            "prt_attach",
-            "prt_detach",
-        ]),
-        net_g.count_matching(&[
-            "net_open",
-            "net_close",
-            "net_read",
-            "net_write",
-            "net_status"
-        ])
-    );
-    println!();
-    println!("The device logic did not disappear — it moved to user-ring network");
-    println!("services (same measured weight, ring 4, zero gates), where an error");
-    println!("in a line-printer driver is a user problem, not a kernel audit item.");
+    mks_bench::experiments::emit(&mks_bench::experiments::e8_io_consolidation::run());
 }

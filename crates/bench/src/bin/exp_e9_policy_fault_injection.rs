@@ -1,70 +1,6 @@
-//! E9 — the policy/mechanism partition: faults in the policy cannot cause
-//! disclosure or modification.
-//!
-//! "The policy algorithm, however, could never read or write the contents
-//! of pages, learn the segment to which each page belonged, or cause one
-//! page to overwrite another ... It could only cause denial of use."
-
-use mks_bench::drivers::{chaos_monolithic, chaos_split, ChaosOutcome};
-use mks_bench::report::{banner, Table};
+//! E9 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e9_policy_fault_injection`].
 
 fn main() {
-    banner(
-        "E9: fault injection into the replacement policy",
-        "\"the policy algorithm ... could never cause unauthorized use or modification ... only denial of use\"",
-    );
-    const ROUNDS: u32 = 2_000;
-    let mut t = Table::new(&[
-        "seed",
-        "arrangement",
-        "garbled requests refused",
-        "suboptimal evictions",
-        "unauthorized modifications",
-        "unauthorized disclosures",
-    ]);
-    let mut totals = [ChaosOutcome::default(), ChaosOutcome::default()];
-    for seed in 1..=5u64 {
-        let split = chaos_split(seed, ROUNDS);
-        let mono = chaos_monolithic(seed, ROUNDS);
-        for (i, (name, o)) in [
-            ("split (ring 1 policy)", split),
-            ("monolithic (ring 0)", mono),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            t.row(&[
-                seed.to_string(),
-                name.into(),
-                o.refused.to_string(),
-                o.suboptimal.to_string(),
-                o.modifications.to_string(),
-                o.disclosures.to_string(),
-            ]);
-            totals[i].refused += o.refused;
-            totals[i].suboptimal += o.suboptimal;
-            totals[i].modifications += o.modifications;
-            totals[i].disclosures += o.disclosures;
-        }
-    }
-    print!("{}", t.render());
-    println!();
-    println!(
-        "split totals over {} garbled decisions: {} refused, {} suboptimal, {} modifications, {} disclosures",
-        5 * ROUNDS,
-        totals[0].refused,
-        totals[0].suboptimal,
-        totals[0].modifications,
-        totals[0].disclosures
-    );
-    println!(
-        "monolithic totals: {} modifications, {} disclosures — the identical decision",
-        totals[1].modifications, totals[1].disclosures
-    );
-    println!("stream, executed with ring-0 powers, corrupts and leaks user data.");
-    println!();
-    println!("Consequence drawn in the paper: \"the policy algorithm need not be as");
-    println!("carefully certified as the rest of the kernel\" — its worst case is");
-    println!("authorized-resource denial, which the mechanism gates bound.");
-    assert_eq!(totals[0].modifications + totals[0].disclosures, 0);
+    mks_bench::experiments::emit(&mks_bench::experiments::e9_policy_fault_injection::run());
 }

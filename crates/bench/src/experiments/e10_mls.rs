@@ -1,0 +1,193 @@
+//! E10 — the Mitre model at the bottom layer: compartmentalized flow.
+//!
+//! "mechanisms to provide absolute compartmentalization of users and
+//! stored information be implemented at the bottom layer ..., and
+//! mechanisms to allow controlled sharing within the compartments be
+//! implemented at the next layer ... The second layer mechanisms would be
+//! common only within each compartment."
+
+use std::fmt::Write;
+
+use mks_mls::{mls_check, AccessKind, Compartments, Label, Level};
+
+use super::ExperimentOutput;
+use crate::claims::{ClaimResult, ClaimShape};
+use crate::report::{banner, Table};
+
+const QUOTE: &str =
+    "access constraints that restrict information flow in a hierarchy of compartments";
+
+const NAMES: [&str; 6] = ["U", "C", "S", "S/crypto", "S/nato", "TS/crypto"];
+
+fn lab(name: &str) -> Label {
+    match name {
+        "U" => Label::new(Level::UNCLASSIFIED, Compartments::NONE),
+        "C" => Label::new(Level::CONFIDENTIAL, Compartments::NONE),
+        "S" => Label::new(Level::SECRET, Compartments::NONE),
+        "S/crypto" => Label::new(Level::SECRET, Compartments::of(&[1])),
+        "S/nato" => Label::new(Level::SECRET, Compartments::of(&[2])),
+        "TS/crypto" => Label::new(Level::TOP_SECRET, Compartments::of(&[1])),
+        _ => unreachable!(),
+    }
+}
+
+/// The 6×6 flow matrix, measured.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `matrix[s][o]` = (read allowed, write allowed).
+    pub matrix: Vec<Vec<(bool, bool)>>,
+    /// Cells where full (rw) sharing is permitted.
+    pub rw_cells: usize,
+    /// Downward or off-diagonal-rw flows found (must be 0).
+    pub violations: usize,
+    /// Flows between the incomparable S/crypto and S/nato (must be 0).
+    pub incomparable_flows: usize,
+}
+
+/// Checks every subject/object label pair.
+pub fn measure() -> Measurement {
+    let mut matrix = Vec::new();
+    let mut rw_cells = 0;
+    let mut violations = 0;
+    for s in NAMES {
+        let mut row = Vec::new();
+        for o in NAMES {
+            let subj = lab(s);
+            let obj = lab(o);
+            let r = mls_check(&subj, &obj, AccessKind::Read).is_ok();
+            let w = mls_check(&subj, &obj, AccessKind::Write).is_ok();
+            row.push((r, w));
+            if mls_check(&subj, &obj, AccessKind::ReadWrite).is_ok() {
+                rw_cells += 1;
+                if subj != obj {
+                    violations += 1;
+                }
+            }
+            // No flow may run downward: if reading is allowed the subject
+            // dominates; if writing is allowed the object dominates.
+            if r && !subj.dominates(&obj) {
+                violations += 1;
+            }
+            if w && !obj.dominates(&subj) {
+                violations += 1;
+            }
+        }
+        matrix.push(row);
+    }
+    let mut incomparable_flows = 0;
+    for (a, b) in [("S/crypto", "S/nato"), ("S/nato", "S/crypto")] {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            if mls_check(&lab(a), &lab(b), kind).is_ok() {
+                incomparable_flows += 1;
+            }
+        }
+    }
+    Measurement {
+        matrix,
+        rw_cells,
+        violations,
+        incomparable_flows,
+    }
+}
+
+/// Renders the experiment's report.
+pub fn report(m: &Measurement) -> String {
+    let mut out = banner(
+        "E10: information-flow matrix over the compartment lattice",
+        &format!("\"{QUOTE}\""),
+    );
+    writeln!(
+        out,
+        "cell = what a SUBJECT (row) may do to an OBJECT (column):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "r = read (flow object->subject), w = write (flow subject->object),"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "rw = full sharing (labels equal), - = no flow permitted\n"
+    )
+    .unwrap();
+    let mut header = vec!["subject \\ object"];
+    header.extend(NAMES);
+    let mut t = Table::new(&header);
+    for (s, row) in NAMES.iter().zip(&m.matrix) {
+        let mut cells = vec![s.to_string()];
+        for (r, w) in row {
+            cells.push(match (r, w) {
+                (true, true) => "rw".into(),
+                (true, false) => "r".into(),
+                (false, true) => "w".into(),
+                (false, false) => "-".into(),
+            });
+        }
+        t.row(&cells);
+    }
+    out.push_str(&t.render());
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "full-sharing (rw) cells: {} — exactly the diagonal: sharing",
+        m.rw_cells
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "mechanisms are \"common only within each compartment\"."
+    )
+    .unwrap();
+    writeln!(out, "downward flows found: {} (must be 0)", m.violations).unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "S/crypto and S/nato are incomparable: no flow in either direction —"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "the \"absolute compartmentalization\" of the bottom layer."
+    )
+    .unwrap();
+    out
+}
+
+/// The paper's expectations over the matrix.
+pub fn claims(m: &Measurement) -> Vec<ClaimResult> {
+    vec![
+        ClaimResult::new(
+            "E10.no-downward-flow",
+            "E10",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            m.violations as f64,
+            "downward or off-diagonal-rw flows in the 6x6 matrix",
+        ),
+        ClaimResult::new(
+            "E10.sharing-on-diagonal",
+            "E10",
+            QUOTE,
+            ClaimShape::ExactCount {
+                expect: NAMES.len() as i64,
+            },
+            m.rw_cells as f64,
+            "full-sharing (rw) cells — exactly the diagonal",
+        ),
+        ClaimResult::new(
+            "E10.compartments-incomparable",
+            "E10",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            m.incomparable_flows as f64,
+            "flows between S/crypto and S/nato in either direction",
+        ),
+    ]
+}
+
+/// Measurement + report + claims.
+pub fn run() -> ExperimentOutput {
+    let m = measure();
+    ExperimentOutput::new(report(&m), claims(&m))
+}

@@ -1,0 +1,214 @@
+//! E11 — initialization: re-bootstrap vs pre-initialized memory image.
+//!
+//! "One pattern of operation may be much simpler to certify than the
+//! other."
+
+use std::fmt::Write;
+
+use mks_hw::Clock;
+use mks_kernel::init::bootstrap::bootstrap;
+use mks_kernel::init::image::{build_image, load_hash, load_image};
+use mks_kernel::init::state_hash;
+use mks_kernel::KernelConfig;
+
+use super::ExperimentOutput;
+use crate::claims::{ClaimResult, ClaimShape};
+use crate::report::{banner, Table};
+
+const QUOTE: &str = "produce on a system tape a bit pattern which, when loaded into memory, manifests a fully initialized system";
+
+/// One start pattern's trace, per configuration.
+#[derive(Debug, Clone)]
+pub struct StartRow {
+    /// Configuration display name.
+    pub config: &'static str,
+    /// `bootstrap` or `memory image`.
+    pub pattern: &'static str,
+    /// Ordered start-time steps.
+    pub steps: usize,
+    /// Privileged operations among them.
+    pub privileged_ops: u32,
+    /// Simulated cycles to a running system.
+    pub cycles: u64,
+    /// Hash of the resulting system state.
+    pub state_hash: u64,
+}
+
+/// Both start patterns across both configurations, plus determinism and
+/// tamper probes of the image path.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Four rows: (legacy, kernel) × (bootstrap, image).
+    pub rows: Vec<StartRow>,
+    /// Configurations whose two patterns produced different states.
+    pub state_mismatches: usize,
+    /// Distinct hashes over 10 repeated image loads (must be 1).
+    pub distinct_load_hashes: usize,
+    /// Debug rendering of the tampered-image load error.
+    pub tamper_result: String,
+    /// Whether the tampered image was rejected.
+    pub tamper_rejected: bool,
+}
+
+/// Runs both start patterns and the image probes.
+pub fn measure() -> Measurement {
+    let mut rows = Vec::new();
+    let mut state_mismatches = 0;
+    for cfg in [KernelConfig::legacy(), KernelConfig::kernel()] {
+        let clock = Clock::new();
+        let (bstate, btrace) = bootstrap(&cfg, &clock);
+        rows.push(StartRow {
+            config: cfg.name(),
+            pattern: "bootstrap",
+            steps: btrace.steps.len(),
+            privileged_ops: btrace.privileged_ops,
+            cycles: btrace.cycles,
+            state_hash: state_hash(&bstate),
+        });
+        let img = build_image(&cfg);
+        let clock = Clock::new();
+        let (istate, itrace) = load_image(&img, &clock).expect("image loads");
+        rows.push(StartRow {
+            config: cfg.name(),
+            pattern: "memory image",
+            steps: itrace.steps.len(),
+            privileged_ops: itrace.privileged_ops,
+            cycles: itrace.cycles,
+            state_hash: state_hash(&istate),
+        });
+        if bstate != istate {
+            state_mismatches += 1;
+        }
+    }
+    // Determinism: ten loads, one hash.
+    let img = build_image(&KernelConfig::kernel());
+    let mut hashes: Vec<u64> = (0..10).map(|_| load_hash(&img).unwrap()).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    let distinct_load_hashes = hashes.len();
+    // Tamper evidence.
+    let mut bad = build_image(&KernelConfig::kernel());
+    bad.words[1] = mks_hw::Word::new(bad.words[1].raw() ^ 0o40);
+    let (tamper_rejected, tamper_result) = match load_hash(&bad) {
+        Err(e) => (true, format!("{e:?}")),
+        Ok(_) => (false, "ACCEPTED (tampering not detected)".to_string()),
+    };
+    Measurement {
+        rows,
+        state_mismatches,
+        distinct_load_hashes,
+        tamper_result,
+        tamper_rejected,
+    }
+}
+
+/// Renders the experiment's report.
+pub fn report(m: &Measurement) -> String {
+    let mut out = banner(
+        "E11: system start, incremental bootstrap vs memory image",
+        &format!("\"{QUOTE}\""),
+    );
+    let mut t = Table::new(&[
+        "configuration",
+        "pattern",
+        "start-time steps",
+        "privileged ops",
+        "cycles",
+        "state hash",
+    ]);
+    for r in &m.rows {
+        t.row(&[
+            r.config.into(),
+            r.pattern.into(),
+            r.steps.to_string(),
+            r.privileged_ops.to_string(),
+            r.cycles.to_string(),
+            format!("{:016x}", r.state_hash),
+        ]);
+    }
+    out.push_str(&t.render());
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "10 repeated image loads produced identical states: {}",
+        m.distinct_load_hashes == 1
+    )
+    .unwrap();
+    writeln!(out, "tampered image load result: {}", m.tamper_result).unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Certification surface at start time: ~22 ordered privileged steps"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "versus a loader and a checksum. Every load is bit-identical, so one"
+    )
+    .unwrap();
+    writeln!(out, "audit of one image covers every future start.").unwrap();
+    out
+}
+
+/// The paper's expectations over the two patterns.
+pub fn claims(m: &Measurement) -> Vec<ClaimResult> {
+    let image_rows: Vec<&StartRow> = m
+        .rows
+        .iter()
+        .filter(|r| r.pattern == "memory image")
+        .collect();
+    let max_image_steps = image_rows.iter().map(|r| r.steps).max().unwrap_or(0);
+    let max_image_priv = image_rows
+        .iter()
+        .map(|r| r.privileged_ops)
+        .max()
+        .unwrap_or(0);
+    vec![
+        ClaimResult::new(
+            "E11.patterns-agree",
+            "E11",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            m.state_mismatches as f64,
+            "configurations where bootstrap and image loads produce different states",
+        ),
+        ClaimResult::new(
+            "E11.image-two-steps",
+            "E11",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 2 },
+            max_image_steps as f64,
+            "start-time steps under the memory-image pattern (load, verify)",
+        ),
+        ClaimResult::new(
+            "E11.image-two-privileged-ops",
+            "E11",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 2 },
+            max_image_priv as f64,
+            "privileged operations under the memory-image pattern",
+        ),
+        ClaimResult::new(
+            "E11.loads-deterministic",
+            "E11",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 1 },
+            m.distinct_load_hashes as f64,
+            "distinct state hashes over 10 repeated image loads",
+        ),
+        ClaimResult::new(
+            "E11.tamper-detected",
+            "E11",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 1 },
+            m.tamper_rejected as i64 as f64,
+            "tampered image load rejected (BadChecksum)",
+        ),
+    ]
+}
+
+/// Measurement + report + claims.
+pub fn run() -> ExperimentOutput {
+    let m = measure();
+    ExperimentOutput::new(report(&m), claims(&m))
+}

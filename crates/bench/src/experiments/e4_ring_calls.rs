@@ -1,0 +1,220 @@
+//! E4 — ring-crossing cost: 645 (software rings) vs 6180 (hardware rings).
+//!
+//! "a call that went from a user ring in a process to the supervisor ring
+//! cost much more than a call which did not change protection
+//! environments" (645) / "calls from one ring to another now cost no more
+//! than calls inside a ring" (6180).
+
+use std::fmt::Write;
+
+use mks_fs::{Acl, AclMode};
+use mks_hw::ast::PageState;
+use mks_hw::{
+    AccessMode, AddrSpace, CpuModel, FrameId, Machine, RingBrackets, Sdw, SegNo, SegUid, PAGE_WORDS,
+};
+use mks_kernel::monitor::Monitor;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::KernelConfig;
+use mks_mls::Label;
+
+use super::ExperimentOutput;
+use crate::claims::{ClaimResult, ClaimShape};
+use crate::report::{banner, layer_breakdown_from_json, Table};
+
+const QUOTE: &str = "645: cross-ring calls \"cost much more\"; 6180: calls from one ring to another now cost no more than calls inside a ring";
+
+const CALLS: u64 = 100_000;
+const METERING_FILE: &str = "e4_ring_calls_metering.json";
+
+/// Per-machine call costs, in simulated cycles per call.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineCosts {
+    /// The machine measured.
+    pub model: CpuModel,
+    /// Same-ring procedure call.
+    pub intra: f64,
+    /// Gate call into ring 0.
+    pub to_ring0: f64,
+    /// Gate call into ring 1.
+    pub to_ring1: f64,
+}
+
+impl MachineCosts {
+    /// Cross-ring / intra-ring cost ratio.
+    pub fn ratio(&self) -> f64 {
+        self.to_ring0 / self.intra
+    }
+}
+
+/// Both machines' call costs plus the gate-batch metering snapshot.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Honeywell 645 (software rings).
+    pub h645: MachineCosts,
+    /// Honeywell 6180 (hardware rings).
+    pub h6180: MachineCosts,
+    /// Flight-recorder snapshot of a reference-monitor gate-call batch,
+    /// as read back through the `metering_get` gate (JSON).
+    pub metering_json: String,
+}
+
+fn measure_model(model: CpuModel) -> MachineCosts {
+    let mut m = Machine::new(model, 4);
+    let astx = m.ast.activate(SegUid(1), PAGE_WORDS);
+    m.ast.entry_mut(astx).pt.ptw_mut(0).state = PageState::InCore(FrameId(0));
+    let mut sp = AddrSpace::new();
+    // Same-ring procedure, gate into ring 0, gate into ring 1.
+    sp.set(
+        SegNo(1),
+        Sdw::plain(astx, AccessMode::RE, RingBrackets::new(4, 4, 4)),
+    );
+    sp.set(SegNo(2), Sdw::gate(astx, RingBrackets::gate(0, 5), 8));
+    sp.set(SegNo(3), Sdw::gate(astx, RingBrackets::gate(1, 5), 8));
+    let mut run = |seg: SegNo| {
+        let t0 = m.clock.now();
+        for _ in 0..CALLS {
+            m.call(&sp, 4, seg, 0).expect("call ok");
+        }
+        (m.clock.now() - t0) as f64 / CALLS as f64
+    };
+    MachineCosts {
+        model,
+        intra: run(SegNo(1)),
+        to_ring0: run(SegNo(2)),
+        to_ring1: run(SegNo(3)),
+    }
+}
+
+/// Drives a batch of initiate/read/terminate calls through the reference
+/// monitor and reads the flight recorder back through `metering_get`.
+fn metering_batch() -> String {
+    let mut sys = System::new(KernelConfig::kernel());
+    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+    let root = sys.world.bind_root(admin);
+    let seg = Monitor::create_segment(
+        &mut sys.world,
+        admin,
+        root,
+        "probe",
+        Acl::of("Admin.SysAdmin.a", AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .expect("admin owns the root");
+    let _ = Monitor::read(&mut sys.world, admin, seg, 0).expect("first touch faults the page in");
+    Monitor::terminate(&mut sys.world, admin, seg).expect("bound");
+    for _ in 0..200 {
+        let s = Monitor::initiate(&mut sys.world, admin, root, "probe").expect("own segment");
+        let _ = Monitor::read(&mut sys.world, admin, s, 0).expect("readable");
+        Monitor::terminate(&mut sys.world, admin, s).expect("bound");
+    }
+    Monitor::metering_snapshot(&mut sys.world, admin).expect("gate is user-callable")
+}
+
+/// Measures call costs on both machines and the gate-batch metering.
+pub fn measure() -> Measurement {
+    Measurement {
+        h645: measure_model(CpuModel::H645),
+        h6180: measure_model(CpuModel::H6180),
+        metering_json: metering_batch(),
+    }
+}
+
+/// Renders the experiment's report.
+pub fn report(m: &Measurement) -> String {
+    let mut out = banner(
+        "E4: call costs, intra-ring vs cross-ring, per machine",
+        "645: cross-ring calls \"cost much more\"; 6180: \"no more than calls inside a ring\"",
+    );
+    let mut t = Table::new(&[
+        "machine",
+        "intra-ring (cyc/call)",
+        "gate to ring 0",
+        "gate to ring 1",
+        "cross/intra ratio",
+    ]);
+    for c in [&m.h645, &m.h6180] {
+        t.row(&[
+            c.model.name().into(),
+            format!("{:.0}", c.intra),
+            format!("{:.0}", c.to_ring0),
+            format!("{:.0}", c.to_ring1),
+            format!("{:.2}x", c.ratio()),
+        ]);
+    }
+    out.push_str(&t.render());
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "{CALLS} calls per cell; costs are simulated machine cycles."
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "The 6180's parity is what makes the removal program affordable:"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "functions can leave the supervisor without a call-cost penalty."
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "flight-recorder snapshot written to results/{METERING_FILE}"
+    )
+    .unwrap();
+    writeln!(out, "per-layer cycle breakdown of the gate-call batch:").unwrap();
+    out.push_str(
+        &layer_breakdown_from_json(&m.metering_json)
+            .expect("gate emits valid JSON")
+            .render(),
+    );
+    out
+}
+
+/// The paper's expectations over the two machines.
+pub fn claims(m: &Measurement) -> Vec<ClaimResult> {
+    vec![
+        ClaimResult::new(
+            "E4.645-cross-costly",
+            "E4",
+            QUOTE,
+            ClaimShape::FactorAtLeast {
+                paper: 10.0,
+                accept: 10.0,
+            },
+            m.h645.ratio(),
+            "645 gate-call / intra-ring cost ratio",
+        ),
+        ClaimResult::new(
+            "E4.6180-parity",
+            "E4",
+            QUOTE,
+            ClaimShape::ParityWithin { tolerance: 0.15 },
+            m.h6180.ratio(),
+            "6180 gate-call / intra-ring cost ratio",
+        ),
+        ClaimResult::new(
+            "E4.hardware-gate-speedup",
+            "E4",
+            QUOTE,
+            ClaimShape::FactorAtLeast {
+                paper: 50.0,
+                accept: 50.0,
+            },
+            m.h645.to_ring0 / m.h6180.to_ring0,
+            "645 / 6180 gate-call cost (what hardware rings bought)",
+        ),
+    ]
+}
+
+/// Measurement + report + claims (+ the metering snapshot artifact).
+pub fn run() -> ExperimentOutput {
+    let m = measure();
+    let mut out = ExperimentOutput::new(report(&m), claims(&m));
+    out.artifacts
+        .push((METERING_FILE.to_string(), m.metering_json.clone()));
+    out
+}

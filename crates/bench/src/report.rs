@@ -119,12 +119,10 @@ pub fn write_result(name: &str, contents: &str) -> std::io::Result<std::path::Pa
     Ok(path)
 }
 
-/// Prints a section banner naming the experiment and the paper's claim.
-pub fn banner(experiment: &str, claim: &str) {
-    println!("{}", "=".repeat(72));
-    println!("{experiment}");
-    println!("paper: {claim}");
-    println!("{}", "=".repeat(72));
+/// Renders a section banner naming the experiment and the paper's claim.
+pub fn banner(experiment: &str, claim: &str) -> String {
+    let rule = "=".repeat(72);
+    format!("{rule}\n{experiment}\npaper: {claim}\n{rule}\n")
 }
 
 #[cfg(test)]

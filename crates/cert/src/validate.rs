@@ -56,18 +56,14 @@ pub fn check_static(prog: &Program) -> Result<(), String> {
     // Slot bounds and jump bounds.
     for (pc, op) in prog.code.iter().enumerate() {
         match op {
-            Op::Load(s) | Op::Store(s) => {
-                if *s >= prog.nr_slots {
-                    return Err(format!(
-                        "pc {pc}: slot {s} outside frame of {}",
-                        prog.nr_slots
-                    ));
-                }
+            Op::Load(s) | Op::Store(s) if *s >= prog.nr_slots => {
+                return Err(format!(
+                    "pc {pc}: slot {s} outside frame of {}",
+                    prog.nr_slots
+                ));
             }
-            Op::Jmp(t) | Op::Jz(t) => {
-                if *t as usize >= n {
-                    return Err(format!("pc {pc}: jump target {t} outside code"));
-                }
+            Op::Jmp(t) | Op::Jz(t) if *t as usize >= n => {
+                return Err(format!("pc {pc}: jump target {t} outside code"));
             }
             _ => {}
         }
@@ -178,7 +174,7 @@ pub fn validate(source: &Procedure, object: &Program) -> Verdict {
             reason: format!("static check: {reason}"),
         };
     }
-    let grid = input_grid(source.params.len(), 0x5EC0_4E1);
+    let grid = input_grid(source.params.len(), 0x05EC_04E1);
     for args in &grid {
         let model = interpret(source, args, FUEL);
         let implementation = run(object, args, FUEL);

@@ -398,7 +398,7 @@ mod tests {
         .unwrap();
         let mut env = ExecEnv::new(&mut sys.world, pid, vec![lib]);
         let mut fuel = 10_000;
-        match env.call(app, "main", &mut [][..].to_vec(), &mut fuel) {
+        match env.call(app, "main", &[], &mut fuel) {
             Err(ExecFault::Link(e)) => assert!(e.contains("secretlib_")),
             other => panic!("{other:?}"),
         }

@@ -343,7 +343,7 @@ fn ring_attack(which: u8) -> AttackOutcome {
 }
 
 /// 10. Storage residue: delete a secret segment, then try to recover its
-/// contents from freshly allocated storage.
+///     contents from freshly allocated storage.
 fn residue(cfg: KernelConfig) -> AttackOutcome {
     let (mut sys, vic, atk, seg) = arena(cfg);
     // Victim deletes the segment (monitor-level: terminate + fs delete +
@@ -440,7 +440,7 @@ fn quota_dos(_cfg: KernelConfig) -> AttackOutcome {
 }
 
 /// 14. Plant a reference name so an inner-ring subsystem links to the
-/// attacker's code.
+///     attacker's code.
 fn refname_plant(cfg: KernelConfig) -> AttackOutcome {
     match cfg.naming {
         NamingConfig::InKernel => {
@@ -474,7 +474,7 @@ fn refname_plant(cfg: KernelConfig) -> AttackOutcome {
 }
 
 /// 15. Retain access after revocation: the victim removes the attacker
-/// from an ACL; does the attacker's already-granted descriptor die?
+///     from an ACL; does the attacker's already-granted descriptor die?
 fn revocation_gap(cfg: KernelConfig) -> AttackOutcome {
     let mut sys = System::new(cfg);
     let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);

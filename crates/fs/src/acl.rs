@@ -338,6 +338,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the constant definitions
     fn dir_modes_exist() {
         assert!(DirMode::SMA.status && DirMode::SMA.modify && DirMode::SMA.append);
         assert!(DirMode::S.status && !DirMode::S.append);

@@ -98,6 +98,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the constant definitions
     fn mode_constants() {
         assert!(AccessMode::RE.execute && AccessMode::RE.read && !AccessMode::RE.write);
         assert!(AccessMode::RW.write && !AccessMode::RW.execute);

@@ -285,7 +285,7 @@ impl<C: VmAccess> Job<C> for TraceJob {
                 let a = astx.expect("resident implies active");
                 let ptw = w.machine.ast.entry_mut(a).pt.ptw_mut(page);
                 ptw.used = true;
-                if self.pos % self.write_every == 0 {
+                if self.pos.is_multiple_of(self.write_every) {
                     ptw.modified = true;
                 }
                 self.pos += 1;
