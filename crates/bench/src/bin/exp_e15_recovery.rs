@@ -1,0 +1,6 @@
+//! E15 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e15_recovery`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e15_recovery::run());
+}

@@ -1,7 +1,7 @@
 //! The experiment library: every `exp_*` binary's measurement logic as a
 //! callable function.
 //!
-//! Each submodule owns one experiment (E1–E14, A1, A3, A4) and exposes
+//! Each submodule owns one experiment (E1–E15, A1, A3, A4) and exposes
 //!
 //! * `measure()` — runs the workload and returns a plain-data measurement
 //!   struct (no printing, no process exit, no panics on claim failure);
@@ -30,6 +30,7 @@ pub mod e11_init;
 pub mod e12_penetration;
 pub mod e13_translation_validation;
 pub mod e14_kernel_size;
+pub mod e15_recovery;
 pub mod e1_linker_gates;
 pub mod e2_kst_split;
 pub mod e3_entries;
@@ -66,7 +67,7 @@ impl ExperimentOutput {
 /// One registry entry: an experiment's identity and entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Claim-id prefix: `E1`..`E14`, `A1`, `A3`, `A4`.
+    /// Claim-id prefix: `E1`..`E15`, `A1`, `A3`, `A4`.
     pub id: &'static str,
     /// The binary name (and `results/<bin>.txt` stem).
     pub bin: &'static str,
@@ -163,6 +164,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e14_kernel_size::run,
     },
     Experiment {
+        id: "E15",
+        bin: "exp_e15_recovery",
+        title: "crash recovery under injected faults",
+        run: e15_recovery::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -253,12 +260,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_seventeen_experiments() {
-        assert_eq!(REGISTRY.len(), 17);
+    fn registry_covers_all_eighteen_experiments() {
+        assert_eq!(REGISTRY.len(), 18);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 17, "experiment ids are unique");
+        assert_eq!(ids.len(), 18, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

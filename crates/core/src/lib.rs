@@ -50,6 +50,7 @@ pub mod init;
 pub mod layers;
 pub mod monitor;
 pub mod penetration;
+pub mod recovery;
 pub mod subsystem;
 pub mod syslog;
 pub mod world;
@@ -59,5 +60,6 @@ pub use auth::{AuthDb, AuthError};
 pub use config::{IoConfig, KernelConfig, LinkerConfig, NamingConfig, PagingConfig, PolicyConfig};
 pub use gatetable::GateTable;
 pub use monitor::{AccessError, Monitor};
+pub use recovery::{RecoveryOpts, RecoveryOutcome, SalvageMutation};
 pub use syslog::{AuditEvent, AuditLog};
 pub use world::{KProcId, KernelWorld, ProcState};

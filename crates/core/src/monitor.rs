@@ -231,7 +231,10 @@ impl Monitor {
             Ok(target) => Self::grant(world, pid, target),
             Err(e) => {
                 let who = world.proc(pid).user.clone();
+                // The SkewClock injection point: an armed plan can warp the
+                // timestamp the log sees, never the clock itself.
                 let at = world.vm.machine.clock.now();
+                let at = world.vm.machine.inject.warp_time(at);
                 world.log.append(
                     at,
                     Some(who),
@@ -386,12 +389,20 @@ impl Monitor {
     }
 
     /// Walks up from `dir_uid` to the nearest directory holding a quota
-    /// cell (every hierarchy has one: the root's).
+    /// cell (every hierarchy has one: the root's). A *damaged* hierarchy
+    /// may contain a parent-pointer cycle until the salvager runs — the
+    /// walk must answer `None` (a deterministic refusal) rather than hang
+    /// the kernel on it, so revisiting a directory stops the climb.
     fn quota_account(world: &KernelWorld, mut dir_uid: SegUid) -> Option<SegUid> {
+        let mut seen: Vec<SegUid> = Vec::new();
         loop {
             if matches!(world.fs.quota_cell(dir_uid), Ok(Some(_))) {
                 return Some(dir_uid);
             }
+            if seen.contains(&dir_uid) {
+                return None;
+            }
+            seen.push(dir_uid);
             dir_uid = world.fs.dir_parent(dir_uid).ok().flatten()?;
         }
     }
@@ -802,6 +813,7 @@ impl Monitor {
         if ring > g.callable_from {
             let who = world.proc(pid).user.clone();
             let at = world.vm.machine.clock.now();
+            let at = world.vm.machine.inject.warp_time(at);
             world.log.append(
                 at,
                 Some(who),

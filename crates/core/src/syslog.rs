@@ -58,7 +58,12 @@ pub struct AuditRecord {
 pub struct AuditLog {
     records: Vec<AuditRecord>,
     next_seq: u64,
-    last_at: Cycles,
+    /// Time of the newest record, or `None` until the first append. The
+    /// very first record *establishes* the baseline — whatever time it
+    /// claims, there is nothing earlier on file to contradict it, so it
+    /// can never flag a skew (even if an injected warp moved it backwards
+    /// before the log saw it).
+    last_at: Option<Cycles>,
     clock_skews: u64,
 }
 
@@ -76,13 +81,21 @@ impl AuditLog {
     /// record is kept — dropping evidence would be worse — but its `at` is
     /// saturated up to the last seen time and the skew is flagged in
     /// [`AuditLog::clock_skews`].
+    ///
+    /// The **first** record is the baseline: it is stored as claimed and
+    /// never counts as a skew, because an empty log has no earlier time to
+    /// contradict it. Skew detection is a statement about *order within
+    /// the log*, not about absolute time.
     pub fn append(&mut self, at: Cycles, who: Option<UserId>, event: AuditEvent) -> u64 {
-        let at = if at < self.last_at {
-            self.clock_skews += 1;
-            self.last_at
-        } else {
-            self.last_at = at;
-            at
+        let at = match self.last_at {
+            Some(last) if at < last => {
+                self.clock_skews += 1;
+                last
+            }
+            _ => {
+                self.last_at = Some(at);
+                at
+            }
         };
         let seq = self.next_seq;
         self.next_seq += 1;

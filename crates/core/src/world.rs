@@ -154,6 +154,7 @@ impl System {
         let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
         let mut fs = FileSystem::new(&admin_user());
         fs.set_trace(vm.machine.trace.clone());
+        fs.set_inject(vm.machine.inject.clone());
         let world = KernelWorld {
             cfg,
             vm,

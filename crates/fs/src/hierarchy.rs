@@ -119,20 +119,21 @@ impl core::fmt::Display for FsError {
 impl std::error::Error for FsError {}
 
 #[derive(Debug)]
-struct DirNode {
-    parent: Option<SegUid>,
-    label: Label,
-    acl: Acl<DirMode>,
-    quota: Option<QuotaCell>,
-    branches: Vec<Branch>,
+pub(crate) struct DirNode {
+    pub(crate) parent: Option<SegUid>,
+    pub(crate) label: Label,
+    pub(crate) acl: Acl<DirMode>,
+    pub(crate) quota: Option<QuotaCell>,
+    pub(crate) branches: Vec<Branch>,
 }
 
 /// The hierarchy: a tree of directories rooted at [`FileSystem::ROOT`].
 #[derive(Debug)]
 pub struct FileSystem {
-    nodes: HashMap<SegUid, DirNode>,
+    pub(crate) nodes: HashMap<SegUid, DirNode>,
     next_uid: u64,
-    trace: Option<mks_trace::TraceHandle>,
+    pub(crate) trace: Option<mks_trace::TraceHandle>,
+    pub(crate) inject: Option<mks_hw::InjectorHandle>,
 }
 
 impl FileSystem {
@@ -157,6 +158,7 @@ impl FileSystem {
             nodes,
             next_uid: 2,
             trace: None,
+            inject: None,
         }
     }
 
@@ -260,6 +262,7 @@ impl FileSystem {
             author: user.clone(),
         };
         self.dir_mut(dir)?.branches.push(branch);
+        self.maybe_tear(dir, uid);
         Ok(uid)
     }
 
@@ -302,6 +305,7 @@ impl FileSystem {
                 branches: Vec::new(),
             },
         );
+        self.maybe_tear(dir, uid);
         Ok(uid)
     }
 

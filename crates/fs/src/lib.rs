@@ -27,6 +27,7 @@ pub mod kst_legacy;
 pub mod pathres;
 pub mod quota;
 pub mod salvage;
+pub mod tear;
 
 pub use acl::{Acl, AclEntry, AclMode, DirMode, UserId};
 pub use hierarchy::{Branch, BranchKind, FileSystem, FsError};
@@ -35,3 +36,4 @@ pub use kst_legacy::{LegacyKst, LegacyKstError};
 pub use pathres::{resolve_path, PathError};
 pub use quota::{QuotaCell, QuotaError};
 pub use salvage::{Problem, SalvageReport};
+pub use tear::TearMode;

@@ -28,6 +28,7 @@ pub mod clock;
 pub mod cost;
 pub mod fault;
 pub mod gate;
+pub mod inject;
 pub mod machine;
 pub mod mem;
 pub mod module;
@@ -41,6 +42,9 @@ pub use clock::{Clock, Cycles};
 pub use cost::{CostModel, CpuModel};
 pub use fault::Fault;
 pub use gate::{EntryIndex, GateDef};
+pub use inject::{
+    shrink_plan, FaultEvent, FaultPlan, FiredFault, InjectKind, InjectorHandle, SplitMix64,
+};
 pub use machine::{AccessType, CallOutcome, Machine};
 pub use mem::{FrameId, PhysMem, PAGE_WORDS};
 pub use module::{source_weight, Category, ModuleInfo};

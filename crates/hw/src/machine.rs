@@ -13,6 +13,7 @@ use crate::ast::{Ast, PageState};
 use crate::clock::{Clock, Cycles};
 use crate::cost::{CostModel, CpuModel};
 use crate::fault::{AttemptKind, Fault};
+use crate::inject::InjectorHandle;
 use crate::mem::{PhysMem, PAGE_WORDS};
 use crate::ring::{CallEffect, RingNo};
 use crate::sdw::Sdw;
@@ -57,6 +58,9 @@ pub struct Machine {
     /// The flight recorder, sharing this machine's clock. Every layer
     /// of the simulation reaches the recorder through the machine.
     pub trace: TraceHandle,
+    /// The fault injector. Disarmed by default; layers consult it at
+    /// their injection points exactly like they reach the recorder.
+    pub inject: InjectorHandle,
     faults_taken: u64,
     calls_made: u64,
     ring_crossings: u64,
@@ -75,6 +79,7 @@ impl Machine {
             mem: PhysMem::new(nr_frames),
             ast: Ast::new(),
             trace,
+            inject: InjectorHandle::disarmed(),
             faults_taken: 0,
             calls_made: 0,
             ring_crossings: 0,

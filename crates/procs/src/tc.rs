@@ -75,6 +75,8 @@ pub struct TcStats {
     pub processes_finished: u64,
     /// Processes destroyed before completion.
     pub processes_killed: u64,
+    /// Wakeups lost to injected faults (the sender paid; nobody woke).
+    pub wakeups_dropped: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -230,6 +232,30 @@ impl<C: HasMachine> TrafficController<C> {
             .count()
     }
 
+    /// Diagnostic: true iff virtual processor `vp` is a dedicated
+    /// (layer-1) slot. The two-layer design's core invariant is that this
+    /// never changes after [`add_dedicated`](Self::add_dedicated) — the
+    /// scheduler property tests pin it.
+    pub fn slot_is_dedicated(&self, vp: VpIndex) -> bool {
+        self.vprocs
+            .get(vp.0 as usize)
+            .map(|v| v.binding == VpBinding::Dedicated)
+            .unwrap_or(false)
+    }
+
+    /// Diagnostic: `(dedicated, process-bound, free)` slot counts.
+    pub fn binding_census(&self) -> (usize, usize, usize) {
+        let mut census = (0, 0, 0);
+        for v in &self.vprocs {
+            match v.binding {
+                VpBinding::Dedicated => census.0 += 1,
+                VpBinding::Process(_) => census.1 += 1,
+                VpBinding::Free => census.2 += 1,
+            }
+        }
+        census
+    }
+
     /// Delivers an external wakeup (e.g. from a device interrupt) on
     /// `event`, charging the wakeup cost.
     pub fn wakeup_external(&mut self, ctx: &mut C, event: EventId) {
@@ -241,8 +267,29 @@ impl<C: HasMachine> TrafficController<C> {
             mks_trace::EventKind::IpcSend,
             &format!("external wakeup on event {}", event.0),
         );
+        if self.wakeup_is_dropped(ctx, event) {
+            return;
+        }
         let woken = self.events.wakeup(event);
         self.deliver(woken);
+    }
+
+    /// The `DropWakeup` injection point: consulted once per wakeup send.
+    /// When armed and scheduled, the wakeup is lost after the sender has
+    /// already paid for it — the waiter keeps waiting.
+    fn wakeup_is_dropped(&mut self, ctx: &mut C, event: EventId) -> bool {
+        let m = ctx.machine();
+        if m.inject.fires(mks_hw::InjectKind::DropWakeup).is_none() {
+            return false;
+        }
+        self.stats.wakeups_dropped += 1;
+        m.trace.counter_add("inject.dropped_wakeups", 1);
+        m.trace.event(
+            mks_trace::Layer::Procs,
+            mks_trace::EventKind::IpcSend,
+            &format!("INJECTED: wakeup on event {} dropped", event.0),
+        );
+        true
     }
 
     fn deliver(&mut self, woken: Vec<Waiter>) {
@@ -348,6 +395,9 @@ impl<C: HasMachine> TrafficController<C> {
                     mks_trace::EventKind::IpcSend,
                     &format!("wakeup on event {}", e.0),
                 );
+                if self.wakeup_is_dropped(ctx, e) {
+                    continue;
+                }
                 let woken = self.events.wakeup(e);
                 self.deliver(woken);
             }

@@ -129,3 +129,239 @@ proptest! {
         prop_assert!(min > 0, "a job was starved: {values:?}");
     }
 }
+
+/// A job that blocks on `event` once and completes when woken, recording
+/// that it was dispatched at least once.
+fn one_shot_consumer(
+    event: mks_procs::EventId,
+    stepped: Rc<Cell<bool>>,
+    done: Rc<Cell<bool>>,
+) -> Box<dyn mks_procs::Job<Machine>> {
+    let mut blocked = false;
+    Box::new(FnJob::new(
+        "consumer",
+        move |_e: &mut Effects<'_, Machine>| {
+            stepped.set(true);
+            if !blocked {
+                blocked = true;
+                Step::Block(event)
+            } else {
+                done.set(true);
+                Step::Done
+            }
+        },
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **No lost wakeups.** One wakeup per consumer, delivered at an
+    /// arbitrary point of an arbitrary tick interleaving — before or after
+    /// the consumer manages to block (the wakeup-waiting switch covers the
+    /// early case). Every consumer must complete.
+    #[test]
+    fn no_lost_wakeups_under_arbitrary_interleavings(
+        nr_vprocs in 2usize..8,
+        quantum in 1u32..6,
+        schedule in prop::collection::vec((0usize..8, 0u32..4), 1..8),
+    ) {
+        let n = schedule.len().clamp(1, 6);
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum });
+        let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
+        let dones: Vec<Rc<Cell<bool>>> = (0..n).map(|_| Rc::new(Cell::new(false))).collect();
+        let mut pids = Vec::new();
+        for i in 0..n {
+            pids.push(tc.spawn(one_shot_consumer(
+                events[i],
+                Rc::new(Cell::new(false)),
+                dones[i].clone(),
+            )));
+        }
+        // Interleave ticks with the sends; each consumer gets exactly one.
+        let mut sent = vec![false; n];
+        for (pick, pre_ticks) in &schedule {
+            for _ in 0..*pre_ticks {
+                tc.tick(&mut m);
+            }
+            let i = pick % n;
+            if !sent[i] {
+                sent[i] = true;
+                tc.wakeup_external(&mut m, events[i]);
+            }
+        }
+        for (i, was_sent) in sent.iter().enumerate() {
+            if !was_sent {
+                tc.wakeup_external(&mut m, events[i]);
+            }
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent);
+        for (i, pid) in pids.iter().enumerate() {
+            prop_assert!(tc.process_done(*pid), "consumer {i} lost its wakeup");
+            prop_assert!(dones[i].get());
+        }
+    }
+
+    /// **Dedicated layer-1 slots are never rebound.** Whatever the layer-2
+    /// churn does — spawns, completions, kills, wakeups — the slots claimed
+    /// by `add_dedicated` stay dedicated, and the census stays constant.
+    #[test]
+    fn dedicated_slots_never_rebound_to_processes(
+        nr_daemons in 1usize..3,
+        nr_vprocs in 4usize..8,
+        ops in prop::collection::vec((0u8..4, 0usize..8), 1..24),
+    ) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs, quantum: 3 });
+        let daemon_events: Vec<_> = (0..nr_daemons).map(|_| tc.alloc_event()).collect();
+        let served = Rc::new(Cell::new(0u32));
+        let vps: Vec<_> = daemon_events
+            .iter()
+            .map(|ev| {
+                let ev = *ev;
+                let s = served.clone();
+                tc.add_dedicated(Box::new(FnJob::new("daemon", move |_e: &mut Effects<'_, Machine>| {
+                    s.set(s.get() + 1);
+                    Step::Block(ev)
+                })))
+            })
+            .collect();
+        let mut pids = Vec::new();
+        for (op, arg) in &ops {
+            match op {
+                0 => { tc.tick(&mut m); }
+                1 => {
+                    let mut left = 1 + (*arg as u32 % 5);
+                    pids.push(tc.spawn(Box::new(FnJob::new("churn", move |_e: &mut Effects<'_, Machine>| {
+                        left -= 1;
+                        if left == 0 { Step::Done } else { Step::Continue }
+                    }))));
+                }
+                2 => {
+                    if !pids.is_empty() {
+                        tc.kill(pids[arg % pids.len()]);
+                    }
+                }
+                _ => {
+                    tc.wakeup_external(&mut m, daemon_events[arg % nr_daemons]);
+                }
+            }
+            for vp in &vps {
+                prop_assert!(tc.slot_is_dedicated(*vp), "dedicated slot rebound mid-churn");
+            }
+            prop_assert_eq!(tc.binding_census().0, nr_daemons);
+        }
+        tc.run_until_quiet(&mut m, 1_000_000);
+        for vp in &vps {
+            prop_assert!(tc.slot_is_dedicated(*vp));
+        }
+        prop_assert_eq!(tc.binding_census().0, nr_daemons);
+        // The daemons are still live: a wakeup gets each one dispatched.
+        let before = served.get();
+        for ev in &daemon_events {
+            tc.wakeup_external(&mut m, *ev);
+        }
+        tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(served.get() >= before + nr_daemons as u32);
+    }
+
+    /// **Every ready process is eventually dispatched**, even when
+    /// processes outnumber the shared virtual processors and blockers mix
+    /// with compute jobs.
+    #[test]
+    fn every_ready_process_is_eventually_dispatched(
+        nr_vprocs in 1usize..4,
+        mix in prop::collection::vec((0u8..2, 1u32..12), 2..10),
+    ) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 2 });
+        let mut blocker_events = Vec::new();
+        let mut flags = Vec::new();
+        let mut pids = Vec::new();
+        for (blocker_tag, len) in &mix {
+            let stepped = Rc::new(Cell::new(false));
+            flags.push(stepped.clone());
+            if *blocker_tag == 1 {
+                let ev = tc.alloc_event();
+                blocker_events.push(ev);
+                pids.push(tc.spawn(one_shot_consumer(ev, stepped, Rc::new(Cell::new(false)))));
+            } else {
+                let mut left = *len;
+                pids.push(tc.spawn(Box::new(FnJob::new("compute", move |_e: &mut Effects<'_, Machine>| {
+                    stepped.set(true);
+                    left -= 1;
+                    if left == 0 { Step::Done } else { Step::Continue }
+                }))));
+            }
+        }
+        for ev in &blocker_events {
+            tc.wakeup_external(&mut m, *ev);
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent);
+        for (i, pid) in pids.iter().enumerate() {
+            prop_assert!(flags[i].get(), "process {i} was never dispatched");
+            prop_assert!(tc.process_done(*pid));
+        }
+    }
+
+    /// **Injected wakeup drops stall but never corrupt.** With a plan that
+    /// drops a chosen subset of the external sends, the victims simply keep
+    /// waiting — a clean resend after disarming completes every consumer,
+    /// and the drop accounting matches the plan exactly.
+    #[test]
+    fn dropped_wakeups_stall_but_never_corrupt(
+        nr_vprocs in 2usize..8,
+        n in 1usize..6,
+        drop_picks in prop::collection::vec(0usize..6, 0..6),
+    ) {
+        use mks_hw::{FaultEvent, FaultPlan, InjectKind};
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 4 });
+        let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
+        let dones: Vec<Rc<Cell<bool>>> = (0..n).map(|_| Rc::new(Cell::new(false))).collect();
+        let pids: Vec<_> = (0..n)
+            .map(|i| {
+                tc.spawn(one_shot_consumer(
+                    events[i],
+                    Rc::new(Cell::new(false)),
+                    dones[i].clone(),
+                ))
+            })
+            .collect();
+        // Let everyone block first, so drops hit real waiters.
+        tc.run_until_quiet(&mut m, 1_000_000);
+        let dropped: std::collections::BTreeSet<usize> =
+            drop_picks.iter().map(|p| p % n).collect();
+        let plan = FaultPlan::from_events(
+            dropped
+                .iter()
+                .map(|i| FaultEvent { kind: InjectKind::DropWakeup, nth: *i as u64, detail: 0 })
+                .collect(),
+        );
+        m.inject.arm(&plan);
+        for ev in &events {
+            tc.wakeup_external(&mut m, *ev);
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent, "drops must stall, not wedge the scheduler");
+        prop_assert_eq!(tc.stats().wakeups_dropped, dropped.len() as u64);
+        prop_assert_eq!(m.inject.fired().len(), dropped.len());
+        for (i, pid) in pids.iter().enumerate() {
+            prop_assert_eq!(tc.process_done(*pid), !dropped.contains(&i),
+                "exactly the dropped consumers still wait");
+        }
+        // Recovery: disarm and resend — nobody is corrupted, just late.
+        m.inject.disarm();
+        for i in &dropped {
+            tc.wakeup_external(&mut m, events[*i]);
+        }
+        tc.run_until_quiet(&mut m, 1_000_000);
+        for (i, pid) in pids.iter().enumerate() {
+            prop_assert!(tc.process_done(*pid), "consumer {i} unrecoverable after resend");
+            prop_assert!(dones[i].get());
+        }
+    }
+}

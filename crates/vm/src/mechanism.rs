@@ -112,6 +112,31 @@ fn resident_index(w: &VmWorld, uid: SegUid, page: usize) -> Option<usize> {
         .position(|r| r.uid == uid && r.page == page)
 }
 
+/// The `SlowDisk`/`FailDisk` injection point, consulted once per actual
+/// page transfer (core↔bulk↔disk). Injected faults are pure latency:
+/// `SlowDisk` charges extra deterministic transfer time, `FailDisk` models
+/// failed transfers that the (historical) device software retries, each
+/// retry re-charging both legs. The data always arrives intact — device
+/// errors never corrupt page contents, so both page-control designs must
+/// resolve identical fault sequences to identical core images.
+fn injected_transfer_penalty(w: &mut VmWorld) {
+    let inject = w.machine.inject.clone();
+    if let Some(detail) = inject.fires(mks_hw::InjectKind::SlowDisk) {
+        let extra = (1 + detail % 3) * w.machine.cost.page_move_bulk_disk;
+        w.machine.clock.advance(extra);
+        w.machine.trace.counter_add("inject.slow_transfers", 1);
+    }
+    if let Some(detail) = inject.fires(mks_hw::InjectKind::FailDisk) {
+        for _ in 0..1 + detail % 2 {
+            w.machine
+                .clock
+                .advance(w.machine.cost.page_move_primary_bulk);
+            w.machine.clock.advance(w.machine.cost.page_move_bulk_disk);
+        }
+        w.machine.trace.counter_add("inject.failed_transfers", 1);
+    }
+}
+
 /// Gate: evict the named page from primary memory.
 ///
 /// A dirty page (or one with no valid copy in a lower level) is written to
@@ -140,6 +165,7 @@ pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), Me
         w.machine
             .clock
             .advance(w.machine.cost.page_move_primary_bulk);
+        injected_transfer_penalty(w);
         w.bump(crate::stats::keys::EVICTIONS_CORE);
     } else {
         w.bump(crate::stats::keys::CLEAN_DROPS);
@@ -168,6 +194,7 @@ pub fn evict_bulk_to_disk(w: &mut VmWorld, addr: PageAddr) -> Result<(), MechErr
         .clock
         .advance(w.machine.cost.page_move_primary_bulk);
     w.machine.clock.advance(w.machine.cost.page_move_bulk_disk);
+    injected_transfer_penalty(w);
     w.disk.store(addr, data);
     w.bump(crate::stats::keys::EVICTIONS_BULK);
     Ok(())
@@ -205,12 +232,14 @@ pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, M
         w.machine
             .clock
             .advance(w.machine.cost.page_move_primary_bulk);
+        injected_transfer_penalty(w);
     } else if let Some(data) = w.disk.read(addr) {
         w.machine.mem.import_frame(frame, data);
         w.machine.clock.advance(w.machine.cost.page_move_bulk_disk);
         w.machine
             .clock
             .advance(w.machine.cost.page_move_primary_bulk);
+        injected_transfer_penalty(w);
     } else {
         // First touch: the frame is already scrubbed by release_frame.
         w.bump(crate::stats::keys::ZERO_FILLS);

@@ -175,3 +175,64 @@ fn monitor_verdicts_reach_the_registry() {
         .expect("denial recorded against its principal");
     assert!(verdict.detail.contains("denied"), "{}", verdict.detail);
 }
+
+#[test]
+fn skew_injected_at_the_first_audit_record_establishes_the_baseline() {
+    use mks_hw::{FaultEvent, FaultPlan, InjectKind};
+
+    let (mut sys, _admin, _root) = system_with_probe();
+    let smith =
+        sys.world
+            .create_process(mks_fs::UserId::new("Smith", "Guest", "a"), Label::BOTTOM, 4);
+    let root_s = sys.world.bind_root(smith);
+
+    // The SkewClock site is consulted once per audit append: warp the
+    // very first record a little, and the third one far backwards.
+    let inject = sys.world.vm.machine.inject.clone();
+    inject.arm(&FaultPlan::from_events(vec![
+        FaultEvent {
+            kind: InjectKind::SkewClock,
+            nth: 0,
+            detail: 0,
+        },
+        FaultEvent {
+            kind: InjectKind::SkewClock,
+            nth: 2,
+            detail: 900,
+        },
+    ]));
+
+    // First denial: its timestamp is warped, but an empty log has no
+    // earlier time to contradict — it must establish the baseline, not
+    // count as a skew (the old `last_at: Cycles = 0` default could never
+    // express this).
+    let _ = Monitor::initiate(&mut sys.world, smith, root_s, "probe");
+    assert_eq!(sys.world.log.len(), 1);
+    assert_eq!(
+        sys.world.log.clock_skews(),
+        0,
+        "the first record can never flag a skew"
+    );
+
+    // Second denial: unwarped, later than the first — still no skew.
+    let _ = Monitor::initiate(&mut sys.world, smith, root_s, "probe");
+    assert_eq!(sys.world.log.clock_skews(), 0);
+
+    // Third denial: warped 901 cycles backwards, clearly predating the
+    // second record — kept, saturated, and flagged.
+    let _ = Monitor::initiate(&mut sys.world, smith, root_s, "probe");
+    inject.disarm();
+    assert_eq!(inject.fired().len(), 2, "both scheduled warps fired");
+    assert_eq!(sys.world.log.clock_skews(), 1);
+
+    let times: Vec<_> = sys.world.log.records().iter().map(|r| r.at).collect();
+    assert_eq!(times.len(), 3);
+    assert!(times[0] <= times[1], "baseline then forward");
+    assert_eq!(times[1], times[2], "the skewed record saturates to last");
+
+    // The incremental reader sees the same saturated, ordered stream.
+    let tail = sys.world.log.snapshot_range(1);
+    assert_eq!(tail.len(), 2);
+    assert_eq!(tail[0].seq, 1);
+    assert!(tail.windows(2).all(|w| w[0].at <= w[1].at));
+}
