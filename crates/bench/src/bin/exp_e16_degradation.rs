@@ -1,0 +1,6 @@
+//! E16 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e16_degradation`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e16_degradation::run());
+}

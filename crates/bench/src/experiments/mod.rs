@@ -1,7 +1,7 @@
 //! The experiment library: every `exp_*` binary's measurement logic as a
 //! callable function.
 //!
-//! Each submodule owns one experiment (E1–E15, A1, A3, A4) and exposes
+//! Each submodule owns one experiment (E1–E16, A1, A3, A4) and exposes
 //!
 //! * `measure()` — runs the workload and returns a plain-data measurement
 //!   struct (no printing, no process exit, no panics on claim failure);
@@ -31,6 +31,7 @@ pub mod e12_penetration;
 pub mod e13_translation_validation;
 pub mod e14_kernel_size;
 pub mod e15_recovery;
+pub mod e16_degradation;
 pub mod e1_linker_gates;
 pub mod e2_kst_split;
 pub mod e3_entries;
@@ -67,7 +68,7 @@ impl ExperimentOutput {
 /// One registry entry: an experiment's identity and entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Claim-id prefix: `E1`..`E15`, `A1`, `A3`, `A4`.
+    /// Claim-id prefix: `E1`..`E16`, `A1`, `A3`, `A4`.
     pub id: &'static str,
     /// The binary name (and `results/<bin>.txt` stem).
     pub bin: &'static str,
@@ -170,6 +171,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e15_recovery::run,
     },
     Experiment {
+        id: "E16",
+        bin: "exp_e16_degradation",
+        title: "graceful degradation under overload",
+        run: e16_degradation::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -260,12 +267,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_eighteen_experiments() {
-        assert_eq!(REGISTRY.len(), 18);
+    fn registry_covers_all_nineteen_experiments() {
+        assert_eq!(REGISTRY.len(), 19);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 18, "experiment ids are unique");
+        assert_eq!(ids.len(), 19, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

@@ -50,6 +50,7 @@ pub mod init;
 pub mod layers;
 pub mod monitor;
 pub mod penetration;
+pub mod pressure;
 pub mod recovery;
 pub mod subsystem;
 pub mod syslog;
@@ -60,6 +61,9 @@ pub use auth::{AuthDb, AuthError};
 pub use config::{IoConfig, KernelConfig, LinkerConfig, NamingConfig, PagingConfig, PolicyConfig};
 pub use gatetable::GateTable;
 pub use monitor::{AccessError, Monitor};
+pub use pressure::{
+    read_pressure, AdmissionControl, PressureConfig, PressureReading, Priority, Resource,
+};
 pub use recovery::{RecoveryOpts, RecoveryOutcome, SalvageMutation};
 pub use syslog::{AuditEvent, AuditLog};
 pub use world::{KProcId, KernelWorld, ProcState};

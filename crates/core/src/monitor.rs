@@ -19,11 +19,14 @@ use mks_fs::kst::kernel_initiate_dir;
 use mks_fs::pathres::{parse_path, DirInitiator};
 use mks_fs::{Acl, AclMode, BranchKind, FsError, LegacyKstError, QuotaCell, QuotaError};
 use mks_hw::ast::PageState;
-use mks_hw::{AccessType, Fault, RingBrackets, SegNo, SegUid, Word};
+use mks_hw::{
+    AccessType, Backoff, BackoffPolicy, Cycles, Fault, RingBrackets, SegNo, SegUid, Word,
+};
 use mks_mls::{mls_check, AccessKind, Label, MlsDenied};
 use mks_vm::{MechError, SegControl};
 
 use crate::config::NamingConfig;
+use crate::pressure::{read_pressure, Resource};
 use crate::world::{KProcId, KernelWorld, KstState};
 
 /// Monitor refusals and failures.
@@ -52,6 +55,10 @@ pub enum AccessError {
     UnknownGate,
     /// The caller's ring may not call that gate.
     GateDenied,
+    /// Admission control shed the call under resource pressure: the peak
+    /// pressure (permille) that triggered the refusal. Typed, audited, and
+    /// retryable — the graceful alternative to stalling or panicking.
+    Overload(u32),
 }
 
 impl core::fmt::Display for AccessError {
@@ -67,6 +74,9 @@ impl core::fmt::Display for AccessError {
             AccessError::BadPath => write!(f, "bad pathname"),
             AccessError::UnknownGate => write!(f, "unknown gate or entry"),
             AccessError::GateDenied => write!(f, "gate not callable from this ring"),
+            AccessError::Overload(p) => {
+                write!(f, "shed under resource pressure ({p} permille)")
+            }
         }
     }
 }
@@ -136,6 +146,77 @@ impl Monitor {
         );
     }
 
+    /// Admission control at the gate layer. With admission **disabled**
+    /// (the default) this is a strict no-op: no gauge is read, no metric
+    /// written, no record appended — the differential test pins that.
+    ///
+    /// When enabled: reads the pressure gauges, publishes them to the
+    /// flight recorder, and decides by the caller's priority class. An
+    /// admitted call gets back its deadline (if the config grants one);
+    /// a shed call gets an audited, typed [`AccessError::Overload`] —
+    /// the kernel refuses *now* rather than stall, panic, or silently
+    /// queue unbounded work. Every decision — admit or shed — is recorded
+    /// as a reference-monitor verdict, so mediation of admitted requests
+    /// is checkable from the trace.
+    fn admit(
+        world: &mut KernelWorld,
+        pid: KProcId,
+        what: &str,
+    ) -> Result<Option<Cycles>, AccessError> {
+        if !world.admission.is_enabled() {
+            return Ok(None);
+        }
+        let reading = read_pressure(world);
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            world
+                .vm
+                .machine
+                .trace
+                .observe(r.gauge_name(), Cycles::from(reading.permille[i]));
+        }
+        let priority = world.admission.priority_of(pid);
+        let peak = reading.peak();
+        let admitted = world.admission.decide(priority, peak);
+        Self::verdict(world, pid, &format!("admit {what}"), admitted);
+        if admitted {
+            world.vm.machine.trace.counter_add("admission.admitted", 1);
+            let deadline = world
+                .admission
+                .cfg
+                .deadline_budget
+                .map(|b| world.vm.machine.clock.now().saturating_add(b));
+            Ok(deadline)
+        } else {
+            world.vm.machine.trace.counter_add("admission.shed", 1);
+            let who = world.proc(pid).user.clone();
+            world.audit(
+                Some(who),
+                crate::syslog::AuditEvent::Overload {
+                    what: what.to_string(),
+                    pressure_permille: peak,
+                },
+            );
+            Err(AccessError::Overload(peak))
+        }
+    }
+
+    /// Refuses an operation whose bounded retries ran out (or whose
+    /// deadline passed): audits the give-up as an `Overload` record and
+    /// counts it, so backpressure is reviewable, never silent.
+    fn overload_refusal(world: &mut KernelWorld, pid: KProcId, what: &str) -> AccessError {
+        let peak = read_pressure(world).peak();
+        world.vm.machine.trace.counter_add("admission.overload", 1);
+        let who = world.proc(pid).user.clone();
+        world.audit(
+            Some(who),
+            crate::syslog::AuditEvent::Overload {
+                what: what.to_string(),
+                pressure_permille: peak,
+            },
+        );
+        AccessError::Overload(peak)
+    }
+
     /// Looks up the branch `name` in the *real* directory `dir_uid` and
     /// computes the access `pid` would get. Returns `NoInfo` unless the
     /// caller ends up with at least one mode bit.
@@ -175,13 +256,38 @@ impl Monitor {
     }
 
     /// Activates the target and installs its SDW; returns the segno.
+    ///
+    /// Activation rides the bounded-backoff discipline: an injected AST
+    /// exhaustion is retried a few times with deterministic jittered
+    /// delays (a real system would wait for the deactivation daemon to
+    /// free slots), then surfaces as an audited overload refusal instead
+    /// of a stall. With the injector disarmed the fast path is taken
+    /// unconditionally.
     fn grant(
         world: &mut KernelWorld,
         pid: KProcId,
         target: GrantTarget,
     ) -> Result<SegNo, AccessError> {
         let len = target.len_words.max(mks_hw::PAGE_WORDS);
-        let astx = SegControl::activate(&mut world.vm, target.uid, len);
+        let mut backoff = Backoff::new(
+            target.uid.0 ^ world.vm.machine.clock.now(),
+            BackoffPolicy::default(),
+        );
+        let astx = loop {
+            match SegControl::try_activate(&mut world.vm, target.uid, len) {
+                Ok(astx) => break astx,
+                Err(MechError::AstExhausted) => match backoff.next_delay() {
+                    Some(delay) => {
+                        world.vm.machine.clock.advance(delay);
+                        world.vm.machine.trace.counter_add("backoff.retries", 1);
+                    }
+                    None => {
+                        return Err(Self::overload_refusal(world, pid, "activate"));
+                    }
+                },
+                Err(e) => return Err(AccessError::Mech(e)),
+            }
+        };
         let (_, proc) = world.vm_and_proc_mut(pid);
         let segno = match &mut proc.kst {
             KstState::Kernel(k) => k.bind(target.uid, false),
@@ -221,6 +327,7 @@ impl Monitor {
         dir_segno: SegNo,
         name: &str,
     ) -> Result<SegNo, AccessError> {
+        Self::admit(world, pid, &format!("initiate {name}"))?;
         let trace = world.vm.machine.trace.clone();
         let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_segno");
         world.vm.machine.charge_gate_crossing();
@@ -231,12 +338,7 @@ impl Monitor {
             Ok(target) => Self::grant(world, pid, target),
             Err(e) => {
                 let who = world.proc(pid).user.clone();
-                // The SkewClock injection point: an armed plan can warp the
-                // timestamp the log sees, never the clock itself.
-                let at = world.vm.machine.clock.now();
-                let at = world.vm.machine.inject.warp_time(at);
-                world.log.append(
-                    at,
+                world.audit(
                     Some(who),
                     crate::syslog::AuditEvent::AccessDenied {
                         what: format!("initiate {name}"),
@@ -366,6 +468,7 @@ impl Monitor {
         brackets: RingBrackets,
         label: Label,
     ) -> Result<SegNo, AccessError> {
+        Self::admit(world, pid, &format!("create_segment {name}"))?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         // MLS: creating in a directory is a write to it.
         if world.cfg.mls {
@@ -380,7 +483,7 @@ impl Monitor {
             .map_err(AccessError::Fs)?;
         // Storage accounting: the first page is charged at creation; an
         // overflow undoes the creation entirely.
-        if let Err(e) = Self::charge_quota(world, dir_uid, 1) {
+        if let Err(e) = Self::charge_quota(world, pid, dir_uid, 1) {
             let _ = world.fs.delete_branch(dir_uid, name, &user);
             return Err(e);
         }
@@ -414,6 +517,7 @@ impl Monitor {
         pid: KProcId,
         dir_segno: SegNo,
     ) -> Result<QuotaCell, AccessError> {
+        Self::admit(world, pid, "quota_get")?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         if !world
@@ -440,6 +544,7 @@ impl Monitor {
         dir_segno: SegNo,
         limit_pages: u64,
     ) -> Result<(), AccessError> {
+        Self::admit(world, pid, "set_quota")?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         if !world
@@ -471,11 +576,38 @@ impl Monitor {
 
     /// Charges `pages` against the cell governing `dir_uid`; refuses with
     /// the quota error on overflow (nothing is half-charged).
+    ///
+    /// The `QuotaStorm` injection point lives here: an armed plan can make
+    /// the accounting cell transiently contended (many principals charging
+    /// at once), and the charge rides the bounded-backoff discipline —
+    /// a few deterministic jittered retries, then an audited overload
+    /// refusal attributed to `pid`. Never a stall, never a half-charge.
     fn charge_quota(
         world: &mut KernelWorld,
+        pid: KProcId,
         dir_uid: SegUid,
         pages: u64,
     ) -> Result<(), AccessError> {
+        let mut backoff = Backoff::new(
+            dir_uid.0 ^ world.vm.machine.clock.now(),
+            BackoffPolicy::default(),
+        );
+        while world
+            .vm
+            .machine
+            .inject
+            .fires(mks_hw::InjectKind::QuotaStorm)
+            .is_some()
+        {
+            world.vm.machine.trace.counter_add("inject.quota_storms", 1);
+            match backoff.next_delay() {
+                Some(delay) => {
+                    world.vm.machine.clock.advance(delay);
+                    world.vm.machine.trace.counter_add("backoff.retries", 1);
+                }
+                None => return Err(Self::overload_refusal(world, pid, "charge_quota")),
+            }
+        }
         let account = Self::quota_account(world, dir_uid).ok_or(AccessError::NoInfo)?;
         let mut cell = match world.fs.quota_cell(account) {
             Ok(Some(q)) => q,
@@ -506,6 +638,7 @@ impl Monitor {
         dir_segno: SegNo,
         name: &str,
     ) -> Result<(), AccessError> {
+        Self::admit(world, pid, &format!("delete_segment {name}"))?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         let branch = world
@@ -545,6 +678,7 @@ impl Monitor {
         name: &str,
         label: Label,
     ) -> Result<SegNo, AccessError> {
+        Self::admit(world, pid, &format!("create_directory {name}"))?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         if world.cfg.mls {
             let subj = world.proc(pid).label;
@@ -571,6 +705,7 @@ impl Monitor {
         pid: KProcId,
         dir_segno: SegNo,
     ) -> Result<Vec<String>, AccessError> {
+        Self::admit(world, pid, "list_dir")?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let proc = world.proc(pid);
         if world.cfg.mls {
@@ -597,6 +732,7 @@ impl Monitor {
         dir_segno: SegNo,
         name: &str,
     ) -> Result<BranchStatus, AccessError> {
+        Self::admit(world, pid, &format!("status {name}"))?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let proc = world.proc(pid);
         if world.cfg.mls {
@@ -645,6 +781,7 @@ impl Monitor {
         name: &str,
         new_acl: Acl<AclMode>,
     ) -> Result<(), AccessError> {
+        Self::admit(world, pid, &format!("set_segment_acl {name}"))?;
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         world
@@ -717,11 +854,27 @@ impl Monitor {
     }
 
     /// Services directed faults transparently, then performs the access.
+    ///
+    /// Page-fault service rides the bounded-backoff discipline: a frame
+    /// famine (injected or organic) is retried with deterministic jittered
+    /// delays instead of failing hard on the first refusal — eviction may
+    /// free a frame on the next attempt — and gives up with an audited
+    /// overload refusal once the retry budget (or the call's admission
+    /// `deadline`, when one was granted) is exhausted. Retrying is safe:
+    /// the famine path refuses *before* any transfer is consumed, so a
+    /// retry never double-applies a disk transfer (machine-checked by the
+    /// proptests in `tests/overload_resilience.rs`).
     fn access_with_fault_service<T>(
         world: &mut KernelWorld,
         pid: KProcId,
+        deadline: Option<Cycles>,
         mut op: impl FnMut(&mut KernelWorld, KProcId) -> Result<T, Fault>,
     ) -> Result<T, AccessError> {
+        // The retry discipline engages only when the resilience layer is
+        // in play (admission enabled or an injection plan armed); off that
+        // path a famine surfaces immediately, exactly as it always did.
+        let resilient = world.admission.is_enabled() || world.vm.machine.inject.is_armed();
+        let mut famine: Option<Backoff> = None;
         for _ in 0..4 {
             match op(world, pid) {
                 Ok(v) => return Ok(v),
@@ -735,13 +888,43 @@ impl Monitor {
                         .map(|e| e.uid)
                         .ok_or(AccessError::Fault(Fault::MissingPage { seg, page }))?
                     };
-                    let (vm, pager) = {
-                        let w = &mut *world;
-                        (&mut w.vm, &mut w.pager)
-                    };
-                    pager
-                        .handle_fault(vm, uid, page)
-                        .map_err(AccessError::Mech)?;
+                    loop {
+                        let (vm, pager) = {
+                            let w = &mut *world;
+                            (&mut w.vm, &mut w.pager)
+                        };
+                        match pager.handle_fault(vm, uid, page) {
+                            Ok(_) => break,
+                            Err(MechError::NoFreeFrame) if resilient => {
+                                if let Some(dl) = deadline {
+                                    if world.vm.machine.clock.now() > dl {
+                                        return Err(Self::overload_refusal(
+                                            world,
+                                            pid,
+                                            "page fault (deadline)",
+                                        ));
+                                    }
+                                }
+                                let b = famine.get_or_insert_with(|| {
+                                    Backoff::new(uid.0 ^ page as u64, BackoffPolicy::default())
+                                });
+                                match b.next_delay() {
+                                    Some(delay) => {
+                                        world.vm.machine.clock.advance(delay);
+                                        world.vm.machine.trace.counter_add("backoff.retries", 1);
+                                    }
+                                    None => {
+                                        return Err(Self::overload_refusal(
+                                            world,
+                                            pid,
+                                            "page fault (frame famine)",
+                                        ));
+                                    }
+                                }
+                            }
+                            Err(e) => return Err(AccessError::Mech(e)),
+                        }
+                    }
                 }
                 Err(f) => return Err(AccessError::Fault(f)),
             }
@@ -756,7 +939,8 @@ impl Monitor {
         segno: SegNo,
         offset: usize,
     ) -> Result<Word, AccessError> {
-        Self::access_with_fault_service(world, pid, |w, pid| {
+        let deadline = Self::admit(world, pid, "read")?;
+        Self::access_with_fault_service(world, pid, deadline, |w, pid| {
             let (vm, proc) = w.vm_and_proc_mut(pid);
             vm.machine.read(&proc.aspace, proc.ring, segno, offset)
         })
@@ -770,7 +954,8 @@ impl Monitor {
         offset: usize,
         value: Word,
     ) -> Result<(), AccessError> {
-        Self::access_with_fault_service(world, pid, |w, pid| {
+        let deadline = Self::admit(world, pid, "write")?;
+        Self::access_with_fault_service(world, pid, deadline, |w, pid| {
             let (vm, proc) = w.vm_and_proc_mut(pid);
             vm.machine
                 .write(&proc.aspace, proc.ring, segno, offset, value)
@@ -801,6 +986,7 @@ impl Monitor {
         gate: &str,
         entry: &str,
     ) -> Result<u8, AccessError> {
+        Self::admit(world, pid, &format!("call {gate}${entry}"))?;
         let ring = world.proc(pid).ring;
         let Some(g) = world.gates.gate(gate) else {
             Self::verdict(world, pid, &format!("call {gate}${entry}"), false);
@@ -812,10 +998,7 @@ impl Monitor {
         }
         if ring > g.callable_from {
             let who = world.proc(pid).user.clone();
-            let at = world.vm.machine.clock.now();
-            let at = world.vm.machine.inject.warp_time(at);
-            world.log.append(
-                at,
+            world.audit(
                 Some(who),
                 crate::syslog::AuditEvent::GateRefused {
                     target: format!("{gate}${entry}"),

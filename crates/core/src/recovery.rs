@@ -69,6 +69,11 @@ pub struct RecoveryOpts {
     pub bulk_records: usize,
     /// Deliberate recovery defect, if any.
     pub mutation: SalvageMutation,
+    /// Run the workload with admission control **enabled** (default
+    /// pressure config, mixed priority classes), so a crash can land while
+    /// the kernel is actively shedding load. The five invariants must hold
+    /// either way — overload is not an excuse to come back insecure.
+    pub overload: bool,
 }
 
 impl Default for RecoveryOpts {
@@ -78,6 +83,7 @@ impl Default for RecoveryOpts {
             frames: 16,
             bulk_records: 64,
             mutation: SalvageMutation::None,
+            overload: false,
         }
     }
 }
@@ -191,7 +197,21 @@ pub fn run_plan(plan: &FaultPlan, opts: RecoveryOpts) -> RecoveryOutcome {
         sys.tc.tick(&mut sys.world);
     }
 
-    // Setup is done; everything from here on runs under the plan.
+    // Setup is done; everything from here on runs under the plan. In
+    // overload mode the admission layer is armed as well, with the admin
+    // above the stranger in the shed order — so the plan's exhaustion
+    // events land on a kernel that is actively prioritizing.
+    if opts.overload {
+        sys.world
+            .admission
+            .enable(crate::pressure::PressureConfig::default());
+        sys.world
+            .admission
+            .set_priority(admin, crate::pressure::Priority::Interactive);
+        sys.world
+            .admission
+            .set_priority(stranger, crate::pressure::Priority::Background);
+    }
     inject.arm(plan);
 
     // The workload proper. Operations on a damaged hierarchy may be

@@ -38,6 +38,16 @@ pub enum AuditEvent {
         /// Description.
         what: String,
     },
+    /// Admission control shed a request under resource pressure, or a
+    /// bounded retry path gave up. Not a denial — the caller was entitled
+    /// to the operation; the kernel refused it *now* to protect its
+    /// invariants. Audited so degradation is reviewable after the fact.
+    Overload {
+        /// The operation that was shed.
+        what: String,
+        /// Peak pressure (permille) at refusal time.
+        pressure_permille: u32,
+    },
 }
 
 /// One log record.

@@ -27,7 +27,8 @@ use crate::auth::AuthDb;
 use crate::config::KernelConfig;
 use crate::flaws::FlawRegistry;
 use crate::gatetable::GateTable;
-use crate::syslog::AuditLog;
+use crate::pressure::AdmissionControl;
+use crate::syslog::{AuditEvent, AuditLog};
 
 /// Kernel process identifier (distinct from the traffic controller's
 /// scheduling identifier; a kernel process may or may not be scheduled).
@@ -86,6 +87,10 @@ pub struct KernelWorld {
     pub flaws: FlawRegistry,
     /// The kernel audit log (append-only).
     pub log: AuditLog,
+    /// Overload-resilience state: pressure tuning, per-process priority
+    /// classes, and the admission decision log. Disabled by default —
+    /// and then a strict no-op on every kernel path.
+    pub admission: AdmissionControl,
     procs: HashMap<KProcId, ProcState>,
     next_pid: u32,
 }
@@ -168,6 +173,7 @@ impl System {
             legacy_linker: LegacyLinker::new(),
             flaws: FlawRegistry::new(),
             log: AuditLog::new(),
+            admission: AdmissionControl::disabled(),
             procs: HashMap::new(),
             next_pid: 1,
         };
@@ -231,6 +237,34 @@ impl KernelWorld {
     /// Number of live processes.
     pub fn nr_processes(&self) -> usize {
         self.procs.len()
+    }
+
+    /// Appends a security-relevant record to the kernel audit log — the
+    /// single choke point every kernel-side append goes through.
+    ///
+    /// Two fault-injection sites live here: `SkewClock` may warp the
+    /// timestamp the log sees (never the clock itself), and `AuditFlood`
+    /// stuffs the log with synthetic lifecycle noise *before* the real
+    /// record, modeling a review log drowning under event storms. The real
+    /// record is always appended — flooding delays review, it never erases
+    /// evidence.
+    pub fn audit(&mut self, who: Option<UserId>, event: AuditEvent) -> u64 {
+        let at = self.vm.machine.clock.now();
+        let at = self.vm.machine.inject.warp_time(at);
+        if let Some(detail) = self.vm.machine.inject.fires(mks_hw::InjectKind::AuditFlood) {
+            let noise = 1 + detail % 8;
+            self.vm.machine.trace.counter_add("inject.audit_floods", 1);
+            for i in 0..noise {
+                self.log.append(
+                    at,
+                    None,
+                    AuditEvent::Lifecycle {
+                        what: format!("flood noise {i}"),
+                    },
+                );
+            }
+        }
+        self.log.append(at, who, event)
     }
 
     /// Binds the root directory into `pid`'s KST and returns its segment

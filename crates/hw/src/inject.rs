@@ -22,6 +22,10 @@
 //! | [`InjectKind::CorruptLabel`] | `mks-fs`    | label write in `create_*`             |
 //! | [`InjectKind::SkewClock`]    | `mks-kernel`| audit-log timestamp read              |
 //! | [`InjectKind::Crash`]        | `mks-kernel`| operation boundary in the recovery driver |
+//! | [`InjectKind::FrameFamine`]  | `mks-vm`    | free-frame check in `load_page`       |
+//! | [`InjectKind::AstExhaust`]   | `mks-vm`    | AST activation in the pager           |
+//! | [`InjectKind::QuotaStorm`]   | `mks-kernel`| quota charge in the monitor           |
+//! | [`InjectKind::AuditFlood`]   | `mks-kernel`| audit-log append (burst of records)   |
 //!
 //! A site calls [`InjectorHandle::fires`] every time it is reached; the
 //! injector counts hits per kind and fires exactly the hits a plan's
@@ -69,10 +73,32 @@ pub enum InjectKind {
     /// The whole system is killed at an operation boundary; recovery must
     /// re-boot through init and the salvager (`mks-kernel::recovery`).
     Crash = 6,
+    /// The page-frame pool reports itself empty even though frames remain
+    /// (`mks-vm::mechanism::load_page`). Models a transient frame famine
+    /// that admission control and bounded retry must absorb.
+    FrameFamine = 7,
+    /// An AST activation is refused as if the active segment table were
+    /// full (`mks-vm` pager). Transient: the next attempt may succeed.
+    AstExhaust = 8,
+    /// A quota charge is refused as if the governing cell were exhausted
+    /// (`mks-kernel::monitor::charge_quota`). Models a quota storm from a
+    /// hostile subtree.
+    QuotaStorm = 9,
+    /// A burst of synthetic records is appended to the audit log
+    /// (`mks-kernel::syslog`), consuming audit headroom and driving the
+    /// audit-pressure gauge up.
+    AuditFlood = 10,
 }
 
 /// Number of distinct [`InjectKind`]s (site classes).
-pub const NR_INJECT_KINDS: usize = 7;
+pub const NR_INJECT_KINDS: usize = 11;
+
+/// Number of the original (pre-exhaustion) kinds. [`FaultPlan::generate`]
+/// draws only from these so that every seeded corruption plan stays
+/// byte-identical to the schedules the E15 results were pinned against;
+/// the exhaustion kinds are reached via [`FaultPlan::generate_overload`]
+/// and hand-built plans.
+pub const NR_LEGACY_KINDS: usize = 7;
 
 impl InjectKind {
     /// Every kind, in discriminant order.
@@ -83,6 +109,33 @@ impl InjectKind {
         InjectKind::TearBranch,
         InjectKind::CorruptLabel,
         InjectKind::SkewClock,
+        InjectKind::Crash,
+        InjectKind::FrameFamine,
+        InjectKind::AstExhaust,
+        InjectKind::QuotaStorm,
+        InjectKind::AuditFlood,
+    ];
+
+    /// The original seven corruption kinds, in discriminant order — the
+    /// draw set of [`FaultPlan::generate`].
+    pub const LEGACY: [InjectKind; NR_LEGACY_KINDS] = [
+        InjectKind::DropWakeup,
+        InjectKind::SlowDisk,
+        InjectKind::FailDisk,
+        InjectKind::TearBranch,
+        InjectKind::CorruptLabel,
+        InjectKind::SkewClock,
+        InjectKind::Crash,
+    ];
+
+    /// The four resource-exhaustion kinds plus the crash boundary — the
+    /// draw set of [`FaultPlan::generate_overload`]. Crash rides along so
+    /// overload sweeps also exercise mid-overload recovery.
+    pub const OVERLOAD: [InjectKind; 5] = [
+        InjectKind::FrameFamine,
+        InjectKind::AstExhaust,
+        InjectKind::QuotaStorm,
+        InjectKind::AuditFlood,
         InjectKind::Crash,
     ];
 
@@ -96,6 +149,28 @@ impl InjectKind {
             InjectKind::CorruptLabel => "corrupt-label",
             InjectKind::SkewClock => "skew-clock",
             InjectKind::Crash => "crash",
+            InjectKind::FrameFamine => "frame-famine",
+            InjectKind::AstExhaust => "ast-exhaust",
+            InjectKind::QuotaStorm => "quota-storm",
+            InjectKind::AuditFlood => "audit-flood",
+        }
+    }
+
+    /// The variant identifier as written in Rust source, for
+    /// [`FaultPlan::to_regression_snippet`].
+    pub fn variant_name(self) -> &'static str {
+        match self {
+            InjectKind::DropWakeup => "DropWakeup",
+            InjectKind::SlowDisk => "SlowDisk",
+            InjectKind::FailDisk => "FailDisk",
+            InjectKind::TearBranch => "TearBranch",
+            InjectKind::CorruptLabel => "CorruptLabel",
+            InjectKind::SkewClock => "SkewClock",
+            InjectKind::Crash => "Crash",
+            InjectKind::FrameFamine => "FrameFamine",
+            InjectKind::AstExhaust => "AstExhaust",
+            InjectKind::QuotaStorm => "QuotaStorm",
+            InjectKind::AuditFlood => "AuditFlood",
         }
     }
 
@@ -134,14 +209,38 @@ const HIT_HORIZON: u64 = 48;
 
 impl FaultPlan {
     /// Generates the plan for `seed`: 2–10 events, kinds uniform over
-    /// [`InjectKind::ALL`], hit indices below a small horizon, details
-    /// drawn from the full `u64` range. Pure: same seed, same plan.
+    /// [`InjectKind::LEGACY`], hit indices below a small horizon, details
+    /// drawn from the full `u64` range. Pure: same seed, same plan — and
+    /// byte-identical to the schedules generated before the exhaustion
+    /// kinds existed (the draw set is pinned to the legacy seven).
     pub fn generate(seed: u64) -> FaultPlan {
         let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
         let count = 2 + rng.below(9);
         let mut events: Vec<FaultEvent> = Vec::new();
         for _ in 0..count {
-            let kind = InjectKind::ALL[rng.below(NR_INJECT_KINDS as u64) as usize];
+            let kind = InjectKind::LEGACY[rng.below(NR_LEGACY_KINDS as u64) as usize];
+            let nth = rng.below(HIT_HORIZON);
+            let detail = rng.next_u64();
+            if !events.iter().any(|e| e.kind == kind && e.nth == nth) {
+                events.push(FaultEvent { kind, nth, detail });
+            }
+        }
+        events.sort_by_key(|e| (e.kind, e.nth));
+        FaultPlan { seed, events }
+    }
+
+    /// Generates an *overload* plan for `seed`: 4–14 events drawn from
+    /// [`InjectKind::OVERLOAD`] (the four exhaustion kinds plus the crash
+    /// boundary), so a sweep over seeds deterministically drives frame
+    /// famines, AST exhaustion, quota storms, audit floods, and
+    /// mid-overload crashes. Pure: same seed, same plan. Disjoint from
+    /// [`FaultPlan::generate`]'s schedule space by construction.
+    pub fn generate_overload(seed: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed ^ 0xd1b5_4a32_d192_ed03);
+        let count = 4 + rng.below(11);
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for _ in 0..count {
+            let kind = InjectKind::OVERLOAD[rng.below(InjectKind::OVERLOAD.len() as u64) as usize];
             let nth = rng.below(HIT_HORIZON);
             let detail = rng.next_u64();
             if !events.iter().any(|e| e.kind == kind && e.nth == nth) {
@@ -186,6 +285,25 @@ impl FaultPlan {
             })
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// Renders the plan as a ready-to-paste Rust regression-test snippet:
+    /// a `FaultPlan::from_events(...)` expression reproducing exactly this
+    /// schedule. The shrinker's failure reports embed this so a sweep
+    /// failure converts to a pinned test by copy-paste (see
+    /// `docs/FAULTS.md`, "Writing a regression from a failure").
+    pub fn to_regression_snippet(&self) -> String {
+        let mut out = String::from("let plan = FaultPlan::from_events(vec![\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "    FaultEvent {{ kind: InjectKind::{}, nth: {}, detail: {:#x} }},\n",
+                e.kind.variant_name(),
+                e.nth,
+                e.detail
+            ));
+        }
+        out.push_str("]);\nassert!(run_plan(&plan, RecoveryOpts::default()).ok());\n");
+        out
     }
 }
 
@@ -371,6 +489,46 @@ mod tests {
             .map(|s| format!("{:?}", FaultPlan::generate(s).events))
             .collect();
         assert!(distinct.len() > 150, "seeds produce distinct schedules");
+    }
+
+    #[test]
+    fn legacy_generation_never_draws_exhaustion_kinds() {
+        // The committed E15 results pin `generate`'s schedules; the new
+        // kinds must be unreachable from it.
+        for seed in 0..500 {
+            for e in FaultPlan::generate(seed).events {
+                assert!(
+                    InjectKind::LEGACY.contains(&e.kind),
+                    "seed {seed} drew {:?}",
+                    e.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overload_generation_is_pure_and_draws_every_exhaustion_kind() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let p = FaultPlan::generate_overload(seed);
+            assert_eq!(p, FaultPlan::generate_overload(seed));
+            for e in p.events {
+                assert!(InjectKind::OVERLOAD.contains(&e.kind));
+                kinds.insert(e.kind);
+            }
+        }
+        assert_eq!(kinds.len(), InjectKind::OVERLOAD.len(), "{kinds:?}");
+    }
+
+    #[test]
+    fn regression_snippet_round_trips_through_from_events() {
+        let plan = FaultPlan::generate_overload(99);
+        let snippet = plan.to_regression_snippet();
+        assert!(snippet.contains("FaultPlan::from_events"));
+        for e in &plan.events {
+            assert!(snippet.contains(e.kind.variant_name()));
+            assert!(snippet.contains(&format!("nth: {}", e.nth)));
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! above (`mks-vm`, `mks-fs`, `mks-kernel`) decide what the faults mean.
 
 pub mod ast;
+pub mod backoff;
 pub mod clock;
 pub mod cost;
 pub mod fault;
@@ -38,12 +39,14 @@ pub mod space;
 pub mod word;
 
 pub use ast::{Ast, AstIndex, PageState, PageTable, Ptw};
+pub use backoff::{Backoff, BackoffPolicy};
 pub use clock::{Clock, Cycles};
 pub use cost::{CostModel, CpuModel};
 pub use fault::Fault;
 pub use gate::{EntryIndex, GateDef};
 pub use inject::{
     shrink_plan, FaultEvent, FaultPlan, FiredFault, InjectKind, InjectorHandle, SplitMix64,
+    NR_INJECT_KINDS, NR_LEGACY_KINDS,
 };
 pub use machine::{AccessType, CallOutcome, Machine};
 pub use mem::{FrameId, PhysMem, PAGE_WORDS};

@@ -113,6 +113,9 @@ pub struct TrafficController<C> {
     vp_ready: VecDeque<VpIndex>,
     events: EventTable<Waiter>,
     stats: TcStats,
+    /// Drops already published to the metrics registry (so the
+    /// `tc.wakeups_dropped` counter is a delta feed, not a re-count).
+    published_drops: u64,
 }
 
 impl<C: HasMachine> TrafficController<C> {
@@ -129,6 +132,7 @@ impl<C: HasMachine> TrafficController<C> {
             vp_ready: VecDeque::new(),
             events: EventTable::new(),
             stats: TcStats::default(),
+            published_drops: 0,
         }
     }
 
@@ -472,6 +476,7 @@ impl<C: HasMachine> TrafficController<C> {
     ///
     /// Returns `true` if any job ran.
     pub fn tick(&mut self, ctx: &mut C) -> bool {
+        self.publish_metrics(ctx);
         self.bind_processes();
         let mut ran = false;
         for _ in 0..self.cfg.nr_cpus {
@@ -499,6 +504,24 @@ impl<C: HasMachine> TrafficController<C> {
             }
         }
         ran
+    }
+
+    /// Publishes scheduler health to the flight recorder once per tick:
+    /// the binding census as `tc.binding.*` distributions and any
+    /// not-yet-published wakeup drops as a `tc.wakeups_dropped` counter
+    /// delta. Everything lands in the metrics registry, so degradation is
+    /// observable through `hcs_$metering_get` like every other signal.
+    fn publish_metrics(&mut self, ctx: &mut C) {
+        let (dedicated, bound, free) = self.binding_census();
+        let m = ctx.machine();
+        m.trace.observe("tc.binding.dedicated", dedicated as u64);
+        m.trace.observe("tc.binding.bound", bound as u64);
+        m.trace.observe("tc.binding.free", free as u64);
+        let unpublished = self.stats.wakeups_dropped - self.published_drops;
+        if unpublished > 0 {
+            m.trace.counter_add("tc.wakeups_dropped", unpublished);
+            self.published_drops = self.stats.wakeups_dropped;
+        }
     }
 
     /// Runs dispatch rounds until the system is quiescent (no ready work)

@@ -56,6 +56,9 @@ pub enum MechError {
     NoFreeFrame,
     /// The bulk store has no free record for a write-back.
     BulkFull,
+    /// The active segment table has no free slot (injected exhaustion; the
+    /// simulated AST is otherwise unbounded).
+    AstExhausted,
     /// The named page has no copy in the bulk store.
     NotInBulk(SegUid, usize),
 }
@@ -69,6 +72,7 @@ impl core::fmt::Display for MechError {
             MechError::AlreadyResident(u, p) => write!(f, "page {p} of {u:?} already resident"),
             MechError::NoFreeFrame => write!(f, "no free primary frame"),
             MechError::BulkFull => write!(f, "bulk store full"),
+            MechError::AstExhausted => write!(f, "active segment table exhausted"),
             MechError::NotInBulk(u, p) => write!(f, "page {p} of {u:?} not in bulk store"),
         }
     }
@@ -220,6 +224,18 @@ pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, M
     }
     if resident_index(w, uid, page).is_some() {
         return Err(MechError::AlreadyResident(uid, page));
+    }
+    // The `FrameFamine` injection point: an armed plan can make the frame
+    // pool *appear* empty for this load, forcing the famine path exactly
+    // where a real memory-exhausted system would hit it. Nothing is
+    // consumed — a retry after the event sees the true pool.
+    if w.machine
+        .inject
+        .fires(mks_hw::InjectKind::FrameFamine)
+        .is_some()
+    {
+        w.machine.trace.counter_add("inject.frame_famines", 1);
+        return Err(MechError::NoFreeFrame);
     }
     // Check frame availability *before* consuming anything.
     if w.free_frames.is_empty() {

@@ -37,6 +37,33 @@ impl SegControl {
         }
     }
 
+    /// Fallible activation: like [`SegControl::activate`], but consults the
+    /// `AstExhaust` injection point first — an armed plan can make the
+    /// (otherwise unbounded) simulated AST behave as a full table, so
+    /// overload experiments exercise the exhaustion path deterministically.
+    /// A segment that is *already* active never fails: re-finding an
+    /// existing slot allocates nothing.
+    ///
+    /// # Errors
+    /// [`MechError::AstExhausted`] when the injected table-full event fires
+    /// on a fresh activation.
+    pub fn try_activate(
+        w: &mut VmWorld,
+        uid: SegUid,
+        len_words: usize,
+    ) -> Result<AstIndex, MechError> {
+        if w.machine.ast.find(uid).is_none()
+            && w.machine
+                .inject
+                .fires(mks_hw::InjectKind::AstExhaust)
+                .is_some()
+        {
+            w.machine.trace.counter_add("inject.ast_exhausts", 1);
+            return Err(MechError::AstExhausted);
+        }
+        Ok(Self::activate(w, uid, len_words))
+    }
+
     /// Deactivates `uid`, flushing every resident page to the lower levels
     /// first (cascading bulk→disk moves as needed).
     ///

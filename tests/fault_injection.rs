@@ -13,8 +13,16 @@ use mks_hw::{shrink_plan, FaultEvent, FaultPlan, InjectKind};
 use mks_kernel::recovery::{run_plan, run_seed, RecoveryOpts, SalvageMutation};
 use proptest::prelude::*;
 
-/// The pinned sweep: this many seeds on every `cargo test`.
-const SWEEP_SEEDS: u64 = 1200;
+/// The pinned sweep: this many seeds on every `cargo test`, unless the
+/// `MKS_SWEEP_SEEDS` environment variable caps it (CI uses a smaller
+/// sweep in wall-time-bounded jobs; any seed that fails at 1200 also
+/// fails at whatever prefix includes it).
+fn sweep_seeds() -> u64 {
+    std::env::var("MKS_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1200)
+}
 
 /// On a violation, shrink to the minimal reproducing schedule before
 /// failing — the report names the exact events that matter.
@@ -26,20 +34,24 @@ fn check_seed(seed: u64, opts: RecoveryOpts) -> mks_kernel::recovery::RecoveryOu
     }
     let minimal = shrink_plan(&plan, |p| !run_plan(p, opts).ok());
     panic!(
-        "seed {seed:#x} violated recovery invariants: {:?}\nminimal reproducing schedule:\n{}",
+        "seed {seed:#x} violated recovery invariants: {:?}\n\
+         minimal reproducing schedule:\n{}\n\
+         ready-to-paste regression plan:\n{}",
         out.violations,
-        minimal.render()
+        minimal.render(),
+        minimal.to_regression_snippet()
     );
 }
 
 #[test]
 fn a_thousand_seeded_plans_hold_every_invariant() {
+    let sweep = sweep_seeds();
     let opts = RecoveryOpts::default();
     let mut crashes = 0u64;
     let mut faults = 0usize;
     let mut problems = 0usize;
     let mut kinds = std::collections::BTreeSet::new();
-    for seed in 0..SWEEP_SEEDS {
+    for seed in 0..sweep {
         let out = check_seed(seed, opts);
         crashes += u64::from(out.crashed);
         faults += out.fired.len();
@@ -49,12 +61,12 @@ fn a_thousand_seeded_plans_hold_every_invariant() {
     // The sweep must be exercising the machinery, not idling: plenty of
     // mid-workload kills, plenty of delivered faults, real damage, and a
     // spread of repair arms.
-    assert!(crashes > SWEEP_SEEDS / 4, "only {crashes} crashes");
+    assert!(crashes > sweep / 4, "only {crashes} crashes");
+    assert!(faults as u64 > sweep / 2, "only {faults} faults fired");
     assert!(
-        faults as u64 > SWEEP_SEEDS / 2,
-        "only {faults} faults fired"
+        problems as u64 > sweep / 60,
+        "only {problems} hierarchy problems produced"
     );
-    assert!(problems > 20, "only {problems} hierarchy problems produced");
     assert!(kinds.len() >= 6, "only {kinds:?} repair arms reached");
 }
 
