@@ -1,0 +1,6 @@
+//! E17 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e17_observatory`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e17_observatory::run());
+}

@@ -80,6 +80,7 @@ fn build(cfg: KernelConfig, cpu: CpuModel, depth: usize) -> (System, mks_kernel:
             frames: 64,
             bulk_records: 256,
             cpu,
+            ..SystemSize::default()
         },
     );
     let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);

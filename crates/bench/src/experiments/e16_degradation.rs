@@ -120,6 +120,7 @@ fn run_rung(principals: usize) -> Rung {
             frames: 32,
             bulk_records: 64,
             cpu: mks_hw::CpuModel::H6180,
+            ..SystemSize::default()
         },
     );
     // Setup runs before admission is enabled (the administrator provisions

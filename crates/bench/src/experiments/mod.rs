@@ -1,7 +1,7 @@
 //! The experiment library: every `exp_*` binary's measurement logic as a
 //! callable function.
 //!
-//! Each submodule owns one experiment (E1–E16, A1, A3, A4) and exposes
+//! Each submodule owns one experiment (E1–E17, A1, A3, A4) and exposes
 //!
 //! * `measure()` — runs the workload and returns a plain-data measurement
 //!   struct (no printing, no process exit, no panics on claim failure);
@@ -32,6 +32,7 @@ pub mod e13_translation_validation;
 pub mod e14_kernel_size;
 pub mod e15_recovery;
 pub mod e16_degradation;
+pub mod e17_observatory;
 pub mod e1_linker_gates;
 pub mod e2_kst_split;
 pub mod e3_entries;
@@ -177,6 +178,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e16_degradation::run,
     },
     Experiment {
+        id: "E17",
+        bin: "exp_e17_observatory",
+        title: "the kernel observatory: profiling, analytics, surveillance",
+        run: e17_observatory::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -267,12 +274,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_nineteen_experiments() {
-        assert_eq!(REGISTRY.len(), 19);
+    fn registry_covers_all_twenty_experiments() {
+        assert_eq!(REGISTRY.len(), 20);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19, "experiment ids are unique");
+        assert_eq!(ids.len(), 20, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

@@ -203,6 +203,30 @@ impl Monitor {
     /// Refuses an operation whose bounded retries ran out (or whose
     /// deadline passed): audits the give-up as an `Overload` record and
     /// counts it, so backpressure is reviewable, never silent.
+    /// Opens the profiled span for one gated operation. On close (any
+    /// exit path — the guard drops), the span's inclusive cycles land in
+    /// the `q.monitor.<op>.<class>` quantile sketch, where the class is
+    /// the caller's admission priority, with the calling principal riding
+    /// into the sketch's exemplar reservoir — so a tail latency in a
+    /// snapshot names who paid it.
+    #[must_use = "the profiled span closes when the guard drops"]
+    fn op_span(
+        world: &KernelWorld,
+        pid: KProcId,
+        layer: mks_trace::Layer,
+        label: &str,
+        op: &str,
+    ) -> mks_trace::SpanGuard {
+        let class = world.admission.priority_of(pid).name();
+        let principal = world.proc(pid).user.to_acl_string();
+        world.vm.machine.trace.span_profiled(
+            layer,
+            label,
+            &format!("q.monitor.{op}.{class}"),
+            Some(&principal),
+        )
+    }
+
     fn overload_refusal(world: &mut KernelWorld, pid: KProcId, what: &str) -> AccessError {
         let peak = read_pressure(world).peak();
         world.vm.machine.trace.counter_add("admission.overload", 1);
@@ -329,7 +353,13 @@ impl Monitor {
     ) -> Result<SegNo, AccessError> {
         Self::admit(world, pid, &format!("initiate {name}"))?;
         let trace = world.vm.machine.trace.clone();
-        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_segno");
+        let gate_span = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Hw,
+            "gate.initiate_segno",
+            "initiate",
+        );
         world.vm.machine.charge_gate_crossing();
         let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate");
         let result = Self::real_dir(world, pid, dir_segno)
@@ -363,7 +393,13 @@ impl Monitor {
         name: &str,
     ) -> SegNo {
         let trace = world.vm.machine.trace.clone();
-        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_dir_segno");
+        let gate_span = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Hw,
+            "gate.initiate_dir_segno",
+            "initiate_dir",
+        );
         world.vm.machine.charge_gate_crossing();
         let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate_dir");
         let (fs, proc) = world.fs_and_proc_mut(pid);
@@ -415,7 +451,13 @@ impl Monitor {
             NamingConfig::InKernel => {
                 // The legacy supervisor does the whole walk behind ONE gate.
                 let trace = world.vm.machine.trace.clone();
-                let gate_span = trace.span(mks_trace::Layer::Hw, "gate.initiate_path");
+                let gate_span = Self::op_span(
+                    world,
+                    pid,
+                    mks_trace::Layer::Hw,
+                    "gate.initiate_path",
+                    "initiate_path",
+                );
                 world.vm.machine.charge_gate_crossing();
                 let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.initiate_path");
                 let out = Self::initiate_path_in_kernel(world, pid, path);
@@ -469,6 +511,13 @@ impl Monitor {
         label: Label,
     ) -> Result<SegNo, AccessError> {
         Self::admit(world, pid, &format!("create_segment {name}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.create_segment",
+            "create_segment",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         // MLS: creating in a directory is a write to it.
         if world.cfg.mls {
@@ -518,6 +567,13 @@ impl Monitor {
         dir_segno: SegNo,
     ) -> Result<QuotaCell, AccessError> {
         Self::admit(world, pid, "quota_get")?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.quota_get",
+            "quota_get",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         if !world
@@ -545,6 +601,13 @@ impl Monitor {
         limit_pages: u64,
     ) -> Result<(), AccessError> {
         Self::admit(world, pid, "set_quota")?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.set_quota",
+            "set_quota",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         if !world
@@ -639,6 +702,13 @@ impl Monitor {
         name: &str,
     ) -> Result<(), AccessError> {
         Self::admit(world, pid, &format!("delete_segment {name}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.delete_segment",
+            "delete_segment",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         let branch = world
@@ -679,6 +749,13 @@ impl Monitor {
         label: Label,
     ) -> Result<SegNo, AccessError> {
         Self::admit(world, pid, &format!("create_directory {name}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.create_directory",
+            "create_directory",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         if world.cfg.mls {
             let subj = world.proc(pid).label;
@@ -706,6 +783,13 @@ impl Monitor {
         dir_segno: SegNo,
     ) -> Result<Vec<String>, AccessError> {
         Self::admit(world, pid, "list_dir")?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.list_dir",
+            "list_dir",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let proc = world.proc(pid);
         if world.cfg.mls {
@@ -733,6 +817,13 @@ impl Monitor {
         name: &str,
     ) -> Result<BranchStatus, AccessError> {
         Self::admit(world, pid, &format!("status {name}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.status",
+            "status",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let proc = world.proc(pid);
         if world.cfg.mls {
@@ -782,6 +873,13 @@ impl Monitor {
         new_acl: Acl<AclMode>,
     ) -> Result<(), AccessError> {
         Self::admit(world, pid, &format!("set_segment_acl {name}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.set_segment_acl",
+            "set_segment_acl",
+        );
         let dir_uid = Self::real_dir(world, pid, dir_segno)?;
         let user = world.proc(pid).user.clone();
         world
@@ -828,7 +926,13 @@ impl Monitor {
         segno: SegNo,
     ) -> Result<(), AccessError> {
         let trace = world.vm.machine.trace.clone();
-        let gate_span = trace.span(mks_trace::Layer::Hw, "gate.terminate_segno");
+        let gate_span = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Hw,
+            "gate.terminate_segno",
+            "terminate",
+        );
         world.vm.machine.charge_gate_crossing();
         let mon_span = trace.span(mks_trace::Layer::Monitor, "monitor.terminate");
         let (_, proc) = world.vm_and_proc_mut(pid);
@@ -940,6 +1044,13 @@ impl Monitor {
         offset: usize,
     ) -> Result<Word, AccessError> {
         let deadline = Self::admit(world, pid, "read")?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.read",
+            "read",
+        );
         Self::access_with_fault_service(world, pid, deadline, |w, pid| {
             let (vm, proc) = w.vm_and_proc_mut(pid);
             vm.machine.read(&proc.aspace, proc.ring, segno, offset)
@@ -955,6 +1066,13 @@ impl Monitor {
         value: Word,
     ) -> Result<(), AccessError> {
         let deadline = Self::admit(world, pid, "write")?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.write",
+            "write",
+        );
         Self::access_with_fault_service(world, pid, deadline, |w, pid| {
             let (vm, proc) = w.vm_and_proc_mut(pid);
             vm.machine
@@ -987,6 +1105,13 @@ impl Monitor {
         entry: &str,
     ) -> Result<u8, AccessError> {
         Self::admit(world, pid, &format!("call {gate}${entry}"))?;
+        let _op = Self::op_span(
+            world,
+            pid,
+            mks_trace::Layer::Monitor,
+            "monitor.call_gate",
+            "call_gate",
+        );
         let ring = world.proc(pid).ring;
         let Some(g) = world.gates.gate(gate) else {
             Self::verdict(world, pid, &format!("call {gate}${entry}"), false);

@@ -162,6 +162,7 @@ pub fn run_plan(plan: &FaultPlan, opts: RecoveryOpts) -> RecoveryOutcome {
             frames: opts.frames,
             bulk_records: opts.bulk_records,
             cpu: CpuModel::H6180,
+            ..SystemSize::default()
         },
     );
     let inject = sys.world.vm.machine.inject.clone();

@@ -129,6 +129,9 @@ pub struct SystemSize {
     pub bulk_records: usize,
     /// Which CPU generation to build on.
     pub cpu: CpuModel,
+    /// Trace-ring capacity; `None` defers to the `MKS_TRACE_CAP`
+    /// environment override, then the `mks-trace` default.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for SystemSize {
@@ -137,6 +140,7 @@ impl Default for SystemSize {
             frames: 64,
             bulk_records: 256,
             cpu: CpuModel::H6180,
+            trace_capacity: None,
         }
     }
 }
@@ -154,7 +158,7 @@ impl System {
             nr_vprocs: 8,
             quantum: 8,
         });
-        let machine = Machine::new(size.cpu, size.frames);
+        let machine = Machine::with_trace_capacity(size.cpu, size.frames, size.trace_capacity);
         let vm = VmWorld::new(machine, size.bulk_records);
         let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);
         let mut fs = FileSystem::new(&admin_user());
@@ -264,6 +268,21 @@ impl KernelWorld {
                 );
             }
         }
+        // Observatory tap: the analytics see the same stream the log
+        // does, classified, at the same (possibly warped) timestamp.
+        let kind = match &event {
+            AuditEvent::AccessDenied { .. } => mks_trace::AuditKind::Denial,
+            AuditEvent::Overload { .. } => mks_trace::AuditKind::Overload,
+            AuditEvent::ProtectionFault { .. } | AuditEvent::GateRefused { .. } => {
+                mks_trace::AuditKind::Fault
+            }
+            _ => mks_trace::AuditKind::Other,
+        };
+        self.vm.machine.trace.ingest_audit(&mks_trace::AuditSample {
+            at,
+            principal: who.as_ref().map(|u| u.to_acl_string()),
+            kind,
+        });
         self.log.append(at, who, event)
     }
 

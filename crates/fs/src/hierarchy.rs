@@ -602,6 +602,15 @@ impl FileSystem {
     }
 
     pub(crate) fn raise_branch_label(&mut self, dir: SegUid, uid: SegUid, new_label: Label) {
+        // An upward label move is always a restrictive repair, never
+        // routine — record it so the observatory's surveillance sees it.
+        if let Some(t) = &self.trace {
+            t.event(
+                mks_trace::Layer::Fs,
+                mks_trace::EventKind::LabelRaise,
+                &format!("salvager raised label of uid {} to {new_label:?}", uid.0),
+            );
+        }
         if let Some(node) = self.nodes.get_mut(&dir) {
             for b in &mut node.branches {
                 if b.uid == uid {

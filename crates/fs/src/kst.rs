@@ -135,6 +135,12 @@ impl KernelKst {
         let hit = self.by_segno.get(&segno).copied();
         if let Some(t) = &self.trace {
             t.counter_add("fs.kst_lookups", 1);
+            t.observe_quantile(
+                "q.fs.kst_occupancy.all",
+                self.by_segno.len() as u64,
+                None,
+                "kst lookup",
+            );
             t.event(
                 Layer::Fs,
                 EventKind::KstLookup,

@@ -356,6 +356,14 @@ impl<C: HasMachine> TrafficController<C> {
         let m = ctx.machine();
         m.charge_processor_swap();
         m.trace.counter_add("procs.dispatches", 1);
+        // Ready-queue depth at dispatch: the scheduler's own latency
+        // signal — its tail says how far behind the run queue got.
+        m.trace.observe_quantile(
+            "q.procs.ready_depth.all",
+            self.vp_ready.len() as u64,
+            None,
+            &format!("vp {}", vp.0),
+        );
         m.trace.event(
             mks_trace::Layer::Procs,
             mks_trace::EventKind::Dispatch,

@@ -30,11 +30,15 @@
 //! borrows, so handles can be stored in `&self` contexts (the KST
 //! records lookups from `&self` methods, for example).
 
+pub mod analytics;
 pub mod clock;
 pub mod json;
 pub mod metrics;
+pub mod quantile;
 pub mod record;
 pub mod ring;
+pub mod sampler;
+pub mod sketch;
 pub mod snapshot;
 pub mod span;
 
@@ -42,11 +46,21 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
+pub use analytics::{
+    Alert, AlertKind, AuditKind, AuditSample, Observatory, ObservatoryConfig, ObservatoryTotals,
+    PrincipalRate,
+};
 pub use clock::{Clock, Cycles};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use quantile::{Exemplar, QuantileSketch};
 pub use record::{EventKind, Layer, TraceRecord};
 pub use ring::TraceRing;
-pub use snapshot::{HistogramSnapshot, LayerSnapshot, RingSnapshot, Snapshot};
+pub use sampler::{SamplePolicy, Sampler};
+pub use sketch::{HeavyHitter, TopK};
+pub use snapshot::{
+    HistogramSnapshot, LayerSnapshot, ObservatorySnapshot, QuantileSnapshot, RingSnapshot,
+    SamplerSnapshot, Snapshot,
+};
 pub use span::{LayerTotals, SpanId, SpanNode};
 
 use span::OpenSpan;
@@ -68,6 +82,27 @@ pub struct FlightRecorder {
     recent_roots: VecDeque<SpanNode>,
     layer_totals: BTreeMap<Layer, LayerTotals>,
     next_span: u64,
+    /// Events offered to the recorder (drives the sampling coin; unlike
+    /// the ring's `next_seq`, it counts sampled-out records too).
+    events_seen: u64,
+    /// Named quantile sketches (log-linear, exemplar-bearing) — the
+    /// second-stage aggregation alongside the log2 histograms.
+    quantiles: BTreeMap<String, QuantileSketch>,
+    /// Head-sampling policy for verbatim ring records.
+    sampler: Sampler,
+    /// Streaming audit analytics and anomaly surveillance.
+    observatory: Observatory,
+}
+
+/// FNV-1a over a name: the deterministic seed of its quantile sketch's
+/// exemplar reservoir.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl FlightRecorder {
@@ -80,6 +115,10 @@ impl FlightRecorder {
             recent_roots: VecDeque::new(),
             layer_totals: BTreeMap::new(),
             next_span: 0,
+            events_seen: 0,
+            quantiles: BTreeMap::new(),
+            sampler: Sampler::default(),
+            observatory: Observatory::default(),
         }
     }
 
@@ -93,10 +132,36 @@ impl FlightRecorder {
             span: self.open.last().map(|s| s.id),
             detail: detail.to_string(),
         };
-        self.ring.append(record);
+        // Analytics ingest every event *before* sampling: the sampler
+        // bounds the ring's verbatim memory, never the statistics.
+        self.observatory.ingest_record(&record);
+        let seq = self.events_seen;
+        self.events_seen += 1;
+        if self.sampler.admit(seq, &record) {
+            self.ring.append(record);
+        }
     }
 
-    fn span_begin(&mut self, layer: Layer, label: &str) -> SpanId {
+    fn observe_quantile(
+        &mut self,
+        name: &str,
+        value: Cycles,
+        principal: Option<&str>,
+        detail: &str,
+    ) {
+        let at = self.clock.now();
+        self.quantiles
+            .entry(name.to_string())
+            .or_insert_with(|| QuantileSketch::new(name_seed(name)))
+            .observe(value, at, principal, detail);
+    }
+
+    fn span_begin(
+        &mut self,
+        layer: Layer,
+        label: &str,
+        profile: Option<(String, Option<String>)>,
+    ) -> SpanId {
         let id = SpanId(self.next_span);
         self.next_span += 1;
         self.append(layer, EventKind::SpanBegin, None, label);
@@ -107,6 +172,7 @@ impl FlightRecorder {
             start: self.clock.now(),
             child_inclusive: 0,
             children: Vec::new(),
+            profile,
         });
         id
     }
@@ -133,6 +199,9 @@ impl FlightRecorder {
             };
             let (layer, label) = (node.layer, node.label.clone());
             self.append(layer, EventKind::SpanEnd, None, &label);
+            if let Some((sketch, principal)) = s.profile {
+                self.observe_quantile(&sketch, inclusive, principal.as_deref(), &label);
+            }
             match self.open.last_mut() {
                 Some(parent) => {
                     parent.child_inclusive += inclusive;
@@ -152,17 +221,37 @@ impl FlightRecorder {
     }
 
     fn snapshot(&self) -> Snapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .metrics
+            .counters()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        // Mirror recorder-internal loss accounting into the counter
+        // namespace, so bounded-history loss is visible in every
+        // snapshot instead of silent.
+        for (name, value) in [
+            ("ring.dropped", self.ring.dropped()),
+            ("sampler.kept", self.sampler.kept()),
+            ("sampler.dropped", self.sampler.dropped()),
+            ("sampler.forced", self.sampler.forced()),
+        ] {
+            match counters.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(pos) => counters[pos].1 = value,
+                Err(pos) => counters.insert(pos, (name.to_string(), value)),
+            }
+        }
         Snapshot {
             at: self.clock.now(),
-            counters: self
-                .metrics
-                .counters()
-                .map(|(n, v)| (n.to_string(), v))
-                .collect(),
+            counters,
             histograms: self
                 .metrics
                 .histograms()
                 .map(|(n, h)| HistogramSnapshot::capture(n, h))
+                .collect(),
+            quantiles: self
+                .quantiles
+                .iter()
+                .map(|(n, q)| QuantileSnapshot::capture(n, q))
                 .collect(),
             layers: Snapshot::layers_from_totals(&self.layer_totals),
             ring: RingSnapshot {
@@ -171,6 +260,8 @@ impl FlightRecorder {
                 dropped: self.ring.dropped(),
                 next_seq: self.ring.next_seq(),
             },
+            sampler: SamplerSnapshot::capture(&self.sampler),
+            observatory: ObservatorySnapshot::capture(&self.observatory),
         }
     }
 }
@@ -213,7 +304,31 @@ impl TraceHandle {
     /// [`SpanGuard::end`]). Spans nest by open order.
     #[must_use = "the span closes when the guard drops"]
     pub fn span(&self, layer: Layer, label: &str) -> SpanGuard {
-        let id = self.0.borrow_mut().span_begin(layer, label);
+        let id = self.0.borrow_mut().span_begin(layer, label, None);
+        SpanGuard {
+            handle: self.clone(),
+            id,
+        }
+    }
+
+    /// Opens a *profiled* span: on close, its inclusive cycles are
+    /// observed into the quantile sketch named `sketch` (convention:
+    /// `q.<layer>.<op>.<class>`), with `principal` riding into the
+    /// sketch's exemplar reservoir. Otherwise identical to
+    /// [`TraceHandle::span`].
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_profiled(
+        &self,
+        layer: Layer,
+        label: &str,
+        sketch: &str,
+        principal: Option<&str>,
+    ) -> SpanGuard {
+        let id = self.0.borrow_mut().span_begin(
+            layer,
+            label,
+            Some((sketch.to_string(), principal.map(str::to_string))),
+        );
         SpanGuard {
             handle: self.clone(),
             id,
@@ -233,6 +348,77 @@ impl TraceHandle {
     /// Records an observation in a named histogram.
     pub fn observe(&self, name: &str, value: Cycles) {
         self.0.borrow_mut().metrics.observe(name, value);
+    }
+
+    /// Records an observation in a named quantile sketch, with its
+    /// provenance — the principal and detail ride into the sketch's
+    /// exemplar reservoir when the value lands in the hot region.
+    ///
+    /// Convention: names read `q.<layer>.<op>.<class>` so snapshots key
+    /// latency per (layer, op-kind, priority class).
+    pub fn observe_quantile(
+        &self,
+        name: &str,
+        value: Cycles,
+        principal: Option<&str>,
+        detail: &str,
+    ) {
+        self.0
+            .borrow_mut()
+            .observe_quantile(name, value, principal, detail);
+    }
+
+    /// Estimated `permille`-quantile of a named sketch (zero if the
+    /// sketch is absent or empty). See [`QuantileSketch::quantile`] for
+    /// the error bound.
+    pub fn quantile(&self, name: &str, permille: u64) -> Cycles {
+        self.0
+            .borrow()
+            .quantiles
+            .get(name)
+            .map(|q| q.quantile(permille))
+            .unwrap_or(0)
+    }
+
+    /// A copy of a named quantile sketch, if it exists.
+    pub fn quantile_sketch(&self, name: &str) -> Option<QuantileSketch> {
+        self.0.borrow().quantiles.get(name).cloned()
+    }
+
+    /// Installs a head-sampling policy for verbatim ring records.
+    /// Aggregation (counters, quantiles, observatory) is unaffected;
+    /// security-critical records bypass sampling unconditionally.
+    pub fn set_sampling(&self, policy: SamplePolicy) {
+        self.0.borrow_mut().sampler.set_policy(policy);
+    }
+
+    /// Current sampler accounting.
+    pub fn sampler_stats(&self) -> SamplerSnapshot {
+        SamplerSnapshot::capture(&self.0.borrow().sampler)
+    }
+
+    /// Feeds one classified audit sample to the observatory. Called by
+    /// the kernel's audit choke point — the single place audit records
+    /// are appended — so the analytics see the same stream the log does.
+    pub fn ingest_audit(&self, sample: &AuditSample) {
+        self.0.borrow_mut().observatory.ingest_audit(sample);
+    }
+
+    /// Reconfigures the observatory's bounds and thresholds.
+    pub fn set_observatory_config(&self, cfg: ObservatoryConfig) {
+        self.0.borrow_mut().observatory.set_config(cfg);
+    }
+
+    /// Runs `f` with read access to the observatory (alerts, rates,
+    /// heavy hitters). There is no mutable counterpart: outside the
+    /// recorder, the observatory is read-only.
+    pub fn read_observatory<R>(&self, f: impl FnOnce(&Observatory) -> R) -> R {
+        f(&self.0.borrow().observatory)
+    }
+
+    /// The surveillance alert registry, oldest first (bounded copy).
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.0.borrow().observatory.alerts().to_vec()
     }
 
     /// Runs `f` with read access to the registry — the accessor views

@@ -24,8 +24,10 @@ pub enum Layer {
 }
 
 impl Layer {
-    /// Stable lower-case name, used in JSON snapshots.
-    pub fn as_str(self) -> &'static str {
+    /// The canonical lower-case name of the layer — the single source of
+    /// truth for every stringification (JSON snapshots, quantile keys,
+    /// `Display`) and for [`Layer::from_str_opt`].
+    pub fn name(self) -> &'static str {
         match self {
             Layer::Hw => "hw",
             Layer::Monitor => "monitor",
@@ -37,18 +39,17 @@ impl Layer {
         }
     }
 
-    /// Parses a name produced by [`Layer::as_str`].
+    /// Stable lower-case name, used in JSON snapshots (alias of
+    /// [`Layer::name`], kept for callers of the historical spelling).
+    pub fn as_str(self) -> &'static str {
+        self.name()
+    }
+
+    /// Parses a name produced by [`Layer::name`]. Inverts `name` by
+    /// construction: it searches [`Layer::ALL`] instead of repeating the
+    /// string table.
     pub fn from_str_opt(s: &str) -> Option<Layer> {
-        Some(match s {
-            "hw" => Layer::Hw,
-            "monitor" => Layer::Monitor,
-            "vm" => Layer::Vm,
-            "procs" => Layer::Procs,
-            "fs" => Layer::Fs,
-            "io" => Layer::Io,
-            "kernel" => Layer::Kernel,
-            _ => return None,
-        })
+        Layer::ALL.into_iter().find(|l| l.name() == s)
     }
 
     /// All layers, in snapshot order.
@@ -100,6 +101,10 @@ pub enum EventKind {
     SpanBegin,
     /// A span closed (bookkeeping record).
     SpanEnd,
+    /// A mandatory label moved upward (salvager restrictive repair) —
+    /// always anomalous in a healthy hierarchy, so the observatory's
+    /// surveillance treats every one as alert-worthy.
+    LabelRaise,
 }
 
 impl EventKind {
@@ -120,6 +125,7 @@ impl EventKind {
             EventKind::PageOp => "page_op",
             EventKind::SpanBegin => "span_begin",
             EventKind::SpanEnd => "span_end",
+            EventKind::LabelRaise => "label_raise",
         }
     }
 }

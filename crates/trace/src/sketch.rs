@@ -1,0 +1,172 @@
+//! Space-saving heavy-hitter sketch: who is noisiest, in bounded space.
+//!
+//! The observatory wants "the K noisiest principals" and "the hottest
+//! gates" out of streams whose key cardinality (E17: a million
+//! principals) dwarfs anything a map could hold. The *space-saving*
+//! algorithm (Metwally, Agrawal, El Abbadi 2005) keeps exactly
+//! `capacity` counters: a hit increments its counter; a miss evicts the
+//! current minimum and inherits its count, remembering that inherited
+//! amount as the entry's **error**. The classic guarantees follow:
+//!
+//! * every key with true frequency `> N / capacity` (N = stream length)
+//!   is present in the sketch;
+//! * for a surviving key, `count − error ≤ true ≤ count`, so each
+//!   reported count overestimates by at most `N / capacity`.
+//!
+//! Deterministic, allocation-bounded, and mergeable into snapshots —
+//! the right shape for a flight recorder that aggregates instead of
+//! remembering.
+
+/// One tracked key with its (over-)count and inherited error bound.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HeavyHitter {
+    /// The tracked key (principal name, gate name, …).
+    pub key: String,
+    /// Estimated occurrences: true count ≤ `count` ≤ true count + `error`.
+    pub count: u64,
+    /// Count inherited from the entry this key evicted.
+    pub error: u64,
+}
+
+/// Bounded top-K sketch over a string-keyed stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TopK {
+    entries: Vec<HeavyHitter>,
+    capacity: usize,
+    /// Total stream length seen (the `N` in the error bound).
+    seen: u64,
+}
+
+impl TopK {
+    /// An empty sketch tracking at most `capacity` keys (minimum 1).
+    pub fn new(capacity: usize) -> TopK {
+        TopK {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            seen: 0,
+        }
+    }
+
+    /// Rebuilds a sketch from snapshot parts.
+    pub fn from_parts(entries: Vec<HeavyHitter>, capacity: usize, seen: u64) -> TopK {
+        TopK {
+            entries,
+            capacity: capacity.max(1),
+            seen,
+        }
+    }
+
+    /// Records `weight` occurrences of `key`.
+    pub fn record(&mut self, key: &str, weight: u64) {
+        self.seen += weight;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.count += weight;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(HeavyHitter {
+                key: key.to_string(),
+                count: weight,
+                error: 0,
+            });
+            return;
+        }
+        // Space-saving eviction: the new key replaces the current
+        // minimum and inherits its count as error.
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by(|a, b| a.count.cmp(&b.count).then_with(|| b.key.cmp(&a.key)))
+            .expect("capacity ≥ 1");
+        *min = HeavyHitter {
+            key: key.to_string(),
+            count: min.count + weight,
+            error: min.count,
+        };
+    }
+
+    /// Stream length observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Tracked-key capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entries ranked by descending count (ties broken by key,
+    /// so output order is deterministic).
+    pub fn ranked(&self) -> Vec<HeavyHitter> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out
+    }
+
+    /// The estimated count for `key`, zero if untracked.
+    pub fn estimate(&self, key: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = TopK::new(8);
+        for _ in 0..5 {
+            s.record("a", 1);
+        }
+        for _ in 0..3 {
+            s.record("b", 1);
+        }
+        let r = s.ranked();
+        assert_eq!(r[0].key, "a");
+        assert_eq!(r[0].count, 5);
+        assert_eq!(r[0].error, 0);
+        assert_eq!(r[1].key, "b");
+        assert_eq!(r[1].count, 3);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_noise_and_counts_bound_truth() {
+        let mut s = TopK::new(8);
+        // Two genuinely heavy keys…
+        for i in 0..1000u64 {
+            s.record("heavy-1", 1);
+            if i % 2 == 0 {
+                s.record("heavy-2", 1);
+            }
+            // …drowned in 1000 distinct one-shot keys.
+            s.record(&format!("noise-{i}"), 1);
+        }
+        let bound = s.seen() / s.capacity() as u64;
+        let e1 = s.estimate("heavy-1");
+        let e2 = s.estimate("heavy-2");
+        assert!(e1 >= 1000, "heavy key never undercounted: {e1}");
+        assert!(e1 <= 1000 + bound, "overestimate bounded by N/k: {e1}");
+        assert!(e2 >= 500 && e2 <= 500 + bound);
+        // And both rank above the noise.
+        let ranked = s.ranked();
+        assert_eq!(ranked[0].key, "heavy-1");
+        assert_eq!(ranked[1].key, "heavy-2");
+    }
+
+    #[test]
+    fn eviction_is_deterministic() {
+        let run = || {
+            let mut s = TopK::new(2);
+            for k in ["x", "y", "z", "y", "w"] {
+                s.record(k, 1);
+            }
+            s.ranked()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -32,6 +32,9 @@ pub(crate) struct OpenSpan {
     pub child_inclusive: Cycles,
     /// Closed direct children, in completion order.
     pub children: Vec<SpanNode>,
+    /// Profiled spans feed their inclusive cycles into this quantile
+    /// sketch at close, with the principal riding into its exemplars.
+    pub profile: Option<(String, Option<String>)>,
 }
 
 /// A completed span, with its completed children.

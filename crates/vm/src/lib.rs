@@ -117,6 +117,12 @@ impl VmWorld {
         trace.counter_add(stats::keys::FAULTS, 1);
         trace.observe(stats::keys::FAULT_STEPS, u64::from(steps));
         trace.observe(stats::keys::FAULT_LATENCY, latency);
+        trace.observe_quantile(
+            "q.vm.fault_service.all",
+            latency,
+            None,
+            &format!("steps {steps}"),
+        );
         trace.event(
             mks_trace::Layer::Vm,
             mks_trace::EventKind::FaultService,

@@ -1,0 +1,243 @@
+//! Observatory integration tests: quantile accuracy under property
+//! streams, JSON round-trips of every observability snapshot section,
+//! and end-to-end surveillance through the kernel and its metering gate.
+//!
+//! The bench-side experiment (`exp_e17_observatory`) checks the same
+//! contract on one curated workload; these tests attack the pieces with
+//! randomized streams and pin the integration seams: storm → alert →
+//! gate export, quiet traffic → silence, sampling → thinner ring at an
+//! identical clock.
+
+use mks_fs::{Acl, AclMode, DirMode, FileSystem, UserId};
+use mks_hw::RingBrackets;
+use mks_kernel::world::{admin_user, System};
+use mks_kernel::{KernelConfig, Monitor};
+use mks_mls::Label;
+use mks_trace::quantile::SUBBUCKETS;
+use mks_trace::{AlertKind, QuantileSketch, SamplePolicy, Snapshot, TopK};
+use proptest::prelude::*;
+
+fn user(name: &str) -> UserId {
+    UserId::new(name, "Test", "a")
+}
+
+/// A system with one home directory, its owner process, and a vault
+/// segment the owner may not touch — the standard surveillance stage.
+fn stage() -> (System, mks_kernel::KProcId, mks_hw::SegNo, mks_hw::SegNo) {
+    let mut sys = System::new(KernelConfig::kernel());
+    let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
+    let aroot = sys.world.bind_root(admin);
+    Monitor::create_directory(&mut sys.world, admin, aroot, "home", Label::BOTTOM).unwrap();
+    sys.world
+        .fs
+        .set_dir_acl_entry(
+            FileSystem::ROOT,
+            "home",
+            &admin_user(),
+            &user("Smith").to_acl_string(),
+            DirMode::SMA,
+        )
+        .unwrap();
+    Monitor::create_directory(&mut sys.world, admin, aroot, "vault", Label::BOTTOM).unwrap();
+    let avault = Monitor::initiate_dir(&mut sys.world, admin, aroot, "vault");
+    Monitor::create_segment(
+        &mut sys.world,
+        admin,
+        avault,
+        "secret",
+        Acl::of(&admin_user().to_acl_string(), AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    let smith = sys.world.create_process(user("Smith"), Label::BOTTOM, 4);
+    let sroot = sys.world.bind_root(smith);
+    let home = Monitor::initiate_dir(&mut sys.world, smith, sroot, "home");
+    let vault = Monitor::initiate_dir(&mut sys.world, smith, sroot, "vault");
+    (sys, smith, home, vault)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every quantile estimate sits at or below the exact order
+    /// statistic, within the documented `1/SUBBUCKETS` relative bound —
+    /// on arbitrary streams, not just the curated bench workload.
+    #[test]
+    fn quantile_estimates_stay_within_the_rank_error_bound(
+        values in prop::collection::vec(0u64..4_000_000, 1..600),
+    ) {
+        let mut sketch = QuantileSketch::new(1);
+        let mut exact = values.clone();
+        for (i, &v) in values.iter().enumerate() {
+            sketch.observe(v, i as u64, None, "prop");
+        }
+        exact.sort_unstable();
+        let n = exact.len() as u64;
+        for permille in [500u64, 950, 990] {
+            let rank = ((permille * n).div_ceil(1000)).clamp(1, n) as usize - 1;
+            let v = exact[rank];
+            let est = sketch.quantile(permille);
+            prop_assert!(est <= v, "p{} overestimates: {} > {}", permille, est, v);
+            prop_assert!(
+                v - est <= v / SUBBUCKETS,
+                "p{}: {} misses {} beyond 1/{}",
+                permille, est, v, SUBBUCKETS
+            );
+        }
+    }
+
+    /// Space-saving invariants on arbitrary small-alphabet streams:
+    /// true count ≤ sketch count ≤ true count + error, error ≤ N/k.
+    #[test]
+    fn topk_counts_always_bound_the_truth(
+        keys in prop::collection::vec(0u8..24, 1..500),
+    ) {
+        let capacity = 8usize;
+        let mut sketch = TopK::new(capacity);
+        let mut truth = std::collections::BTreeMap::new();
+        for k in &keys {
+            let key = format!("k{k}");
+            sketch.record(&key, 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let n = keys.len() as u64;
+        for h in sketch.ranked() {
+            let t = truth[&h.key];
+            prop_assert!(h.count >= t, "{}: {} < true {}", h.key, h.count, t);
+            prop_assert!(h.count - h.error <= t, "{}: guaranteed floor above truth", h.key);
+            prop_assert!(h.error <= n / capacity as u64, "{}: error beyond N/k", h.key);
+        }
+    }
+}
+
+/// Every new snapshot section — quantiles with exemplars, sampler,
+/// observatory (rates, heavy hitters, alerts) — survives the JSON
+/// round-trip byte- and value-identically, with real content in it.
+#[test]
+fn populated_observability_sections_round_trip_losslessly() {
+    let (mut sys, smith, home, vault) = stage();
+    sys.world.vm.machine.trace.set_sampling(SamplePolicy {
+        keep_one_in: 4,
+        seed: 7,
+    });
+    Monitor::create_segment(
+        &mut sys.world,
+        smith,
+        home,
+        "notes",
+        Acl::of("*.*.*", AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    for _ in 0..12 {
+        let _ = Monitor::initiate(&mut sys.world, smith, vault, "secret");
+    }
+    let snap = sys.world.vm.machine.trace.snapshot();
+    assert!(
+        snap.quantiles
+            .iter()
+            .any(|q| q.name.starts_with("q.monitor.")),
+        "monitor ops populate quantile sketches"
+    );
+    assert!(
+        snap.quantiles
+            .iter()
+            .any(|q| q.exemplars.iter().any(|e| e.principal.is_some())),
+        "tail exemplars carry principals"
+    );
+    assert_eq!(snap.sampler.keep_one_in, 4);
+    assert!(snap.sampler.forced > 0, "denials are force-kept");
+    assert!(!snap.observatory.alerts.is_empty(), "the storm alerted");
+    assert!(!snap.observatory.rates.is_empty(), "windows exist");
+    assert!(
+        !snap.observatory.noisy_principals.entries.is_empty(),
+        "heavy hitters exist"
+    );
+    let json = snap.to_json();
+    let parsed = Snapshot::from_json(&json).expect("snapshot parses");
+    assert_eq!(parsed, snap, "value-identical after parse");
+    assert_eq!(parsed.to_json(), json, "byte-identical after re-emit");
+}
+
+/// A storm of denied probes raises a `denial_burst` alert naming the
+/// prober, and the alert is readable through the metering gate.
+#[test]
+fn a_denial_storm_alerts_and_exports_through_the_gate() {
+    let (mut sys, smith, _home, vault) = stage();
+    for _ in 0..12 {
+        let _ = Monitor::initiate(&mut sys.world, smith, vault, "secret");
+    }
+    let alerts = sys.world.vm.machine.trace.alerts();
+    let burst = alerts
+        .iter()
+        .find(|a| a.kind == AlertKind::DenialBurst)
+        .expect("the storm trips the burst detector");
+    assert_eq!(burst.principal.as_deref(), Some("Smith.Test.a"));
+    let json = Monitor::metering_snapshot(&mut sys.world, smith).unwrap();
+    let parsed = Snapshot::from_json(&json).unwrap();
+    assert_eq!(
+        parsed.observatory.alerts,
+        sys.world.vm.machine.trace.alerts(),
+        "the gate exports the same registry, as a copy"
+    );
+}
+
+/// Permitted traffic with no denials raises nothing.
+#[test]
+fn quiet_traffic_raises_no_alerts() {
+    let (mut sys, smith, home, _vault) = stage();
+    let seg = Monitor::create_segment(
+        &mut sys.world,
+        smith,
+        home,
+        "notes",
+        Acl::of("*.*.*", AclMode::RW),
+        RingBrackets::new(4, 4, 4),
+        Label::BOTTOM,
+    )
+    .unwrap();
+    for i in 0..40 {
+        let _ = Monitor::write(
+            &mut sys.world,
+            smith,
+            seg,
+            i % 64,
+            mks_hw::Word::new(i as u64),
+        );
+        let _ = Monitor::read(&mut sys.world, smith, seg, i % 64);
+        let _ = Monitor::list_dir(&mut sys.world, smith, home);
+    }
+    assert!(sys.world.vm.machine.trace.alerts().is_empty());
+}
+
+/// Sampling thins the ring without touching the clock or the analytics
+/// — the whole observability stack costs zero simulated cycles.
+#[test]
+fn sampling_is_free_on_the_simulated_clock() {
+    let run = |keep_one_in: u64| {
+        let (mut sys, smith, _home, vault) = stage();
+        sys.world.vm.machine.trace.set_sampling(SamplePolicy {
+            keep_one_in,
+            seed: 3,
+        });
+        for _ in 0..12 {
+            let _ = Monitor::initiate(&mut sys.world, smith, vault, "secret");
+        }
+        let trace = &sys.world.vm.machine.trace;
+        let stats = trace.sampler_stats();
+        (
+            sys.world.vm.machine.clock.now(),
+            stats.kept + stats.forced,
+            trace.read_observatory(|o| o.totals().denials),
+            trace.alerts().len(),
+        )
+    };
+    let (full_cycles, full_records, full_denials, full_alerts) = run(1);
+    let (thin_cycles, thin_records, thin_denials, thin_alerts) = run(16);
+    assert_eq!(full_cycles, thin_cycles, "sampling costs zero cycles");
+    assert_eq!(full_denials, thin_denials, "analytics precede sampling");
+    assert_eq!(full_alerts, thin_alerts, "alerts survive sampling");
+    assert!(thin_records < full_records, "the ring actually thinned");
+}

@@ -93,6 +93,7 @@ fn saturated_world(principals: usize) -> KernelWorld {
             frames: 32,
             bulk_records: 64,
             cpu: mks_hw::CpuModel::H6180,
+            ..SystemSize::default()
         },
     );
     let admin = sys.world.create_process(admin_user(), Label::BOTTOM, 4);
@@ -198,6 +199,7 @@ fn famine_retries_never_corrupt_transfers() {
                 frames: 16,
                 bulk_records: 64,
                 cpu: mks_hw::CpuModel::H6180,
+                ..SystemSize::default()
             },
         );
         if famine {
@@ -291,6 +293,7 @@ fn disarmed_and_unpressured_layers_are_strict_noops() {
                 frames: 32,
                 bulk_records: 64,
                 cpu: mks_hw::CpuModel::H6180,
+                ..SystemSize::default()
             },
         );
         if no_pressure_admission {
