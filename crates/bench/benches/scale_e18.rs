@@ -1,0 +1,84 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for the E18 hot paths at population scale: the
+//! indexed ACL check against its retained linear spec, the indexed
+//! directory lookup against its linear spec, the monitor's end-to-end
+//! read path on a warm million-principal world, and login churn.
+//!
+//! The CI `perf` job does not run this harness (the vendored criterion
+//! is an API-subset stub with no statistics) — it runs the
+//! `bench_e18` binary, which times the same paths with
+//! `std::time::Instant` and gates against `results/BENCH_E18.json`.
+//! This bench exists so the paths stay exercisable under
+//! `cargo bench` alongside the rest of the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mks_bench::scale::{build_world, run_traffic, PopulationModel};
+use mks_kernel::monitor::Monitor;
+
+const BENCH_POPULATION: u64 = 100_000;
+const WARM_OPS: u64 = 20_000;
+
+fn bench_acl_check(c: &mut Criterion) {
+    let model = PopulationModel::new(BENCH_POPULATION, 0xE18);
+    let mut sw = build_world(&model);
+    run_traffic(&mut sw, WARM_OPS, 0xE18);
+    let acl = sw.registry_acl();
+    let hit = model.principal(0);
+    let mut g = c.benchmark_group("acl_check");
+    g.bench_function("indexed", |b| {
+        b.iter(|| acl.effective_counted(black_box(&hit)))
+    });
+    g.bench_function("linear_spec", |b| {
+        b.iter(|| acl.effective_linear(black_box(&hit)))
+    });
+    g.finish();
+}
+
+fn bench_dir_lookup(c: &mut Criterion) {
+    let model = PopulationModel::new(BENCH_POPULATION, 0xE18);
+    let sw = build_world(&model);
+    let udd = sw.udd_uid;
+    let fs = &sw.sys.world.fs;
+    let name = format!("P{}", model.nr_projects() - 1);
+    let mut g = c.benchmark_group("dir_lookup");
+    g.bench_function("indexed", |b| {
+        b.iter(|| fs.peek_branch(udd, black_box(&name)))
+    });
+    g.bench_function("linear_spec", |b| {
+        b.iter(|| fs.peek_branch_linear(udd, black_box(&name)))
+    });
+    g.finish();
+}
+
+fn bench_monitor_read(c: &mut Criterion) {
+    let model = PopulationModel::new(BENCH_POPULATION, 0xE18);
+    let mut sw = build_world(&model);
+    run_traffic(&mut sw, WARM_OPS, 0xE18);
+    let (pid, registry) = {
+        let s = &sw.sessions[0];
+        (s.pid, s.registry)
+    };
+    c.bench_function("monitor_read_warm", |b| {
+        b.iter(|| Monitor::read(&mut sw.sys.world, pid, registry, black_box(3)).unwrap())
+    });
+}
+
+fn bench_gate_call(c: &mut Criterion) {
+    let model = PopulationModel::new(BENCH_POPULATION, 0xE18);
+    let mut sw = build_world(&model);
+    run_traffic(&mut sw, WARM_OPS, 0xE18);
+    let pid = sw.sessions[0].pid;
+    c.bench_function("gate_call_metering", |b| {
+        b.iter(|| Monitor::call_gate(&mut sw.sys.world, pid, "hcs_", "metering_get").unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_acl_check,
+    bench_dir_lookup,
+    bench_monitor_read,
+    bench_gate_call
+);
+criterion_main!(benches);

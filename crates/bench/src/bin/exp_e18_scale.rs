@@ -1,0 +1,6 @@
+//! E18 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e18_scale`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e18_scale::run());
+}

@@ -1,7 +1,7 @@
 //! The experiment library: every `exp_*` binary's measurement logic as a
 //! callable function.
 //!
-//! Each submodule owns one experiment (E1–E17, A1, A3, A4) and exposes
+//! Each submodule owns one experiment (E1–E18, A1, A3, A4) and exposes
 //!
 //! * `measure()` — runs the workload and returns a plain-data measurement
 //!   struct (no printing, no process exit, no panics on claim failure);
@@ -33,6 +33,7 @@ pub mod e14_kernel_size;
 pub mod e15_recovery;
 pub mod e16_degradation;
 pub mod e17_observatory;
+pub mod e18_scale;
 pub mod e1_linker_gates;
 pub mod e2_kst_split;
 pub mod e3_entries;
@@ -69,7 +70,7 @@ impl ExperimentOutput {
 /// One registry entry: an experiment's identity and entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Claim-id prefix: `E1`..`E16`, `A1`, `A3`, `A4`.
+    /// Claim-id prefix: `E1`..`E18`, `A1`, `A3`, `A4`.
     pub id: &'static str,
     /// The binary name (and `results/<bin>.txt` stem).
     pub bin: &'static str,
@@ -184,6 +185,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e17_observatory::run,
     },
     Experiment {
+        id: "E18",
+        bin: "exp_e18_scale",
+        title: "million-principal scale: mediation cost vs population",
+        run: e18_scale::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -274,12 +281,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_twenty_experiments() {
-        assert_eq!(REGISTRY.len(), 20);
+    fn registry_covers_all_twenty_one_experiments() {
+        assert_eq!(REGISTRY.len(), 21);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20, "experiment ids are unique");
+        assert_eq!(ids.len(), 21, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

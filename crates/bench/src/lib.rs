@@ -1,6 +1,6 @@
 //! # mks-bench — the experiment harness
 //!
-//! One binary per claim in the paper (experiments E1–E14 and the A1–A4
+//! One binary per claim in the paper (experiments E1–E18 and the A1–A4
 //! ablations, see `DESIGN.md` §4 and `EXPERIMENTS.md`), plus shared
 //! workload drivers and report formatting. Run any experiment with
 //!
@@ -24,6 +24,8 @@
 pub mod claims;
 pub mod drivers;
 pub mod experiments;
+pub mod perf;
 pub mod report;
+pub mod scale;
 
 pub use report::Table;

@@ -57,7 +57,7 @@ fn decode_label(s: &str) -> Option<Label> {
 }
 
 fn encode_acl(acl: &Acl<AclMode>) -> String {
-    acl.entries
+    acl.entries()
         .iter()
         .map(|e| format!("{}.{}.{}={}", e.person, e.project, e.tag, e.mode))
         .collect::<Vec<_>>()

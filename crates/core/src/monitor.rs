@@ -546,15 +546,17 @@ impl Monitor {
     /// walk must answer `None` (a deterministic refusal) rather than hang
     /// the kernel on it, so revisiting a directory stops the climb.
     fn quota_account(world: &KernelWorld, mut dir_uid: SegUid) -> Option<SegUid> {
-        let mut seen: Vec<SegUid> = Vec::new();
+        // Hash-set cycle check: torn parent pointers can make this climb
+        // arbitrarily long before the salvager runs, and a linear `seen`
+        // scan would make it quadratic.
+        let mut seen: std::collections::HashSet<SegUid> = std::collections::HashSet::new();
         loop {
             if matches!(world.fs.quota_cell(dir_uid), Ok(Some(_))) {
                 return Some(dir_uid);
             }
-            if seen.contains(&dir_uid) {
+            if !seen.insert(dir_uid) {
                 return None;
             }
-            seen.push(dir_uid);
             dir_uid = world.fs.dir_parent(dir_uid).ok().flatten()?;
         }
     }

@@ -51,7 +51,7 @@ pub enum AuditEvent {
 }
 
 /// One log record.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AuditRecord {
     /// Monotone sequence number.
     pub seq: u64,
@@ -116,6 +116,27 @@ impl AuditLog {
             event,
         });
         seq
+    }
+
+    /// Appends a batch of records sharing one timestamp, growing the log
+    /// once. Each record goes through exactly the per-record
+    /// [`AuditLog::append`] logic, so a batch of N is byte-identical to N
+    /// single appends at the same instant — the E18 differential claim.
+    /// Returns the sequence number of the first record (the batch is
+    /// `first..first + batch.len()`), or the current next-seq for an
+    /// empty batch.
+    pub fn append_batch(
+        &mut self,
+        at: Cycles,
+        batch: impl IntoIterator<Item = (Option<UserId>, AuditEvent)>,
+    ) -> u64 {
+        let first = self.next_seq;
+        let batch = batch.into_iter();
+        self.records.reserve(batch.size_hint().0);
+        for (who, event) in batch {
+            self.append(at, who, event);
+        }
+        first
     }
 
     /// Number of appends whose timestamp ran backwards and was saturated.

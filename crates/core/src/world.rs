@@ -258,32 +258,75 @@ impl KernelWorld {
         if let Some(detail) = self.vm.machine.inject.fires(mks_hw::InjectKind::AuditFlood) {
             let noise = 1 + detail % 8;
             self.vm.machine.trace.counter_add("inject.audit_floods", 1);
-            for i in 0..noise {
-                self.log.append(
-                    at,
-                    None,
-                    AuditEvent::Lifecycle {
-                        what: format!("flood noise {i}"),
-                    },
-                );
-            }
+            // Batched emission: one log growth for the whole storm.
+            self.log.append_batch(
+                at,
+                (0..noise).map(|i| {
+                    (
+                        None,
+                        AuditEvent::Lifecycle {
+                            what: format!("flood noise {i}"),
+                        },
+                    )
+                }),
+            );
         }
         // Observatory tap: the analytics see the same stream the log
         // does, classified, at the same (possibly warped) timestamp.
-        let kind = match &event {
+        self.vm.machine.trace.ingest_audit(&mks_trace::AuditSample {
+            at,
+            principal: who.as_ref().map(|u| u.to_acl_string()),
+            kind: Self::classify_audit(&event),
+        });
+        self.log.append(at, who, event)
+    }
+
+    /// How the observatory buckets an audit event.
+    fn classify_audit(event: &AuditEvent) -> mks_trace::AuditKind {
+        match event {
             AuditEvent::AccessDenied { .. } => mks_trace::AuditKind::Denial,
             AuditEvent::Overload { .. } => mks_trace::AuditKind::Overload,
             AuditEvent::ProtectionFault { .. } | AuditEvent::GateRefused { .. } => {
                 mks_trace::AuditKind::Fault
             }
             _ => mks_trace::AuditKind::Other,
-        };
-        self.vm.machine.trace.ingest_audit(&mks_trace::AuditSample {
-            at,
-            principal: who.as_ref().map(|u| u.to_acl_string()),
-            kind,
-        });
-        self.log.append(at, who, event)
+        }
+    }
+
+    /// Batched audit emission for high-rate paths (login churn, the E18
+    /// traffic driver): every record is classified and tapped into the
+    /// observatory exactly as [`KernelWorld::audit`] does, at one shared
+    /// timestamp, and the log grows once for the whole batch. On an
+    /// uninjected world a batch of N is byte-identical to N single
+    /// `audit` calls at the same instant — a machine-checked E18 claim.
+    /// (The `SkewClock`/`AuditFlood` injection sites are consulted once
+    /// per *batch* rather than once per record.)
+    pub fn audit_batch(&mut self, batch: Vec<(Option<UserId>, AuditEvent)>) -> u64 {
+        let at = self.vm.machine.clock.now();
+        let at = self.vm.machine.inject.warp_time(at);
+        if let Some(detail) = self.vm.machine.inject.fires(mks_hw::InjectKind::AuditFlood) {
+            let noise = 1 + detail % 8;
+            self.vm.machine.trace.counter_add("inject.audit_floods", 1);
+            self.log.append_batch(
+                at,
+                (0..noise).map(|i| {
+                    (
+                        None,
+                        AuditEvent::Lifecycle {
+                            what: format!("flood noise {i}"),
+                        },
+                    )
+                }),
+            );
+        }
+        for (who, event) in &batch {
+            self.vm.machine.trace.ingest_audit(&mks_trace::AuditSample {
+                at,
+                principal: who.as_ref().map(|u| u.to_acl_string()),
+                kind: Self::classify_audit(event),
+            });
+        }
+        self.log.append_batch(at, batch)
     }
 
     /// Binds the root directory into `pid`'s KST and returns its segment

@@ -204,18 +204,40 @@ impl<M: Copy> AclEntry<M> {
     }
 }
 
-/// An ordered access-control list.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+/// An ordered access-control list with an exact-principal index.
+///
+/// Entries stay in insertion order (the tie-break rule needs it), but
+/// fully-literal patterns — the overwhelming majority once a system holds a
+/// million principals — are additionally indexed by principal so the hot
+/// [`Acl::effective`] path is O(#wildcard entries) instead of O(#entries).
+/// Wildcard entries are a short, administrator-authored list in practice.
+#[derive(Clone, Debug, Default)]
 pub struct Acl<M> {
     /// Entries, in insertion order.
-    pub entries: Vec<AclEntry<M>>,
+    entries: Vec<AclEntry<M>>,
+    /// Exact (no-wildcard) patterns, keyed by the principal they name.
+    /// Invariant: `exact[u] = i` iff `entries[i]` is literal and names `u`.
+    exact: crate::det_hash::DetHashMap<UserId, usize>,
+    /// Indices of entries with at least one `*` component, in entry order.
+    wild: Vec<usize>,
 }
+
+/// ACL identity is the entry list; the index is derived state.
+impl<M: PartialEq> PartialEq for Acl<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<M: Eq> Eq for Acl<M> {}
 
 impl<M: Copy + Default> Acl<M> {
     /// An empty ACL (denies everyone).
     pub fn empty() -> Acl<M> {
         Acl {
             entries: Vec::new(),
+            exact: crate::det_hash::DetHashMap::default(),
+            wild: Vec::new(),
         }
     }
 
@@ -226,16 +248,58 @@ impl<M: Copy + Default> Acl<M> {
         a
     }
 
+    /// The entries, in insertion order (read-only: mutate via
+    /// [`Acl::add`] / [`Acl::remove`] so the index stays consistent).
+    pub fn entries(&self) -> &[AclEntry<M>] {
+        &self.entries
+    }
+
+    /// Is this entry a fully-literal pattern (indexable by principal)?
+    fn is_exact(entry: &AclEntry<M>) -> bool {
+        entry.person != "*" && entry.project != "*" && entry.tag != "*"
+    }
+
+    /// Re-derives the exact/wildcard index from the entry list.
+    fn rebuild_index(&mut self) {
+        self.exact.clear();
+        self.wild.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            if Self::is_exact(e) {
+                self.exact
+                    .insert(UserId::new(&e.person, &e.project, &e.tag), i);
+            } else {
+                self.wild.push(i);
+            }
+        }
+    }
+
     /// Adds (or replaces, if the same pattern exists) an entry.
+    ///
+    /// The duplicate check goes through the index, not the entry list:
+    /// building a registry ACL with 10^5 exact entries must be O(n), not
+    /// O(n^2).
     pub fn add(&mut self, pattern: &str, mode: M) {
         let entry = AclEntry::new(pattern, mode);
-        if let Some(existing) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.person == entry.person && e.project == entry.project && e.tag == entry.tag)
-        {
-            existing.mode = mode;
+        let existing = if Self::is_exact(&entry) {
+            self.exact
+                .get(&UserId::new(&entry.person, &entry.project, &entry.tag))
+                .copied()
         } else {
+            self.wild.iter().copied().find(|&i| {
+                let e = &self.entries[i];
+                e.person == entry.person && e.project == entry.project && e.tag == entry.tag
+            })
+        };
+        if let Some(i) = existing {
+            self.entries[i].mode = mode;
+        } else {
+            let idx = self.entries.len();
+            if Self::is_exact(&entry) {
+                self.exact
+                    .insert(UserId::new(&entry.person, &entry.project, &entry.tag), idx);
+            } else {
+                self.wild.push(idx);
+            }
             self.entries.push(entry);
         }
     }
@@ -248,12 +312,48 @@ impl<M: Copy + Default> Acl<M> {
         self.entries.retain(|e| {
             !(e.person == probe.person && e.project == probe.project && e.tag == probe.tag)
         });
-        self.entries.len() != before
+        if self.entries.len() == before {
+            return false;
+        }
+        self.rebuild_index();
+        true
     }
 
     /// The effective mode for `user`: the most specific matching entry
     /// (earliest wins ties); `None` if no entry matches.
+    ///
+    /// A literal entry has specificity 3 and only one literal pattern can
+    /// name a given principal ([`Acl::add`] replaces duplicates), so an
+    /// exact-index hit always wins outright; otherwise only the wildcard
+    /// entries need scanning.
     pub fn effective(&self, user: &UserId) -> Option<M> {
+        self.effective_counted(user).0
+    }
+
+    /// [`Acl::effective`] plus the number of entries examined — the
+    /// deterministic work-unit the scale experiment (E18) claims stays
+    /// flat as the population grows.
+    pub fn effective_counted(&self, user: &UserId) -> (Option<M>, u32) {
+        if let Some(&i) = self.exact.get(user) {
+            return (Some(self.entries[i].mode), 1);
+        }
+        let verdict = self
+            .wild
+            .iter()
+            .map(|&i| (i, &self.entries[i]))
+            .filter(|(_, e)| e.matches(user))
+            .max_by(|(ia, a), (ib, b)| {
+                a.specificity().cmp(&b.specificity()).then(ib.cmp(ia)) // earlier wins ties
+            })
+            .map(|(_, e)| e.mode);
+        (verdict, 1 + self.wild.len() as u32)
+    }
+
+    /// The pre-index linear scan over the whole entry list — kept as the
+    /// executable specification. The differential tests (and an E18
+    /// claim) check `effective == effective_linear` across generated
+    /// workloads.
+    pub fn effective_linear(&self, user: &UserId) -> Option<M> {
         self.entries
             .iter()
             .enumerate()
@@ -318,7 +418,7 @@ mod tests {
     fn add_replaces_same_pattern() {
         let mut acl = Acl::of("Jones.CSR.a", AclMode::R);
         acl.add("Jones.CSR.a", AclMode::REW);
-        assert_eq!(acl.entries.len(), 1);
+        assert_eq!(acl.entries().len(), 1);
         assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::REW));
     }
 
@@ -335,6 +435,35 @@ mod tests {
         let mut acl = Acl::of("Jones.*.*", AclMode::R);
         acl.add("*.CSR.*", AclMode::RW); // same specificity (1)
         assert_eq!(acl.effective(&user("Jones", "CSR")), Some(AclMode::R));
+    }
+
+    #[test]
+    fn indexed_effective_matches_linear_spec() {
+        // A mix of exact entries, wildcards, denials, and replacements;
+        // the indexed path must agree with the linear spec everywhere,
+        // including after removals force an index rebuild.
+        let mut acl = Acl::of("*.*.*", AclMode::R);
+        acl.add("*.CSR.*", AclMode::RW);
+        acl.add("Jones.*.*", AclMode::RE);
+        for i in 0..64 {
+            acl.add(&format!("U{i}.CSR.a"), AclMode::REW);
+        }
+        acl.add("U7.CSR.a", AclMode::NULL);
+        assert!(acl.remove("U9.CSR.a"));
+        let mut probes = vec![
+            user("Jones", "CSR"),
+            user("Jones", "Guest"),
+            user("Nobody", "Anywhere"),
+        ];
+        for i in 0..64 {
+            probes.push(user(&format!("U{i}"), "CSR"));
+        }
+        for u in &probes {
+            assert_eq!(acl.effective(u), acl.effective_linear(u), "{u:?}");
+        }
+        // Exact hits cost one probe; misses cost only the wildcard list.
+        assert_eq!(acl.effective_counted(&user("U3", "CSR")).1, 1);
+        assert_eq!(acl.effective_counted(&user("U9", "CSR")).1, 4);
     }
 
     #[test]

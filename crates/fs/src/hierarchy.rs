@@ -11,9 +11,9 @@
 //! directory's label (an upgraded subtree is legal; a downgrade is not), so
 //! walking *down* the tree never walks *down* the lattice.
 
-use std::collections::HashMap;
-
 use mks_hw::{RingBrackets, SegUid};
+
+use crate::det_hash::DetHashMap;
 use mks_mls::Label;
 
 use crate::acl::{Acl, AclMode, DirMode, UserId};
@@ -125,13 +125,99 @@ pub(crate) struct DirNode {
     pub(crate) acl: Acl<DirMode>,
     pub(crate) quota: Option<QuotaCell>,
     pub(crate) branches: Vec<Branch>,
+    /// First-wins index: entry name → branch position. Raw salvager/tear
+    /// mutations may leave positions stale; lookups verify the hit and
+    /// fall back to the linear spec, so damage costs probes, never
+    /// correctness. Invariant kept by every name-adding site: a name
+    /// absent from the index is absent from `branches`.
+    pub(crate) name_index: DetHashMap<String, usize>,
+    /// Same, for branch uids (first claimant wins, as the salvager does).
+    pub(crate) uid_index: DetHashMap<SegUid, usize>,
+}
+
+impl DirNode {
+    pub(crate) fn new(
+        parent: Option<SegUid>,
+        label: Label,
+        acl: Acl<DirMode>,
+        quota: Option<QuotaCell>,
+    ) -> DirNode {
+        DirNode {
+            parent,
+            label,
+            acl,
+            quota,
+            branches: Vec::new(),
+            name_index: DetHashMap::default(),
+            uid_index: DetHashMap::default(),
+        }
+    }
+
+    /// Appends a branch, keeping the indexes complete (first-wins).
+    pub(crate) fn push_branch(&mut self, branch: Branch) {
+        let idx = self.branches.len();
+        for n in &branch.names {
+            self.name_index.entry(n.clone()).or_insert(idx);
+        }
+        self.uid_index.entry(branch.uid).or_insert(idx);
+        self.branches.push(branch);
+    }
+
+    /// Re-derives both indexes from the branch list. Called after any
+    /// mutation that removes or reorders branches/names (all cold paths:
+    /// deletion, the salvager, injected tears).
+    pub(crate) fn reindex(&mut self) {
+        self.name_index.clear();
+        self.uid_index.clear();
+        for (i, b) in self.branches.iter().enumerate() {
+            for n in &b.names {
+                self.name_index.entry(n.clone()).or_insert(i);
+            }
+            self.uid_index.entry(b.uid).or_insert(i);
+        }
+    }
+
+    /// Position of the first branch answering to `name`, plus the number
+    /// of probes spent (1 on the indexed path; the whole branch list when
+    /// a stale hit forces the linear fallback).
+    pub(crate) fn find_name(&self, name: &str) -> (Option<usize>, u64) {
+        match self.name_index.get(name) {
+            Some(&i) if self.branches.get(i).is_some_and(|b| b.has_name(name)) => (Some(i), 1),
+            Some(_) => (
+                self.branches.iter().position(|b| b.has_name(name)),
+                1 + self.branches.len() as u64,
+            ),
+            None => (None, 1),
+        }
+    }
+
+    /// Position of the first branch with this uid (same contract as
+    /// [`DirNode::find_name`]).
+    pub(crate) fn find_uid(&self, uid: SegUid) -> (Option<usize>, u64) {
+        match self.uid_index.get(&uid) {
+            Some(&i) if self.branches.get(i).is_some_and(|b| b.uid == uid) => (Some(i), 1),
+            Some(_) => (
+                self.branches.iter().position(|b| b.uid == uid),
+                1 + self.branches.len() as u64,
+            ),
+            None => (None, 1),
+        }
+    }
 }
 
 /// The hierarchy: a tree of directories rooted at [`FileSystem::ROOT`].
 #[derive(Debug)]
 pub struct FileSystem {
-    pub(crate) nodes: HashMap<SegUid, DirNode>,
+    pub(crate) nodes: DetHashMap<SegUid, DirNode>,
     next_uid: u64,
+    /// Which directory a branch uid lives in. Verified on use (the uid
+    /// may have been torn away or the node removed); a stale or missing
+    /// entry falls back to the exhaustive scan.
+    pub(crate) uid_dir: DetHashMap<SegUid, SegUid>,
+    /// Deterministic lookup-work accounting for the scale experiment
+    /// (E18): how many branch-slot probes the lookups above spent.
+    lookups: std::sync::atomic::AtomicU64,
+    lookup_probes: std::sync::atomic::AtomicU64,
     pub(crate) trace: Option<mks_trace::TraceHandle>,
     pub(crate) inject: Option<mks_hw::InjectorHandle>,
 }
@@ -145,21 +231,47 @@ impl FileSystem {
     pub fn new(admin: &UserId) -> FileSystem {
         let mut acl = Acl::of("*.*.*", DirMode::S);
         acl.add(&admin.to_acl_string(), DirMode::SMA);
-        let root = DirNode {
-            parent: None,
-            label: Label::BOTTOM,
+        let root = DirNode::new(
+            None,
+            Label::BOTTOM,
             acl,
-            quota: Some(QuotaCell::with_limit(1 << 20)),
-            branches: Vec::new(),
-        };
-        let mut nodes = HashMap::new();
+            Some(QuotaCell::with_limit(1 << 20)),
+        );
+        let mut nodes = DetHashMap::default();
         nodes.insert(Self::ROOT, root);
         FileSystem {
             nodes,
             next_uid: 2,
+            uid_dir: DetHashMap::default(),
+            lookups: std::sync::atomic::AtomicU64::new(0),
+            lookup_probes: std::sync::atomic::AtomicU64::new(0),
             trace: None,
             inject: None,
         }
+    }
+
+    /// Records one indexed lookup and the probes it spent (E18 work
+    /// accounting; relaxed — the simulation is single-threaded).
+    fn note_lookup(&self, probes: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.lookups.fetch_add(1, Relaxed);
+        self.lookup_probes.fetch_add(probes, Relaxed);
+    }
+
+    /// `(lookups, branch-slot probes)` since boot or the last reset. On
+    /// an undamaged hierarchy probes == lookups — each lookup costs one
+    /// slot regardless of directory size; that ratio staying ~1 as the
+    /// population grows 10³ → 10⁶ is E18's "mediation scales" claim.
+    pub fn lookup_work(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.lookups.load(Relaxed), self.lookup_probes.load(Relaxed))
+    }
+
+    /// Resets the lookup-work counters (between E18 population rungs).
+    pub fn reset_lookup_work(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.lookups.store(0, Relaxed);
+        self.lookup_probes.store(0, Relaxed);
     }
 
     /// Connects the hierarchy to the kernel flight recorder so ACL
@@ -246,7 +358,9 @@ impl FileSystem {
         if !label.dominates(&self.dir(dir)?.label) {
             return Err(FsError::LabelIncompatible);
         }
-        if self.dir(dir)?.branches.iter().any(|b| b.has_name(name)) {
+        let (taken, probes) = self.dir(dir)?.find_name(name);
+        self.note_lookup(probes);
+        if taken.is_some() {
             return Err(FsError::NameTaken(name.into()));
         }
         let uid = self.alloc_uid();
@@ -261,7 +375,8 @@ impl FileSystem {
             label,
             author: user.clone(),
         };
-        self.dir_mut(dir)?.branches.push(branch);
+        self.dir_mut(dir)?.push_branch(branch);
+        self.uid_dir.insert(uid, dir);
         self.maybe_tear(dir, uid);
         Ok(uid)
     }
@@ -279,7 +394,9 @@ impl FileSystem {
         if !label.dominates(&self.dir(dir)?.label) {
             return Err(FsError::LabelIncompatible);
         }
-        if self.dir(dir)?.branches.iter().any(|b| b.has_name(name)) {
+        let (taken, probes) = self.dir(dir)?.find_name(name);
+        self.note_lookup(probes);
+        if taken.is_some() {
             return Err(FsError::NameTaken(name.into()));
         }
         let uid = self.alloc_uid();
@@ -294,17 +411,10 @@ impl FileSystem {
             label,
             author: user.clone(),
         };
-        self.dir_mut(dir)?.branches.push(branch);
-        self.nodes.insert(
-            uid,
-            DirNode {
-                parent: Some(dir),
-                label,
-                acl,
-                quota: None,
-                branches: Vec::new(),
-            },
-        );
+        self.dir_mut(dir)?.push_branch(branch);
+        self.uid_dir.insert(uid, dir);
+        self.nodes
+            .insert(uid, DirNode::new(Some(dir), label, acl, None));
         self.maybe_tear(dir, uid);
         Ok(uid)
     }
@@ -318,17 +428,24 @@ impl FileSystem {
     /// Finds the branch called `name` in `dir`, with a status check.
     pub fn get_branch(&self, dir: SegUid, name: &str, user: &UserId) -> Result<&Branch, FsError> {
         self.require(dir, user, 's')?;
-        self.dir(dir)?
-            .branches
-            .iter()
-            .find(|b| b.has_name(name))
+        self.peek_branch(dir, name)
             .ok_or_else(|| FsError::NotFound(name.into()))
     }
 
     /// Internal unchecked lookup, for kernel paths that have already made
     /// their own access decision (e.g. `initiate`, which checks the
-    /// *target's* ACL instead of the directory's).
+    /// *target's* ACL instead of the directory's). Indexed: one probe on
+    /// a healthy directory, whatever its size.
     pub fn peek_branch(&self, dir: SegUid, name: &str) -> Option<&Branch> {
+        let node = self.nodes.get(&dir)?;
+        let (pos, probes) = node.find_name(name);
+        self.note_lookup(probes);
+        pos.map(|i| &node.branches[i])
+    }
+
+    /// The pre-index linear scan — kept as the executable specification
+    /// for the differential tests (`peek_branch` must agree everywhere).
+    pub fn peek_branch_linear(&self, dir: SegUid, name: &str) -> Option<&Branch> {
         self.nodes
             .get(&dir)?
             .branches
@@ -338,15 +455,35 @@ impl FileSystem {
 
     /// Mutable unchecked lookup (kernel internal).
     pub fn peek_branch_mut(&mut self, dir: SegUid, name: &str) -> Option<&mut Branch> {
-        self.nodes
-            .get_mut(&dir)?
-            .branches
-            .iter_mut()
-            .find(|b| b.has_name(name))
+        let node = self.nodes.get_mut(&dir)?;
+        let (pos, probes) = node.find_name(name);
+        self.lookups
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.lookup_probes
+            .fetch_add(probes, std::sync::atomic::Ordering::Relaxed);
+        pos.map(move |i| &mut node.branches[i])
     }
 
-    /// Finds a branch by uid anywhere under `dir` (kernel internal; linear).
+    /// Finds a branch by uid anywhere in the hierarchy (kernel internal).
+    /// The uid→directory map pins the home directory; a verified index
+    /// probe finds the branch, and only stale state (injected tears,
+    /// mid-salvage damage) pays for the exhaustive scan.
     pub fn find_by_uid(&self, uid: SegUid) -> Option<(SegUid, &Branch)> {
+        if let Some(&dir) = self.uid_dir.get(&uid) {
+            if let Some(node) = self.nodes.get(&dir) {
+                let (pos, probes) = node.find_uid(uid);
+                self.note_lookup(probes);
+                if let Some(i) = pos {
+                    return Some((dir, &node.branches[i]));
+                }
+            }
+        }
+        self.find_by_uid_linear(uid)
+    }
+
+    /// The exhaustive all-nodes scan — the pre-index specification and
+    /// the fallback when the uid map is stale.
+    pub fn find_by_uid_linear(&self, uid: SegUid) -> Option<(SegUid, &Branch)> {
         self.nodes.iter().find_map(|(dir, node)| {
             node.branches
                 .iter()
@@ -366,11 +503,9 @@ impl FileSystem {
     ) -> Result<Branch, FsError> {
         self.require(dir, user, 'm')?;
         let node = self.dir(dir)?;
-        let idx = node
-            .branches
-            .iter()
-            .position(|b| b.has_name(name))
-            .ok_or_else(|| FsError::NotFound(name.into()))?;
+        let (pos, probes) = node.find_name(name);
+        self.note_lookup(probes);
+        let idx = pos.ok_or_else(|| FsError::NotFound(name.into()))?;
         let uid = node.branches[idx].uid;
         if node.branches[idx].is_dir() {
             let child = self.dir(uid)?;
@@ -379,7 +514,13 @@ impl FileSystem {
             }
             self.nodes.remove(&uid);
         }
-        Ok(self.dir_mut(dir)?.branches.remove(idx))
+        if self.uid_dir.get(&uid) == Some(&dir) {
+            self.uid_dir.remove(&uid);
+        }
+        let node = self.dir_mut(dir)?;
+        let branch = node.branches.remove(idx);
+        node.reindex();
+        Ok(branch)
     }
 
     /// Adds an extra name to a branch. Requires `m` on the directory.
@@ -391,26 +532,30 @@ impl FileSystem {
         user: &UserId,
     ) -> Result<(), FsError> {
         self.require(dir, user, 'm')?;
-        if self.dir(dir)?.branches.iter().any(|b| b.has_name(new_name)) {
+        let (taken, probes) = self.dir(dir)?.find_name(new_name);
+        self.note_lookup(probes);
+        if taken.is_some() {
             return Err(FsError::NameTaken(new_name.into()));
         }
-        let b = self
-            .peek_branch_mut(dir, name)
-            .ok_or_else(|| FsError::NotFound(name.into()))?;
-        b.names.push(new_name.into());
+        let node = self.dir_mut(dir)?;
+        let (pos, _) = node.find_name(name);
+        let idx = pos.ok_or_else(|| FsError::NotFound(name.into()))?;
+        node.branches[idx].names.push(new_name.into());
+        node.name_index.entry(new_name.into()).or_insert(idx);
         Ok(())
     }
 
     /// Removes a name from a branch (never its last). Requires `m`.
     pub fn remove_name(&mut self, dir: SegUid, name: &str, user: &UserId) -> Result<(), FsError> {
         self.require(dir, user, 'm')?;
-        let b = self
-            .peek_branch_mut(dir, name)
-            .ok_or_else(|| FsError::NotFound(name.into()))?;
-        if b.names.len() == 1 {
+        let node = self.dir_mut(dir)?;
+        let (pos, _) = node.find_name(name);
+        let idx = pos.ok_or_else(|| FsError::NotFound(name.into()))?;
+        if node.branches[idx].names.len() == 1 {
             return Err(FsError::LastName);
         }
-        b.names.retain(|n| n != name);
+        node.branches[idx].names.retain(|n| n != name);
+        node.reindex();
         Ok(())
     }
 
@@ -464,15 +609,18 @@ impl FileSystem {
     }
 
     /// Records a new length for a segment branch (kernel internal, called
-    /// by segment control after growth/truncation).
+    /// by segment control after growth/truncation). Indexed via the
+    /// uid→directory map; the exhaustive scan only runs on stale state.
     pub fn note_segment_length(&mut self, uid: SegUid, len_words: usize) {
-        for node in self.nodes.values_mut() {
-            for b in &mut node.branches {
-                if b.uid == uid {
-                    if let BranchKind::Segment { len_words: l, .. } = &mut b.kind {
-                        *l = len_words;
-                    }
-                    return;
+        let home = match self.find_by_uid(uid) {
+            Some((dir, _)) => dir,
+            None => return,
+        };
+        if let Some(node) = self.nodes.get_mut(&home) {
+            let (pos, _) = node.find_uid(uid);
+            if let Some(i) = pos {
+                if let BranchKind::Segment { len_words: l, .. } = &mut node.branches[i].kind {
+                    *l = len_words;
                 }
             }
         }
@@ -540,7 +688,11 @@ impl FileSystem {
         };
         let before = node.branches.len();
         node.branches.retain(|b| !b.names.is_empty());
-        before - node.branches.len()
+        let dropped = before - node.branches.len();
+        if dropped > 0 {
+            node.reindex();
+        }
+        dropped
     }
 
     pub(crate) fn duplicate_names_in(&self, dir: SegUid) -> Vec<String> {
@@ -587,6 +739,7 @@ impl FileSystem {
             }
         }
         node.branches.retain(|b| !b.names.is_empty());
+        node.reindex();
     }
 
     pub(crate) fn branch_facts(&self, dir: SegUid) -> Vec<(SegUid, Label, bool)> {
@@ -627,6 +780,10 @@ impl FileSystem {
     pub(crate) fn drop_branch_by_uid(&mut self, dir: SegUid, uid: SegUid) {
         if let Some(node) = self.nodes.get_mut(&dir) {
             node.branches.retain(|b| b.uid != uid);
+            node.reindex();
+        }
+        if self.uid_dir.get(&uid) == Some(&dir) {
+            self.uid_dir.remove(&uid);
         }
     }
 
@@ -666,7 +823,7 @@ impl FileSystem {
     pub(crate) fn corrupt_add_duplicate_name(&mut self, dir: SegUid, name: &str) {
         let uid = self.alloc_uid();
         let node = self.nodes.get_mut(&dir).expect("dir exists");
-        node.branches.push(Branch {
+        node.push_branch(Branch {
             names: vec![name.to_string()],
             uid,
             kind: BranchKind::Segment {
@@ -677,6 +834,7 @@ impl FileSystem {
             label: Label::BOTTOM,
             author: UserId::new("Corruptor", "Test", "x"),
         });
+        self.uid_dir.insert(uid, dir);
     }
 
     pub(crate) fn corrupt_set_dir_label(&mut self, dir: SegUid, label: Label) {
@@ -690,6 +848,7 @@ impl FileSystem {
     pub(crate) fn corrupt_remove_branch(&mut self, dir: SegUid, name: &str) {
         let node = self.nodes.get_mut(&dir).expect("dir exists");
         node.branches.retain(|b| !b.has_name(name));
+        node.reindex();
     }
 
     pub(crate) fn corrupt_set_parent(&mut self, uid: SegUid, parent: SegUid) {

@@ -21,8 +21,6 @@
 //! The two modules live in separate source files on purpose: the E2 size
 //! audit weighs each configuration's protected code by measuring its file.
 
-use std::collections::HashMap;
-
 use mks_hw::{SegNo, SegUid};
 use mks_trace::{EventKind, Layer, TraceHandle};
 
@@ -46,8 +44,8 @@ pub struct KstEntry {
 /// The post-removal kernel KST: minimal protected address-space state.
 #[derive(Debug, Default)]
 pub struct KernelKst {
-    by_segno: HashMap<SegNo, KstEntry>,
-    by_uid: HashMap<SegUid, SegNo>,
+    by_segno: crate::det_hash::DetHashMap<SegNo, KstEntry>,
+    by_uid: crate::det_hash::DetHashMap<SegUid, SegNo>,
     next_segno: u16,
     free_segnos: Vec<u16>,
     next_phantom_uid: u64,
@@ -65,8 +63,8 @@ impl KernelKst {
     /// Creates an empty KST.
     pub fn new() -> KernelKst {
         KernelKst {
-            by_segno: HashMap::new(),
-            by_uid: HashMap::new(),
+            by_segno: crate::det_hash::DetHashMap::default(),
+            by_uid: crate::det_hash::DetHashMap::default(),
             next_segno: FIRST_USER_SEGNO,
             free_segnos: Vec::new(),
             next_phantom_uid: PHANTOM_UID_BASE,

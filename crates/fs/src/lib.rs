@@ -21,6 +21,7 @@
 //!   about the existence of directories the caller may not probe.
 
 pub mod acl;
+pub mod det_hash;
 pub mod hierarchy;
 pub mod kst;
 pub mod kst_legacy;

@@ -171,7 +171,7 @@ impl FileSystem {
                 let Some(node) = self.nodes.get_mut(&dir) else {
                     return false;
                 };
-                node.branches.push(Branch {
+                node.push_branch(Branch {
                     names: vec![name],
                     uid: dup_uid,
                     kind: BranchKind::Segment {
@@ -182,6 +182,7 @@ impl FileSystem {
                     label: Label::BOTTOM,
                     author: UserId::new("Torn", "Write", "x"),
                 });
+                self.uid_dir.insert(dup_uid, dir);
                 true
             }
             TearMode::LoseNode => self.nodes.remove(&uid).is_some(),
@@ -191,7 +192,11 @@ impl FileSystem {
                 };
                 let before = node.branches.len();
                 node.branches.retain(|b| b.uid != uid);
-                node.branches.len() < before
+                let torn = node.branches.len() < before;
+                if torn {
+                    node.reindex();
+                }
+                torn
             }
             TearMode::SkipParentUpdate => {
                 let wrong = if dir == FileSystem::ROOT {
@@ -210,6 +215,9 @@ impl FileSystem {
             TearMode::LoseNames => match self.branch_mut(dir, uid) {
                 Some(b) => {
                     b.names.clear();
+                    if let Some(node) = self.nodes.get_mut(&dir) {
+                        node.reindex();
+                    }
                     true
                 }
                 None => false,
@@ -241,6 +249,9 @@ impl FileSystem {
                     Some(donor) => match self.branch_mut(dir, uid) {
                         Some(b) => {
                             b.uid = donor;
+                            if let Some(node) = self.nodes.get_mut(&dir) {
+                                node.reindex();
+                            }
                             true
                         }
                         None => false,

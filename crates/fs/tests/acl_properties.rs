@@ -42,13 +42,13 @@ proptest! {
         }
         match acl.effective(&user) {
             None => {
-                for e in &acl.entries {
+                for e in acl.entries() {
                     prop_assert!(!e.matches(&user));
                 }
             }
             Some(mode) => {
                 let best: u32 = acl
-                    .entries
+                    .entries()
                     .iter()
                     .filter(|e| e.matches(&user))
                     .map(AclEntry::specificity)
@@ -56,7 +56,7 @@ proptest! {
                     .expect("effective implies a match");
                 // The chosen mode belongs to some maximal-specificity match.
                 prop_assert!(acl
-                    .entries
+                    .entries()
                     .iter()
                     .any(|e| e.matches(&user) && e.specificity() == best && e.mode == mode));
             }
@@ -82,7 +82,7 @@ proptest! {
             // A previous decision with specificity >= 1 still wins.
             Some(m) => {
                 let best: u32 = acl
-                    .entries
+                    .entries()
                     .iter()
                     .filter(|e| e.matches(&user))
                     .map(AclEntry::specificity)
@@ -105,6 +105,27 @@ proptest! {
         acl.add(&pattern, mode);
         prop_assert!(acl.remove(&pattern));
         prop_assert_eq!(acl.effective(&user), before);
+    }
+
+    /// The exact-principal index is invisible: indexed `effective`
+    /// agrees with the linear-scan specification on every ACL shape,
+    /// including after removals rebuild the index.
+    #[test]
+    fn indexed_effective_equals_linear_spec(
+        entries in prop::collection::vec((arb_pattern(), arb_mode()), 0..8),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        user in arb_user(),
+    ) {
+        let mut acl = Acl::empty();
+        for (p, m) in &entries {
+            acl.add(p, *m);
+        }
+        if !entries.is_empty() {
+            for r in &removals {
+                acl.remove(&entries[r.index(entries.len())].0);
+            }
+        }
+        prop_assert_eq!(acl.effective(&user), acl.effective_linear(&user));
     }
 
     /// Pathname parsing: every parsed component is non-empty and the

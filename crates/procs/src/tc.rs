@@ -16,6 +16,8 @@
 //! kernel daemon or a user process identically — the uniformity the paper's
 //! interrupt-handling simplification relies on.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -111,6 +113,12 @@ pub struct TrafficController<C> {
     next_pid: u32,
     proc_ready: VecDeque<ProcessId>,
     vp_ready: VecDeque<VpIndex>,
+    /// Min-heap of free slot indices, so binding never scans the slot
+    /// array (O(log n) instead of O(n) per bind at population scale).
+    /// Lowest index first — the same slot the old linear scan chose, so
+    /// the pinned scheduling traces are unchanged. Entries are verified
+    /// against the binding on pop.
+    free_slots: BinaryHeap<Reverse<u32>>,
     events: EventTable<Waiter>,
     stats: TcStats,
     /// Drops already published to the metrics registry (so the
@@ -130,6 +138,7 @@ impl<C: HasMachine> TrafficController<C> {
             next_pid: 1,
             proc_ready: VecDeque::new(),
             vp_ready: VecDeque::new(),
+            free_slots: (0..cfg.nr_vprocs as u32).map(Reverse).collect(),
             events: EventTable::new(),
             stats: TcStats::default(),
             published_drops: 0,
@@ -164,9 +173,7 @@ impl<C: HasMachine> TrafficController<C> {
     /// fixed at configuration time, exactly as the paper requires.
     pub fn add_dedicated(&mut self, job: Box<dyn Job<C>>) -> VpIndex {
         let slot = self
-            .vprocs
-            .iter()
-            .position(|v| v.binding == VpBinding::Free)
+            .take_free_slot()
             .expect("no free virtual processor slot for dedicated job");
         let vp = VpIndex(slot as u32);
         self.vprocs[slot].binding = VpBinding::Dedicated;
@@ -319,21 +326,32 @@ impl<C: HasMachine> TrafficController<C> {
         }
     }
 
+    /// Pops the lowest free slot index, skipping any entry the heap holds
+    /// stale (the binding is authoritative; the heap is the index).
+    fn take_free_slot(&mut self) -> Option<usize> {
+        while let Some(Reverse(slot)) = self.free_slots.pop() {
+            if self.vprocs[slot as usize].binding == VpBinding::Free {
+                return Some(slot as usize);
+            }
+        }
+        None
+    }
+
     /// Layer 2: bind ready, unbound processes to free shared slots.
     fn bind_processes(&mut self) {
         while let Some(&pid) = self.proc_ready.front() {
-            let slot = match self
-                .vprocs
-                .iter()
-                .position(|v| v.binding == VpBinding::Free)
-            {
+            let slot = match self.take_free_slot() {
                 Some(s) => s,
                 None => break,
             };
             self.proc_ready.pop_front();
             let entry = match self.processes.get_mut(&pid) {
                 Some(e) if e.state == PState::Ready => e,
-                _ => continue, // stale queue entry
+                _ => {
+                    // Stale queue entry: the slot stays free.
+                    self.free_slots.push(Reverse(slot as u32));
+                    continue;
+                }
             };
             let vp = VpIndex(slot as u32);
             entry.state = PState::Bound(vp);
@@ -347,6 +365,7 @@ impl<C: HasMachine> TrafficController<C> {
         let slot = vp.0 as usize;
         self.vprocs[slot].binding = VpBinding::Free;
         self.vprocs[slot].state = VpState::Idle;
+        self.free_slots.push(Reverse(vp.0));
     }
 
     /// Runs one job on one virtual processor for up to a quantum.
@@ -463,6 +482,7 @@ impl<C: HasMachine> TrafficController<C> {
                             self.dedicated_jobs[slot] = None;
                             self.vprocs[slot].binding = VpBinding::Free;
                             self.vprocs[slot].state = VpState::Idle;
+                            self.free_slots.push(Reverse(slot as u32));
                         }
                         VpBinding::Process(pid) => {
                             self.processes
