@@ -1,0 +1,74 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+//! Criterion bench for the E19 parallel hot paths: a work-stealing
+//! dispatch round on balanced per-CPU queues, the steal path itself on
+//! starved queues, and the whole lane executor at 1 vs 4 host threads.
+//!
+//! The CI `perf` job does not run this harness (the vendored criterion
+//! is an API-subset stub with no statistics) — it runs the `bench_e18`
+//! binary, whose `tc_worksteal_dispatch` / `tc_worksteal_steal` paths
+//! and `parallel` section time the same code with `std::time::Instant`
+//! and gate against `results/BENCH_E18.json`. This bench exists so the
+//! paths stay exercisable under `cargo bench` alongside the rest of the
+//! suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mks_hw::{CpuModel, Machine};
+use mks_kernel::par::{lane_world_run, run_lanes, LaneConfig};
+use mks_procs::{Effects, FnJob, SchedMode, Step, TcConfig, TrafficController};
+
+fn ws_tc(jobs: usize, yielding: bool) -> (TrafficController<Machine>, Machine) {
+    let m = Machine::new(CpuModel::H6180, 8);
+    let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+        nr_cpus: 4,
+        nr_vprocs: 8,
+        quantum: 4,
+        sched: SchedMode::WorkStealing { seed: 0xE19 },
+    });
+    for _ in 0..jobs {
+        tc.spawn(Box::new(FnJob::new(
+            "immortal",
+            move |_e: &mut Effects<'_, Machine>| {
+                if yielding {
+                    Step::Yield
+                } else {
+                    Step::Continue
+                }
+            },
+        )));
+    }
+    (tc, m)
+}
+
+fn bench_worksteal_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tc_worksteal");
+    let (mut tc, mut m) = ws_tc(8, false);
+    g.bench_function("dispatch_balanced", |b| {
+        b.iter(|| black_box(tc.tick(&mut m)))
+    });
+    let (mut tc, mut m) = ws_tc(2, true);
+    g.bench_function("steal_starved", |b| b.iter(|| black_box(tc.tick(&mut m))));
+    g.finish();
+}
+
+fn bench_lane_executor(c: &mut Criterion) {
+    let cfg = LaneConfig {
+        lanes: 4,
+        threads: 1,
+        procs: 2,
+        refs_per_proc: 24,
+        ..LaneConfig::default()
+    };
+    let mut g = c.benchmark_group("lane_executor");
+    g.sample_size(10);
+    g.bench_function("threads_1", |b| {
+        b.iter(|| run_lanes(cfg.lanes, 1, |lane| lane_world_run(&cfg, lane)))
+    });
+    g.bench_function("threads_4", |b| {
+        b.iter(|| run_lanes(cfg.lanes, 4, |lane| lane_world_run(&cfg, lane)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_worksteal_tick, bench_lane_executor);
+criterion_main!(benches);

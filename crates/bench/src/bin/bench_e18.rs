@@ -44,6 +44,11 @@ fn print_report(report: &PerfReport) {
         "  calibration: {:.1} ns/op memory, {:.1} ns/op cpu (the gate's machine-speed yardsticks)",
         report.calibration_ns, report.calibration_cpu_ns
     );
+    println!(
+        "  parallel: {:.2}x speedup over {} lanes on {} threads \
+         (host-parallelism ceiling {:.2}x)",
+        report.par.speedup, report.par.lanes, report.par.threads, report.par.calibration_speedup
+    );
 }
 
 fn main() -> ExitCode {

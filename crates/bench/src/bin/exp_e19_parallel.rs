@@ -1,0 +1,6 @@
+//! E19 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e19_parallel`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e19_parallel::run());
+}

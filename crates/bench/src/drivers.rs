@@ -2,7 +2,7 @@
 
 use mks_hw::ast::PageState;
 use mks_hw::{CpuModel, Machine, SegUid, Word, PAGE_WORDS};
-use mks_procs::{TcConfig, TrafficController};
+use mks_procs::{SchedMode, TcConfig, TrafficController};
 use mks_vm::{
     mechanism, BulkFreerJob, ClockPolicy, CoreFreerJob, ParallelConfig, ParallelPageControl,
     RefTrace, SequentialPageControl, VmStats, VmWorld,
@@ -113,6 +113,7 @@ pub fn run_parallel_with_metered(
         nr_cpus: 2,
         nr_vprocs: 4 + nprocs,
         quantum: 8,
+        sched: SchedMode::GlobalQueue,
     });
     let world = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
     let pc = ParallelPageControl::new(cfg, &mut tc);

@@ -9,7 +9,7 @@ use std::fmt::Write;
 
 use mks_hw::{CpuModel, Machine};
 use mks_io::interrupts::{InSituInterrupts, Irq, ProcessInterrupts};
-use mks_procs::{Effects, EventId, FnJob, Step, TcConfig, TrafficController};
+use mks_procs::{Effects, EventId, FnJob, SchedMode, Step, TcConfig, TrafficController};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -95,6 +95,7 @@ pub fn measure() -> Measurement {
         nr_cpus: 2,
         nr_vprocs: 10,
         quantum: 4,
+        sched: SchedMode::GlobalQueue,
     });
     let mut intr = ProcessInterrupts::new();
     let mut served_total = Vec::new();

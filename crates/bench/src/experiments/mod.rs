@@ -1,7 +1,7 @@
 //! The experiment library: every `exp_*` binary's measurement logic as a
 //! callable function.
 //!
-//! Each submodule owns one experiment (E1–E18, A1, A3, A4) and exposes
+//! Each submodule owns one experiment (E1–E19, A1, A3, A4) and exposes
 //!
 //! * `measure()` — runs the workload and returns a plain-data measurement
 //!   struct (no printing, no process exit, no panics on claim failure);
@@ -34,6 +34,7 @@ pub mod e15_recovery;
 pub mod e16_degradation;
 pub mod e17_observatory;
 pub mod e18_scale;
+pub mod e19_parallel;
 pub mod e1_linker_gates;
 pub mod e2_kst_split;
 pub mod e3_entries;
@@ -70,7 +71,7 @@ impl ExperimentOutput {
 /// One registry entry: an experiment's identity and entry point.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Claim-id prefix: `E1`..`E18`, `A1`, `A3`, `A4`.
+    /// Claim-id prefix: `E1`..`E19`, `A1`, `A3`, `A4`.
     pub id: &'static str,
     /// The binary name (and `results/<bin>.txt` stem).
     pub bin: &'static str,
@@ -191,6 +192,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e18_scale::run,
     },
     Experiment {
+        id: "E19",
+        bin: "exp_e19_parallel",
+        title: "the parallel kernel: multi-CPU scheduling, deterministic",
+        run: e19_parallel::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -281,12 +288,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_twenty_one_experiments() {
-        assert_eq!(REGISTRY.len(), 21);
+    fn registry_covers_all_twenty_two_experiments() {
+        assert_eq!(REGISTRY.len(), 22);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21, "experiment ids are unique");
+        assert_eq!(ids.len(), 22, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

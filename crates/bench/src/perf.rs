@@ -27,10 +27,31 @@
 //! paths and the matching yardstick shift together and the gate stays
 //! quiet. A real regression — the only case where the gate should
 //! fire — moves the paths and *neither* yardstick.
+//!
+//! # The parallel section (E19)
+//!
+//! Two additions guard the multiprocessor work. First, two extra hot
+//! paths time the work-stealing traffic controller itself — a balanced
+//! tick where every simulated CPU pops locally, and a starved tick
+//! where idle CPUs must steal — so the steal fast path sits under the
+//! same noise-hardened gate as the E18 paths. Second, a `parallel`
+//! report section measures **real host speedup**: the same fleet of
+//! independent E18-scale kernel lanes is run on one thread and on
+//! `par_threads` threads (each lane world built *inside* its worker —
+//! the simulated machine is single-threaded by construction), and the
+//! median wall-clock ratio is the speedup. A `calibration_speedup`
+//! yardstick — the same lanes filled with pure ALU work — records how
+//! much parallelism the host actually has, so a 1-core runner gates
+//! against its own honest ceiling instead of an impossible 4x. Speedup
+//! is bigger-is-better: the gate fires only when it falls below both
+//! the baseline band and the paper bar of 1.5x.
 
 use std::time::Instant;
 
+use mks_hw::{CpuModel, Machine};
+use mks_kernel::par::run_lanes;
 use mks_kernel::Monitor;
+use mks_procs::{Effects, FnJob, SchedMode, Step, TcConfig, TrafficController};
 
 use crate::scale::{build_world, run_traffic, PopulationModel};
 
@@ -41,6 +62,23 @@ pub struct PathTiming {
     pub name: &'static str,
     /// Host nanoseconds per operation (minimum over rounds).
     pub ns_per_op: f64,
+}
+
+/// The E19 host-parallelism measurement: one fleet of independent
+/// kernel lanes, timed sequentially and sharded over threads.
+#[derive(Clone, Debug)]
+pub struct ParallelTiming {
+    /// Independent lane worlds in the fleet.
+    pub lanes: usize,
+    /// Host threads the parallel arm shards them over.
+    pub threads: usize,
+    /// Principal population of each lane world (the E18 rung).
+    pub population: u64,
+    /// Median over rounds of sequential wall / parallel wall.
+    pub speedup: f64,
+    /// The same ratio for pure ALU lanes — the host's real parallelism
+    /// ceiling, which the gate's bar is scaled by.
+    pub calibration_speedup: f64,
 }
 
 /// A full perf report: per-path timings plus the scaling slope.
@@ -71,6 +109,8 @@ pub struct PerfReport {
     /// ns per iteration of the core-clock calibration workload
     /// (register-only integer scramble) — the other yardstick.
     pub calibration_cpu_ns: f64,
+    /// The E19 host-parallel lane measurement.
+    pub par: ParallelTiming,
 }
 
 impl PerfReport {
@@ -96,6 +136,16 @@ pub struct PerfConfig {
     pub slope_pops: (u64, u64),
     /// Mediated ops driven at each slope rung.
     pub slope_ops: u64,
+    /// Lane worlds in the E19 parallel fleet.
+    pub par_lanes: usize,
+    /// Host threads the parallel arm uses.
+    pub par_threads: usize,
+    /// Principal population of each lane world.
+    pub par_population: u64,
+    /// Traffic ops each lane drives.
+    pub par_ops: u64,
+    /// Sequential/parallel timing rounds (the median ratio is kept).
+    pub par_rounds: u32,
 }
 
 impl PerfConfig {
@@ -108,6 +158,11 @@ impl PerfConfig {
             rounds: 9,
             slope_pops: (1_000, 100_000),
             slope_ops: 20_000,
+            par_lanes: 4,
+            par_threads: 4,
+            par_population: 100_000,
+            par_ops: 20_000,
+            par_rounds: 3,
         }
     }
 
@@ -120,6 +175,11 @@ impl PerfConfig {
             rounds: 2,
             slope_pops: (200, 1_000),
             slope_ops: 500,
+            par_lanes: 2,
+            par_threads: 2,
+            par_population: 400,
+            par_ops: 200,
+            par_rounds: 1,
         }
     }
 }
@@ -187,6 +247,94 @@ fn cpu_calibration_op(cursor: &mut u64) {
     *cursor = std::hint::black_box(x);
 }
 
+/// Builds a work-stealing traffic controller over 4 simulated CPUs
+/// carrying `jobs` immortal jobs; `yielding` jobs relinquish after
+/// every step (the steal-heavy shape), non-yielding ones run out their
+/// quantum (the balanced local-pop shape).
+fn ws_tc(jobs: usize, yielding: bool) -> (TrafficController<Machine>, Machine) {
+    let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+        nr_cpus: 4,
+        nr_vprocs: jobs + 2,
+        quantum: 4,
+        sched: SchedMode::WorkStealing { seed: 0xE19 },
+    });
+    for _ in 0..jobs {
+        tc.spawn(Box::new(FnJob::new(
+            "hot",
+            move |_e: &mut Effects<'_, Machine>| {
+                if yielding {
+                    Step::Yield
+                } else {
+                    Step::Continue
+                }
+            },
+        )));
+    }
+    (tc, Machine::new(CpuModel::H6180, 2))
+}
+
+/// Wall nanoseconds of one fleet run: `lanes` E18-scale kernel lanes,
+/// each built and driven inside its worker, sharded over `threads`.
+fn time_parallel_round(cfg: &PerfConfig, threads: usize, round: u32) -> f64 {
+    let t0 = Instant::now();
+    let ops = run_lanes(cfg.par_lanes, threads, |lane| {
+        let model = PopulationModel::new(cfg.par_population, 0xE19 ^ lane as u64);
+        let mut sw = build_world(&model);
+        run_traffic(
+            &mut sw,
+            cfg.par_ops,
+            0xE19 ^ (u64::from(round) << 32) ^ lane as u64,
+        )
+        .ops
+    });
+    std::hint::black_box(ops);
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Wall nanoseconds of the calibration fleet: the same lane/thread
+/// shape filled with pure ALU work — the host-parallelism yardstick.
+fn time_calibration_lanes(lanes: usize, threads: usize, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    let cursors = run_lanes(lanes, threads, |lane| {
+        let mut cursor = 0xE19 ^ lane as u64;
+        for _ in 0..iters.max(1) {
+            cpu_calibration_op(&mut cursor);
+        }
+        cursor
+    });
+    std::hint::black_box(cursors);
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Median of `ratios` (sorted copy, middle element).
+fn median(mut ratios: Vec<f64>) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+/// Measures the E19 parallel section at `cfg`'s scale.
+fn measure_parallel(cfg: &PerfConfig) -> ParallelTiming {
+    let threads = cfg.par_threads.max(2);
+    let cal_iters = 200_000;
+    let mut speedups = Vec::new();
+    let mut cal_speedups = Vec::new();
+    for round in 0..cfg.par_rounds.max(1) {
+        let seq = time_parallel_round(cfg, 1, round);
+        let par = time_parallel_round(cfg, threads, round);
+        speedups.push(seq / par.max(f64::MIN_POSITIVE));
+        let cal_seq = time_calibration_lanes(cfg.par_lanes, 1, cal_iters);
+        let cal_par = time_calibration_lanes(cfg.par_lanes, threads, cal_iters);
+        cal_speedups.push(cal_seq / cal_par.max(f64::MIN_POSITIVE));
+    }
+    ParallelTiming {
+        lanes: cfg.par_lanes,
+        threads,
+        population: cfg.par_population,
+        speedup: median(speedups),
+        calibration_speedup: median(cal_speedups),
+    }
+}
+
 /// Measures every hot path and the scaling slope at `cfg`'s scale.
 ///
 /// Every round times the calibration and all five paths back to back,
@@ -211,11 +359,18 @@ pub fn measure(cfg: PerfConfig) -> PerfReport {
     let cal_iters = (cfg.iters / 10).max(10);
     let linear_iters = (cfg.iters / 100).max(10);
     let gate_iters = (cfg.iters / 2).max(10);
+    let tick_iters = (cfg.iters / 20).max(10);
+
+    // The two E19 scheduler shapes: a balanced fleet (two immortal jobs
+    // per CPU — ticks pop locally) and a starved one (two yielding jobs
+    // on four CPUs — most ticks must steal).
+    let (mut tc_balanced, mut m_balanced) = ws_tc(8, false);
+    let (mut tc_starved, mut m_starved) = ws_tc(2, true);
 
     let mut calibration_ns = f64::INFINITY;
     let mut calibration_cpu_ns = f64::INFINITY;
     let mut cpu_cursor = 0xE18u64;
-    let mut best = [f64::INFINITY; 5];
+    let mut best = [f64::INFINITY; 7];
     for _ in 0..cfg.rounds.max(1) {
         calibration_ns = calibration_ns.min(time_path(cal_iters, 1, || cal.op()));
         calibration_cpu_ns = calibration_cpu_ns.min(time_path(cfg.iters, 1, || {
@@ -243,13 +398,25 @@ pub fn measure(cfg: PerfConfig) -> PerfReport {
             Monitor::call_gate(&mut sw.sys.world, pid, "hcs_", "metering_get")
                 .expect("user-available gate");
         }));
+        best[5] = best[5].min(time_path(tick_iters, 1, || {
+            tc_balanced.tick(&mut m_balanced);
+        }));
+        best[6] = best[6].min(time_path(tick_iters, 1, || {
+            tc_starved.tick(&mut m_starved);
+        }));
     }
+    debug_assert!(
+        tc_starved.stats().steals > 0,
+        "the starved shape must actually exercise the steal path"
+    );
     let names = [
         "acl_check_indexed",
         "acl_check_linear_spec",
         "dir_lookup_indexed",
         "monitor_read_warm",
         "gate_call_metering",
+        "tc_worksteal_dispatch",
+        "tc_worksteal_steal",
     ];
     let paths = names
         .into_iter()
@@ -272,8 +439,9 @@ pub fn measure(cfg: PerfConfig) -> PerfReport {
         ns_per_op_hi = ns_per_op_hi.min(hi);
         ratios.push(hi / lo.max(f64::MIN_POSITIVE));
     }
-    ratios.sort_by(f64::total_cmp);
-    let slope_over_rounds = ratios[ratios.len() / 2];
+    let slope_over_rounds = median(ratios);
+
+    let par = measure_parallel(&cfg);
 
     PerfReport {
         population: cfg.population,
@@ -285,6 +453,7 @@ pub fn measure(cfg: PerfConfig) -> PerfReport {
         slope_over_rounds,
         calibration_ns,
         calibration_cpu_ns,
+        par,
     }
 }
 
@@ -322,6 +491,11 @@ pub fn to_json(r: &PerfReport) -> String {
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
+        "  \"parallel\": {{\"lanes\": {}, \"threads\": {}, \"population\": {}, \
+         \"speedup\": {:.4}, \"calibration_speedup\": {:.4}}},\n",
+        r.par.lanes, r.par.threads, r.par.population, r.par.speedup, r.par.calibration_speedup
+    ));
+    s.push_str(&format!(
         "  \"scaling\": {{\"pop_lo\": {}, \"pop_hi\": {}, \"ns_per_op_lo\": {:.2}, \
          \"ns_per_op_hi\": {:.2}, \"slope\": {:.4}}}\n",
         r.pop_lo,
@@ -334,8 +508,17 @@ pub fn to_json(r: &PerfReport) -> String {
     s
 }
 
-/// A parsed baseline: per-path ns, the calibration yardstick, and the
-/// scaling slope.
+/// The baseline's committed parallel section.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BaselineParallel {
+    /// The committed host speedup at `threads`.
+    pub speedup: f64,
+    /// The committed host-parallelism ceiling.
+    pub calibration_speedup: f64,
+}
+
+/// A parsed baseline: per-path ns, the calibration yardstick, the
+/// scaling slope, and (since E19) the host-parallel speedup section.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Baseline {
     /// `(path name, ns_per_op)` pairs in document order.
@@ -346,6 +529,8 @@ pub struct Baseline {
     pub calibration_cpu_ns: f64,
     /// The committed scaling slope.
     pub slope: f64,
+    /// The committed parallel section (absent in pre-E19 baselines).
+    pub parallel: Option<BaselineParallel>,
 }
 
 /// Parses a `BENCH_E18.json` document (the subset [`to_json`] emits).
@@ -374,11 +559,18 @@ pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
         .map(|i| &json[i..])
         .ok_or("no scaling object")?;
     let slope = field_after(scaling, "\"slope\": ")?;
+    let parallel = json.find("\"parallel\"").map(|i| &json[i..]).and_then(|p| {
+        Some(BaselineParallel {
+            speedup: field_after(p, "\"speedup\": ").ok()?,
+            calibration_speedup: field_after(p, "\"calibration_speedup\": ").ok()?,
+        })
+    });
     Ok(Baseline {
         paths,
         calibration_ns,
         calibration_cpu_ns,
         slope,
+        parallel,
     })
 }
 
@@ -445,6 +637,23 @@ pub fn gate(current: &PerfReport, baseline: &Baseline, tolerance: f64) -> Vec<St
             baseline.slope
         ));
     }
+    // Host speedup is bigger-is-better, and it saturates at the host's
+    // real core count: once at or past the paper bar of 1.5x, drift is
+    // host topology, not a regression. Below the bar, falling out of
+    // the baseline band (scaled by how much parallelism the host lost
+    // relative to the baseline host) is a lost-parallelism regression.
+    if let Some(bp) = baseline.parallel {
+        let host_shift =
+            (current.par.calibration_speedup / bp.calibration_speedup.max(0.01)).clamp(0.25, 4.0);
+        let floor = bp.speedup * host_shift / (1.0 + tolerance);
+        if current.par.speedup < floor && current.par.speedup < 1.5 {
+            violations.push(format!(
+                "parallel speedup: {:.2}x vs baseline {:.2}x (host-parallelism shift {:.2}) — \
+                 the lane fleet lost its host-side speedup",
+                current.par.speedup, bp.speedup, host_shift
+            ));
+        }
+    }
     violations
 }
 
@@ -465,6 +674,12 @@ pub fn merge_min(report: &mut PerfReport, next: &PerfReport) {
     report.ns_per_op_lo = report.ns_per_op_lo.min(next.ns_per_op_lo);
     report.ns_per_op_hi = report.ns_per_op_hi.min(next.ns_per_op_hi);
     report.slope_over_rounds = report.slope_over_rounds.min(next.slope_over_rounds);
+    // Speedups are bigger-is-better: the best observation is the max.
+    report.par.speedup = report.par.speedup.max(next.par.speedup);
+    report.par.calibration_speedup = report
+        .par
+        .calibration_speedup
+        .max(next.par.calibration_speedup);
 }
 
 /// The gate's tolerance: `MKS_BENCH_E18_TOLERANCE` (a fraction, e.g.
@@ -511,6 +726,13 @@ mod tests {
             slope_over_rounds: 1.04,
             calibration_ns: 20.0,
             calibration_cpu_ns: 10.0,
+            par: ParallelTiming {
+                lanes: 4,
+                threads: 4,
+                population: 1_000,
+                speedup: 2.0,
+                calibration_speedup: 3.0,
+            },
         }
     }
 
@@ -524,6 +746,24 @@ mod tests {
             assert!((p.ns_per_op - ns).abs() < 0.01);
         }
         assert!((b.slope - 1.04).abs() < 0.001);
+        let bp = b.parallel.expect("parallel section parses");
+        assert!((bp.speedup - 2.0).abs() < 0.001);
+        assert!((bp.calibration_speedup - 3.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn pre_e19_baselines_still_parse() {
+        let r = sample_report();
+        let json = to_json(&r);
+        let start = json.find("  \"parallel\"").unwrap();
+        let end = start + json[start..].find('\n').unwrap() + 1;
+        let stripped = format!("{}{}", &json[..start], &json[end..]);
+        let b = parse_baseline(&stripped).expect("old-schema baseline parses");
+        assert!(b.parallel.is_none());
+        assert!(
+            gate(&r, &b, 0.25).is_empty(),
+            "no parallel gate without one"
+        );
     }
 
     #[test]
@@ -584,21 +824,43 @@ mod tests {
             "a calibration-only shift is not a regression"
         );
 
-        let mut steep = r;
+        let mut steep = r.clone();
         steep.slope_over_rounds = 2.0;
         let v = gate(&steep, &base, 0.25);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("slope"), "{v:?}");
+
+        // Losing the host-side speedup on the same host is a regression…
+        let mut serial = r.clone();
+        serial.par.speedup = 1.0;
+        let v = gate(&serial, &base, 0.25);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("parallel speedup"), "{v:?}");
+
+        // …but the same drop on a host that lost its cores is not.
+        let mut small_host = r.clone();
+        small_host.par.speedup = 1.0;
+        small_host.par.calibration_speedup = 1.0;
+        assert!(
+            gate(&small_host, &base, 0.25).is_empty(),
+            "a 1-core runner gates against its own ceiling"
+        );
+
+        // And past the 1.5x paper bar, topology drift never fires.
+        let mut saturated = r;
+        saturated.par.speedup = 1.6;
+        assert!(gate(&saturated, &base, 0.25).is_empty());
     }
 
     #[test]
     fn a_miniature_measurement_is_complete() {
         let r = measure(PerfConfig::miniature());
-        assert_eq!(r.paths.len(), 5);
+        assert_eq!(r.paths.len(), 7);
         for p in &r.paths {
             assert!(p.ns_per_op > 0.0, "{} timed", p.name);
         }
         assert!(r.slope() > 0.0);
+        assert!(r.par.speedup > 0.0 && r.par.calibration_speedup > 0.0);
         let b = parse_baseline(&to_json(&r)).unwrap();
         assert!(gate(&r, &b, 0.25).is_empty());
     }

@@ -49,6 +49,7 @@ pub mod gatetable;
 pub mod init;
 pub mod layers;
 pub mod monitor;
+pub mod par;
 pub mod penetration;
 pub mod pressure;
 pub mod recovery;
@@ -61,6 +62,7 @@ pub use auth::{AuthDb, AuthError};
 pub use config::{IoConfig, KernelConfig, LinkerConfig, NamingConfig, PagingConfig, PolicyConfig};
 pub use gatetable::GateTable;
 pub use monitor::{AccessError, Monitor};
+pub use par::{differential_mismatches, lane_reports, run_lanes, LaneConfig, LaneReport};
 pub use pressure::{
     read_pressure, AdmissionControl, PressureConfig, PressureReading, Priority, Resource,
 };

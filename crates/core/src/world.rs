@@ -12,13 +12,13 @@
 use std::collections::HashMap;
 
 use mks_fs::{FileSystem, KernelKst, LegacyKst, UserId};
-use mks_hw::{AddrSpace, CpuModel, Machine, RingNo};
+use mks_hw::{AddrSpace, CpuModel, LockId, Machine, RingNo};
 use mks_io::interrupts::ProcessInterrupts;
 use mks_io::NetworkAttachment;
 use mks_linker::kernel_cfg::LegacyLinker;
 use mks_linker::user_cfg::UserLinker;
 use mks_mls::Label;
-use mks_procs::{HasMachine, TcConfig, TrafficController};
+use mks_procs::{HasMachine, SchedMode, TcConfig, TrafficController};
 use mks_vm::{
     ClockPolicy, ParallelConfig, ParallelPageControl, SequentialPageControl, VmAccess, VmWorld,
 };
@@ -157,6 +157,7 @@ impl System {
             nr_cpus: 2,
             nr_vprocs: 8,
             quantum: 8,
+            sched: SchedMode::GlobalQueue,
         });
         let machine = Machine::with_trace_capacity(size.cpu, size.frames, size.trace_capacity);
         let vm = VmWorld::new(machine, size.bulk_records);
@@ -253,6 +254,7 @@ impl KernelWorld {
     /// record is always appended — flooding delays review, it never erases
     /// evidence.
     pub fn audit(&mut self, who: Option<UserId>, event: AuditEvent) -> u64 {
+        let _log = self.vm.machine.locks.hold(LockId::AuditLog);
         let at = self.vm.machine.clock.now();
         let at = self.vm.machine.inject.warp_time(at);
         if let Some(detail) = self.vm.machine.inject.fires(mks_hw::InjectKind::AuditFlood) {
@@ -302,6 +304,7 @@ impl KernelWorld {
     /// (The `SkewClock`/`AuditFlood` injection sites are consulted once
     /// per *batch* rather than once per record.)
     pub fn audit_batch(&mut self, batch: Vec<(Option<UserId>, AuditEvent)>) -> u64 {
+        let _log = self.vm.machine.locks.hold(LockId::AuditLog);
         let at = self.vm.machine.clock.now();
         let at = self.vm.machine.inject.warp_time(at);
         if let Some(detail) = self.vm.machine.inject.fires(mks_hw::InjectKind::AuditFlood) {

@@ -30,6 +30,7 @@ pub mod cost;
 pub mod fault;
 pub mod gate;
 pub mod inject;
+pub mod lockorder;
 pub mod machine;
 pub mod mem;
 pub mod module;
@@ -48,6 +49,7 @@ pub use inject::{
     shrink_plan, FaultEvent, FaultPlan, FiredFault, InjectKind, InjectorHandle, SplitMix64,
     NR_INJECT_KINDS, NR_LEGACY_KINDS,
 };
+pub use lockorder::{LockAudit, LockHold, LockId, LockOrderHandle};
 pub use machine::{AccessType, CallOutcome, Machine};
 pub use mem::{FrameId, PhysMem, PAGE_WORDS};
 pub use module::{source_weight, Category, ModuleInfo};

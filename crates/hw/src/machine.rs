@@ -14,6 +14,7 @@ use crate::clock::{Clock, Cycles};
 use crate::cost::{CostModel, CpuModel};
 use crate::fault::{AttemptKind, Fault};
 use crate::inject::InjectorHandle;
+use crate::lockorder::LockOrderHandle;
 use crate::mem::{PhysMem, PAGE_WORDS};
 use crate::ring::{CallEffect, RingNo};
 use crate::sdw::Sdw;
@@ -61,6 +62,10 @@ pub struct Machine {
     /// The fault injector. Disarmed by default; layers consult it at
     /// their injection points exactly like they reach the recorder.
     pub inject: InjectorHandle,
+    /// The lock-ordering tracker: kernel paths bracket their would-be
+    /// critical sections so the acquired-lock graph can be audited for
+    /// rank violations and cycles (see [`crate::lockorder`]).
+    pub locks: LockOrderHandle,
     faults_taken: u64,
     calls_made: u64,
     ring_crossings: u64,
@@ -93,6 +98,7 @@ impl Machine {
             ast: Ast::new(),
             trace,
             inject: InjectorHandle::disarmed(),
+            locks: LockOrderHandle::new(),
             faults_taken: 0,
             calls_made: 0,
             ring_crossings: 0,

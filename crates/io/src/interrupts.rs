@@ -193,7 +193,7 @@ impl ProcessInterrupts {
 mod tests {
     use super::*;
     use mks_hw::CpuModel;
-    use mks_procs::{Effects, FnJob, Step, TcConfig};
+    use mks_procs::{Effects, FnJob, SchedMode, Step, TcConfig};
 
     #[test]
     fn in_situ_handler_runs_and_masks() {
@@ -221,6 +221,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 4,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let event = tc.alloc_event();
         let served = std::rc::Rc::new(std::cell::Cell::new(0u32));

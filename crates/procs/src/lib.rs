@@ -31,7 +31,7 @@ pub mod vproc;
 
 pub use ipc::{EventId, EventTable};
 pub use step::{Effects, FnJob, Job, Step};
-pub use tc::{ProcessId, RunOutcome, TcConfig, TcStats, TrafficController, Waiter};
+pub use tc::{ProcessId, RunOutcome, SchedMode, TcConfig, TcStats, TrafficController, Waiter};
 pub use vproc::{VpIndex, VpState};
 
 /// Trait a scheduler context must implement so the traffic controller can

@@ -15,16 +15,55 @@
 //! (delivered by [`TrafficController::wakeup_external`]) can wake a dedicated
 //! kernel daemon or a user process identically — the uniformity the paper's
 //! interrupt-handling simplification relies on.
+//!
+//! # Multiprocessor scheduling (E19)
+//!
+//! The 6180 was a multiprocessor; the paper's kernel serialized it behind
+//! one global lock. [`SchedMode`] models both arms:
+//!
+//! * [`SchedMode::GlobalQueue`] (the default) is the baseline: one ready
+//!   queue shared by every CPU, byte-identical to the historical scheduler
+//!   so all pinned traces and differentials are untouched.
+//! * [`SchedMode::WorkStealing`] gives each CPU its own run queue.
+//!   Dedicated virtual processors are pinned to a home CPU
+//!   (`slot mod nr_cpus`) and are never stolen; shared (process-bound)
+//!   virtual processors are placed on the CPU that made them ready and may
+//!   be stolen from the *back* of a victim queue chosen by a seeded
+//!   [`SplitMix64`] — every run is bit-reproducible for a given seed.
+//!   Run-queue accesses are bracketed with [`mks_hw::LockId::TcRunQueue`]
+//!   model locks (steal pairs acquired in ascending CPU index), so the
+//!   lock-order audit covers the scheduler too.
+//!
+//! The shared cycle clock still sums *all* CPU work, but each dispatch
+//! round also records simulated wall time as the **maximum** busy time of
+//! any one CPU that round ([`TcStats::wall_cycles`]) — the quantity that
+//! shrinks when more CPUs genuinely run side by side, and the denominator
+//! of E19's throughput-scaling claims.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+use mks_hw::{LockId, SplitMix64};
+
 use crate::ipc::{EventId, EventTable};
 use crate::step::{Effects, Job, Step};
 use crate::vproc::{VProc, VpBinding, VpIndex, VpState};
 use crate::HasMachine;
+
+/// How ready virtual processors are multiplexed over the physical CPUs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedMode {
+    /// One shared ready queue (the paper's global-lock arm). Default.
+    #[default]
+    GlobalQueue,
+    /// Per-CPU run queues with deterministic, seeded work-stealing.
+    WorkStealing {
+        /// Seed for victim selection and idle placement.
+        seed: u64,
+    },
+}
 
 /// Identifier of a layer-2 process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -48,6 +87,8 @@ pub struct TcConfig {
     pub nr_vprocs: usize,
     /// Steps a job may run per dispatch before preemption.
     pub quantum: u32,
+    /// Ready-queue organisation (global queue vs per-CPU work-stealing).
+    pub sched: SchedMode,
 }
 
 impl Default for TcConfig {
@@ -56,6 +97,7 @@ impl Default for TcConfig {
             nr_cpus: 2,
             nr_vprocs: 8,
             quantum: 8,
+            sched: SchedMode::GlobalQueue,
         }
     }
 }
@@ -79,6 +121,21 @@ pub struct TcStats {
     pub processes_killed: u64,
     /// Wakeups lost to injected faults (the sender paid; nobody woke).
     pub wakeups_dropped: u64,
+    /// Successful steals (work-stealing mode only).
+    pub steals: u64,
+    /// Victim queues probed during steal attempts (successful or not).
+    pub steal_attempts: u64,
+    /// Dedicated virtual processors dispatched away from their home CPU.
+    /// The pinning invariant says this stays 0; counted defensively so
+    /// the proptests and E19 claims can assert it.
+    pub dedicated_migrations: u64,
+    /// Dispatch rounds in which at least one CPU ran.
+    pub rounds: u64,
+    /// Simulated wall time: per round, the *maximum* busy cycles of any
+    /// one CPU (CPUs in a round run side by side).
+    pub wall_cycles: u64,
+    /// Total busy cycles across all CPUs (the clock's own view).
+    pub busy_cycles: u64,
 }
 
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -124,12 +181,29 @@ pub struct TrafficController<C> {
     /// Drops already published to the metrics registry (so the
     /// `tc.wakeups_dropped` counter is a delta feed, not a re-count).
     published_drops: u64,
+    /// Per-CPU run queues (work-stealing mode; empty otherwise).
+    cpu_queues: Vec<VecDeque<VpIndex>>,
+    /// Pre-built `par.tc.queue_depth.<cpu>` metric names (no per-tick
+    /// allocation on the publish path).
+    queue_depth_names: Vec<String>,
+    /// Seeded generator for victim selection and idle placement.
+    rng: SplitMix64,
+    /// CPU currently dispatching (placement locality for requeues).
+    current_cpu: Option<usize>,
+    /// Steals already published to the metrics registry (delta feed).
+    published_steals: u64,
+    /// Lock-contention touches already published (delta feed).
+    published_contention: u64,
 }
 
 impl<C: HasMachine> TrafficController<C> {
     /// Creates a controller with `cfg.nr_vprocs` idle slots.
     pub fn new(cfg: TcConfig) -> TrafficController<C> {
         assert!(cfg.nr_cpus >= 1 && cfg.nr_vprocs >= 1 && cfg.quantum >= 1);
+        let seed = match cfg.sched {
+            SchedMode::GlobalQueue => 0,
+            SchedMode::WorkStealing { seed } => seed,
+        };
         TrafficController {
             cfg,
             vprocs: (0..cfg.nr_vprocs).map(|_| VProc::idle()).collect(),
@@ -142,6 +216,22 @@ impl<C: HasMachine> TrafficController<C> {
             events: EventTable::new(),
             stats: TcStats::default(),
             published_drops: 0,
+            cpu_queues: match cfg.sched {
+                SchedMode::GlobalQueue => Vec::new(),
+                SchedMode::WorkStealing { .. } => {
+                    (0..cfg.nr_cpus).map(|_| VecDeque::new()).collect()
+                }
+            },
+            queue_depth_names: match cfg.sched {
+                SchedMode::GlobalQueue => Vec::new(),
+                SchedMode::WorkStealing { .. } => (0..cfg.nr_cpus)
+                    .map(|cpu| format!("par.tc.queue_depth.{cpu}"))
+                    .collect(),
+            },
+            rng: SplitMix64::new(seed),
+            current_cpu: None,
+            published_steals: 0,
+            published_contention: 0,
         }
     }
 
@@ -179,7 +269,7 @@ impl<C: HasMachine> TrafficController<C> {
         self.vprocs[slot].binding = VpBinding::Dedicated;
         self.vprocs[slot].state = VpState::Ready;
         self.dedicated_jobs[slot] = Some(job);
-        self.vp_ready.push_back(vp);
+        self.enqueue_ready(vp);
         vp
     }
 
@@ -311,7 +401,7 @@ impl<C: HasMachine> TrafficController<C> {
                     let v = &mut self.vprocs[vp.0 as usize];
                     if let VpState::Blocked(_) = v.state {
                         v.state = VpState::Ready;
-                        self.vp_ready.push_back(vp);
+                        self.enqueue_ready(vp);
                     }
                 }
                 Waiter::Process(pid) => {
@@ -357,7 +447,7 @@ impl<C: HasMachine> TrafficController<C> {
             entry.state = PState::Bound(vp);
             self.vprocs[slot].binding = VpBinding::Process(pid);
             self.vprocs[slot].state = VpState::Ready;
-            self.vp_ready.push_back(vp);
+            self.enqueue_ready(vp);
         }
     }
 
@@ -379,7 +469,7 @@ impl<C: HasMachine> TrafficController<C> {
         // signal — its tail says how far behind the run queue got.
         m.trace.observe_quantile(
             "q.procs.ready_depth.all",
-            self.vp_ready.len() as u64,
+            self.ready_depth() as u64,
             None,
             &format!("vp {}", vp.0),
         );
@@ -436,11 +526,11 @@ impl<C: HasMachine> TrafficController<C> {
                 Step::Continue => {
                     if used + 1 == self.cfg.quantum {
                         self.stats.preemptions += 1;
-                        self.vp_ready.push_back(vp);
+                        self.enqueue_ready(vp);
                     }
                 }
                 Step::Yield => {
-                    self.vp_ready.push_back(vp);
+                    self.enqueue_ready(vp);
                     return;
                 }
                 Step::Block(event) => {
@@ -458,7 +548,7 @@ impl<C: HasMachine> TrafficController<C> {
                     };
                     if self.events.block(waiter, event) {
                         // Pending switch was set: keep running next round.
-                        self.vp_ready.push_back(vp);
+                        self.enqueue_ready(vp);
                     } else {
                         match waiter {
                             Waiter::Dedicated(_) => {
@@ -500,20 +590,75 @@ impl<C: HasMachine> TrafficController<C> {
         }
     }
 
+    /// Routes a newly ready virtual processor to the right queue: the
+    /// shared queue (global mode), or — work-stealing — its home CPU if
+    /// dedicated, else the CPU that made it ready (a seeded pick when no
+    /// CPU is dispatching, e.g. an external interrupt).
+    fn enqueue_ready(&mut self, vp: VpIndex) {
+        match self.cfg.sched {
+            SchedMode::GlobalQueue => self.vp_ready.push_back(vp),
+            SchedMode::WorkStealing { .. } => {
+                let cpu = if self.vprocs[vp.0 as usize].binding == VpBinding::Dedicated {
+                    self.home_cpu(vp)
+                } else {
+                    match self.current_cpu {
+                        Some(cpu) => cpu,
+                        None => self.rng.below(self.cfg.nr_cpus as u64) as usize,
+                    }
+                };
+                self.cpu_queues[cpu].push_back(vp);
+            }
+        }
+    }
+
+    /// The CPU a dedicated virtual processor is pinned to.
+    fn home_cpu(&self, vp: VpIndex) -> usize {
+        vp.0 as usize % self.cfg.nr_cpus
+    }
+
+    /// True iff a queue entry is still worth dispatching.
+    fn is_runnable(&self, vp: VpIndex) -> bool {
+        let v = &self.vprocs[vp.0 as usize];
+        v.state == VpState::Ready && v.binding != VpBinding::Free
+    }
+
+    /// Ready entries across all queues (stale entries included — the
+    /// same approximation the global queue always reported).
+    fn ready_depth(&self) -> usize {
+        match self.cfg.sched {
+            SchedMode::GlobalQueue => self.vp_ready.len(),
+            SchedMode::WorkStealing { .. } => self.cpu_queues.iter().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Diagnostic: per-CPU run-queue depths (empty in global mode).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.cpu_queues.iter().map(VecDeque::len).collect()
+    }
+
     /// One dispatch round: layer-2 binding, then up to `nr_cpus` dispatches.
     ///
     /// Returns `true` if any job ran.
     pub fn tick(&mut self, ctx: &mut C) -> bool {
         self.publish_metrics(ctx);
         self.bind_processes();
+        match self.cfg.sched {
+            SchedMode::GlobalQueue => self.tick_global(ctx),
+            SchedMode::WorkStealing { .. } => self.tick_worksteal(ctx),
+        }
+    }
+
+    /// The historical single-queue round, unchanged semantics: every
+    /// pinned scheduling trace is produced by exactly this code.
+    fn tick_global(&mut self, ctx: &mut C) -> bool {
         let mut ran = false;
+        let mut max_busy = 0;
         for _ in 0..self.cfg.nr_cpus {
             let vp = loop {
                 match self.vp_ready.pop_front() {
                     Some(vp) => {
                         // Skip stale queue entries.
-                        let v = &self.vprocs[vp.0 as usize];
-                        if v.state == VpState::Ready && v.binding != VpBinding::Free {
+                        if self.is_runnable(vp) {
                             break Some(vp);
                         }
                     }
@@ -523,7 +668,8 @@ impl<C: HasMachine> TrafficController<C> {
             match vp {
                 Some(vp) => {
                     ran = true;
-                    self.dispatch(ctx, vp);
+                    let busy = self.dispatch_timed(ctx, vp);
+                    max_busy = max_busy.max(busy);
                     // Newly runnable processes may bind to freed slots for
                     // the remaining CPUs this round.
                     self.bind_processes();
@@ -531,7 +677,102 @@ impl<C: HasMachine> TrafficController<C> {
                 None => break,
             }
         }
+        if ran {
+            self.stats.rounds += 1;
+            self.stats.wall_cycles += max_busy;
+        }
         ran
+    }
+
+    /// The per-CPU round: each CPU pops its own queue, stealing from a
+    /// seeded victim when idle. Simulated wall time advances by the
+    /// busiest CPU of the round.
+    fn tick_worksteal(&mut self, ctx: &mut C) -> bool {
+        let mut ran = false;
+        let mut max_busy = 0;
+        for cpu in 0..self.cfg.nr_cpus {
+            self.current_cpu = Some(cpu);
+            if let Some(vp) = self.next_ready_worksteal(ctx, cpu) {
+                ran = true;
+                if self.vprocs[vp.0 as usize].binding == VpBinding::Dedicated
+                    && self.home_cpu(vp) != cpu
+                {
+                    self.stats.dedicated_migrations += 1;
+                }
+                let busy = self.dispatch_timed(ctx, vp);
+                max_busy = max_busy.max(busy);
+                self.bind_processes();
+            }
+            self.current_cpu = None;
+        }
+        if ran {
+            self.stats.rounds += 1;
+            self.stats.wall_cycles += max_busy;
+        }
+        ran
+    }
+
+    /// Dispatches and returns the cycles this CPU was busy.
+    fn dispatch_timed(&mut self, ctx: &mut C, vp: VpIndex) -> u64 {
+        let t0 = ctx.machine().clock.now();
+        self.dispatch(ctx, vp);
+        let busy = ctx.machine().clock.now() - t0;
+        self.stats.busy_cycles += busy;
+        busy
+    }
+
+    /// Pops CPU `cpu`'s own queue (front), falling back to stealing.
+    /// Queue accesses are bracketed with the run-queue model locks so the
+    /// lock-order audit sees the scheduler's discipline.
+    fn next_ready_worksteal(&mut self, ctx: &mut C, cpu: usize) -> Option<VpIndex> {
+        let locks = ctx.machine().locks.clone();
+        locks.acquire(LockId::TcRunQueue(cpu as u8));
+        let local = loop {
+            match self.cpu_queues[cpu].pop_front() {
+                Some(vp) if self.is_runnable(vp) => break Some(vp),
+                Some(_) => continue, // stale entry
+                None => break None,
+            }
+        };
+        locks.release(LockId::TcRunQueue(cpu as u8));
+        if local.is_some() {
+            return local;
+        }
+        self.try_steal(ctx, cpu)
+    }
+
+    /// Probes the other CPUs' queues in a seeded rotation, taking the
+    /// *back-most* stealable (shared, runnable) entry of the first victim
+    /// that has one. Dedicated virtual processors are never stolen. The
+    /// two run-queue locks are acquired in ascending CPU index — the
+    /// declared order that keeps concurrent stealers deadlock-free.
+    fn try_steal(&mut self, ctx: &mut C, cpu: usize) -> Option<VpIndex> {
+        let n = self.cfg.nr_cpus;
+        if n < 2 {
+            return None;
+        }
+        let locks = ctx.machine().locks.clone();
+        let start = self.rng.below((n - 1) as u64) as usize;
+        for probe in 0..n - 1 {
+            // Rotation over all CPUs except self (offset is in 1..=n-1).
+            let victim = (cpu + 1 + (start + probe) % (n - 1)) % n;
+            self.stats.steal_attempts += 1;
+            let (lo, hi) = (cpu.min(victim), cpu.max(victim));
+            locks.acquire(LockId::TcRunQueue(lo as u8));
+            locks.acquire(LockId::TcRunQueue(hi as u8));
+            let found = self.cpu_queues[victim]
+                .iter()
+                .rposition(|&vp| self.is_runnable(vp) && !self.slot_is_dedicated(vp));
+            let stolen = found.and_then(|idx| self.cpu_queues[victim].remove(idx));
+            locks.release(LockId::TcRunQueue(hi as u8));
+            locks.release(LockId::TcRunQueue(lo as u8));
+            if let Some(vp) = stolen {
+                self.stats.steals += 1;
+                locks.note_contended(LockId::TcRunQueue(victim as u8));
+                return Some(vp);
+            }
+        }
+        None
     }
 
     /// Publishes scheduler health to the flight recorder once per tick:
@@ -550,6 +791,25 @@ impl<C: HasMachine> TrafficController<C> {
             m.trace.counter_add("tc.wakeups_dropped", unpublished);
             self.published_drops = self.stats.wakeups_dropped;
         }
+        // The par.* family exists only in work-stealing mode, so the
+        // baseline scheduler's metric registry stays byte-identical.
+        if let SchedMode::WorkStealing { .. } = self.cfg.sched {
+            for (cpu, q) in self.cpu_queues.iter().enumerate() {
+                m.trace
+                    .observe(&self.queue_depth_names[cpu], q.len() as u64);
+            }
+            let new_steals = self.stats.steals - self.published_steals;
+            if new_steals > 0 {
+                m.trace.counter_add("par.tc.steals", new_steals);
+                self.published_steals = self.stats.steals;
+            }
+            let contended = m.locks.contended_total();
+            let new_contention = contended - self.published_contention;
+            if new_contention > 0 {
+                m.trace.counter_add("par.lock.contention", new_contention);
+                self.published_contention = contended;
+            }
+        }
     }
 
     /// Runs dispatch rounds until the system is quiescent (no ready work)
@@ -564,7 +824,7 @@ impl<C: HasMachine> TrafficController<C> {
             }
         }
         // One more probe: quiescent only if nothing is ready now.
-        let quiescent = self.vp_ready.is_empty() && self.proc_ready.is_empty();
+        let quiescent = self.ready_depth() == 0 && self.proc_ready.is_empty();
         RunOutcome {
             rounds: max_rounds,
             quiescent,
@@ -625,6 +885,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         let pid = tc.spawn(counter_job(10, c.clone()));
@@ -641,6 +902,7 @@ mod tests {
             nr_cpus: 2,
             nr_vprocs: 3,
             quantum: 2,
+            sched: SchedMode::GlobalQueue,
         });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         let pids: Vec<_> = (0..10)
@@ -705,6 +967,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let event = tc.alloc_event();
         // Wakeup arrives before anyone blocks (e.g. an early interrupt).
@@ -740,6 +1003,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let event = tc.alloc_event();
         // A daemon that waits for work forever.
@@ -769,6 +1033,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 2,
+            sched: SchedMode::GlobalQueue,
         });
         let c1 = std::rc::Rc::new(std::cell::Cell::new(0));
         let c2 = std::rc::Rc::new(std::cell::Cell::new(0));
@@ -791,6 +1056,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         tc.spawn(counter_job(4, c));
@@ -807,6 +1073,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 3,
             quantum: 2,
+            sched: SchedMode::GlobalQueue,
         });
         let event = tc.alloc_event();
         let ran = std::rc::Rc::new(std::cell::Cell::new(0u32));
@@ -849,6 +1116,7 @@ mod tests {
             nr_cpus: 1,
             nr_vprocs: 2,
             quantum: 2,
+            sched: SchedMode::GlobalQueue,
         });
         let c = std::rc::Rc::new(std::cell::Cell::new(0));
         let pid = tc.spawn(counter_job(10, c.clone()));
@@ -865,6 +1133,7 @@ mod tests {
                 nr_cpus: 2,
                 nr_vprocs: 4,
                 quantum: 3,
+                sched: SchedMode::GlobalQueue,
             });
             let c = std::rc::Rc::new(std::cell::Cell::new(0));
             for _ in 0..6 {
@@ -879,5 +1148,186 @@ mod tests {
             )
         };
         assert_eq!(trace(), trace());
+    }
+
+    fn ws_cfg(nr_cpus: usize, nr_vprocs: usize, quantum: u32, seed: u64) -> TcConfig {
+        TcConfig {
+            nr_cpus,
+            nr_vprocs,
+            quantum,
+            sched: SchedMode::WorkStealing { seed },
+        }
+    }
+
+    #[test]
+    fn worksteal_completes_and_conserves_work() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(ws_cfg(4, 8, 2, 7));
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let pids: Vec<_> = (0..12)
+            .map(|i| tc.spawn(counter_job(3 + i % 5, c.clone())))
+            .collect();
+        let out = tc.run_until_quiet(&mut m, 100_000);
+        assert!(out.quiescent);
+        assert!(pids.iter().all(|p| tc.process_done(*p)));
+        let total: u32 = (0..12).map(|i| 3 + i % 5).sum();
+        assert_eq!(c.get(), total, "stolen work neither duplicated nor lost");
+        assert_eq!(tc.stats().dedicated_migrations, 0);
+    }
+
+    #[test]
+    fn worksteal_rebalances_via_steals() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(ws_cfg(4, 8, 1, 11));
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        // Mixed lengths: queues drain unevenly, idle CPUs must steal.
+        for len in [40, 1, 1, 40, 1, 40, 1, 1] {
+            tc.spawn(counter_job(len, c.clone()));
+        }
+        let out = tc.run_until_quiet(&mut m, 100_000);
+        assert!(out.quiescent);
+        assert_eq!(c.get(), 125);
+        assert!(
+            tc.stats().steals > 0,
+            "idle CPUs must have stolen: {:?}",
+            tc.stats()
+        );
+        assert!(tc.stats().steal_attempts >= tc.stats().steals);
+    }
+
+    #[test]
+    fn worksteal_never_migrates_dedicated_slots() {
+        let mut m = machine();
+        let mut tc: TrafficController<Machine> = TrafficController::new(ws_cfg(3, 6, 2, 5));
+        let events: Vec<EventId> = (0..3).map(|_| tc.alloc_event()).collect();
+        let served = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        for &event in &events {
+            let s = served.clone();
+            tc.add_dedicated(Box::new(FnJob::new(
+                "daemon",
+                move |_eff: &mut Effects<'_, Machine>| {
+                    s.set(s.get() + 1);
+                    Step::Block(event)
+                },
+            )));
+        }
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        for _ in 0..6 {
+            tc.spawn(counter_job(9, c.clone()));
+        }
+        tc.run_until_quiet(&mut m, 100_000);
+        // Interrupt-style wakeups keep re-running the daemons on their
+        // home CPUs while shared work is being stolen around them.
+        for round in 0..4 {
+            tc.wakeup_external(&mut m, events[round % events.len()]);
+            tc.run_until_quiet(&mut m, 10_000);
+        }
+        assert!(served.get() >= 3 + 4);
+        assert_eq!(
+            tc.stats().dedicated_migrations,
+            0,
+            "dedicated virtual processors are pinned to their home CPU"
+        );
+    }
+
+    #[test]
+    fn worksteal_runs_are_bit_reproducible() {
+        let trace = |seed: u64| {
+            let mut m = machine();
+            let mut tc = TrafficController::new(ws_cfg(4, 8, 3, seed));
+            let c = std::rc::Rc::new(std::cell::Cell::new(0));
+            for i in 0..10 {
+                tc.spawn(counter_job(4 + i % 7, c.clone()));
+            }
+            tc.run_until_quiet(&mut m, 100_000);
+            let s = tc.stats();
+            (
+                m.clock.now(),
+                s.dispatches,
+                s.steps,
+                s.steals,
+                s.steal_attempts,
+                s.wall_cycles,
+                c.get(),
+            )
+        };
+        assert_eq!(trace(42), trace(42), "same seed, same schedule");
+    }
+
+    #[test]
+    fn wall_cycles_show_parallel_speedup() {
+        let run = |nr_cpus: usize| {
+            let mut m = machine();
+            let mut tc = TrafficController::new(ws_cfg(nr_cpus, 16, 4, 3));
+            let c = std::rc::Rc::new(std::cell::Cell::new(0));
+            for _ in 0..16 {
+                tc.spawn(counter_job(32, c.clone()));
+            }
+            tc.run_until_quiet(&mut m, 1_000_000);
+            let s = tc.stats();
+            assert_eq!(c.get(), 512);
+            (s.wall_cycles, s.busy_cycles)
+        };
+        let (wall1, busy1) = run(1);
+        let (wall4, busy4) = run(4);
+        assert_eq!(wall1, busy1, "one CPU: wall time is busy time");
+        assert!(
+            wall4 * 2 < busy4,
+            "4 CPUs: wall {wall4} should be well under busy {busy4}"
+        );
+        assert!(
+            wall4 * 2 < wall1,
+            "4 CPUs should finish in well under half the wall time: {wall4} vs {wall1}"
+        );
+    }
+
+    #[test]
+    fn worksteal_queue_accesses_keep_lock_order_clean() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(ws_cfg(4, 8, 1, 13));
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        for len in [30, 1, 1, 30, 1, 30] {
+            tc.spawn(counter_job(len, c.clone()));
+        }
+        tc.run_until_quiet(&mut m, 100_000);
+        let audit = m.locks.audit();
+        assert!(tc.stats().steals > 0, "want the steal path exercised");
+        assert!(audit.clean(), "{audit:?}");
+        assert!(
+            audit.contended_total() >= tc.stats().steals,
+            "every steal is a contention touch"
+        );
+    }
+
+    #[test]
+    fn worksteal_publishes_par_metrics() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(ws_cfg(2, 4, 1, 9));
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        for len in [20, 1, 1, 20] {
+            tc.spawn(counter_job(len, c.clone()));
+        }
+        tc.run_until_quiet(&mut m, 100_000);
+        // One more tick publishes the final deltas.
+        tc.tick(&mut m);
+        let json = m.trace.snapshot().to_json();
+        assert!(json.contains("par.tc.queue_depth.0"), "per-CPU depth gauge");
+        assert!(json.contains("par.tc.queue_depth.1"));
+        assert!(json.contains("par.tc.steals"), "steal counter exported");
+        assert!(json.contains("par.lock.contention"), "contention counter");
+    }
+
+    #[test]
+    fn global_mode_publishes_no_par_metrics() {
+        let mut m = machine();
+        let mut tc = TrafficController::new(TcConfig::default());
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        tc.spawn(counter_job(10, c));
+        tc.run_until_quiet(&mut m, 1000);
+        let json = m.trace.snapshot().to_json();
+        assert!(
+            !json.contains("par.tc."),
+            "baseline registry must stay byte-identical"
+        );
     }
 }

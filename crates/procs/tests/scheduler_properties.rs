@@ -3,7 +3,7 @@
 //! determinism under arbitrary configurations.
 
 use mks_hw::{CpuModel, Machine};
-use mks_procs::{Effects, FnJob, Step, TcConfig, TrafficController};
+use mks_procs::{Effects, FnJob, SchedMode, Step, TcConfig, TrafficController};
 use proptest::prelude::*;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -13,6 +13,7 @@ fn arb_cfg() -> impl Strategy<Value = TcConfig> {
         nr_cpus,
         nr_vprocs,
         quantum,
+        sched: SchedMode::GlobalQueue,
     })
 }
 
@@ -111,7 +112,7 @@ proptest! {
     #[test]
     fn round_robin_is_fair(quantum in 1u32..5, njobs in 2usize..6) {
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: njobs + 1, quantum });
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs: njobs + 1, quantum, sched: SchedMode::GlobalQueue });
         let counters: Vec<Rc<Cell<u32>>> = (0..njobs).map(|_| Rc::new(Cell::new(0))).collect();
         for c in &counters {
             let c = c.clone();
@@ -168,7 +169,7 @@ proptest! {
     ) {
         let n = schedule.len().clamp(1, 6);
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum });
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum, sched: SchedMode::GlobalQueue });
         let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
         let dones: Vec<Rc<Cell<bool>>> = (0..n).map(|_| Rc::new(Cell::new(false))).collect();
         let mut pids = Vec::new();
@@ -214,7 +215,7 @@ proptest! {
         ops in prop::collection::vec((0u8..4, 0usize..8), 1..24),
     ) {
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs, quantum: 3 });
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 2, nr_vprocs, quantum: 3, sched: SchedMode::GlobalQueue });
         let daemon_events: Vec<_> = (0..nr_daemons).map(|_| tc.alloc_event()).collect();
         let served = Rc::new(Cell::new(0u32));
         let vps: Vec<_> = daemon_events
@@ -276,7 +277,7 @@ proptest! {
         mix in prop::collection::vec((0u8..2, 1u32..12), 2..10),
     ) {
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 2 });
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 2, sched: SchedMode::GlobalQueue });
         let mut blocker_events = Vec::new();
         let mut flags = Vec::new();
         let mut pids = Vec::new();
@@ -319,7 +320,7 @@ proptest! {
     ) {
         use mks_hw::{FaultEvent, FaultPlan, InjectKind};
         let mut m = Machine::new(CpuModel::H6180, 2);
-        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 4 });
+        let mut tc = TrafficController::new(TcConfig { nr_cpus: 1, nr_vprocs, quantum: 4, sched: SchedMode::GlobalQueue });
         let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
         let dones: Vec<Rc<Cell<bool>>> = (0..n).map(|_| Rc::new(Cell::new(false))).collect();
         let pids: Vec<_> = (0..n)

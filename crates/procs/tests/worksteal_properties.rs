@@ -1,0 +1,225 @@
+//! Property tests for the work-stealing scheduler (E19, satellite):
+//! stolen tasks are never duplicated or dropped, dedicated slots are
+//! never stolen, and eventual dispatch holds under arbitrary steal
+//! interleavings — all swept over arbitrary CPU counts, slot counts,
+//! quanta and scheduler seeds.
+
+use mks_hw::{CpuModel, Machine};
+use mks_procs::{Effects, FnJob, SchedMode, Step, TcConfig, TrafficController};
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn arb_ws_cfg() -> impl Strategy<Value = TcConfig> {
+    (1usize..=8, 1usize..12, 1u32..6, any::<u64>()).prop_map(
+        |(nr_cpus, nr_vprocs, quantum, seed)| TcConfig {
+            nr_cpus,
+            nr_vprocs,
+            quantum,
+            sched: SchedMode::WorkStealing { seed },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Never duplicated, never dropped.** Under any configuration and
+    /// seed, every spawned job runs exactly its own number of steps: a
+    /// duplicated steal would overshoot the shared counter, a dropped
+    /// one would undershoot (and break quiescence).
+    #[test]
+    fn stolen_work_is_exactly_conserved(
+        cfg in arb_ws_cfg(),
+        lens in prop::collection::vec(1u32..30, 1..12),
+    ) {
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(cfg);
+        let done = Rc::new(Cell::new(0u32));
+        let total: u32 = lens.iter().sum();
+        let mut pids = Vec::new();
+        for len in &lens {
+            let mut left = *len;
+            let d = done.clone();
+            pids.push(tc.spawn(Box::new(FnJob::new("w", move |_e: &mut Effects<'_, Machine>| {
+                d.set(d.get() + 1);
+                left -= 1;
+                if left == 0 { Step::Done } else { Step::Continue }
+            }))));
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent);
+        for pid in pids {
+            prop_assert!(tc.process_done(pid));
+        }
+        prop_assert_eq!(done.get(), total);
+        prop_assert_eq!(tc.stats().processes_finished, lens.len() as u64);
+        prop_assert_eq!(tc.stats().steps, u64::from(total));
+    }
+
+    /// **Dedicated slots are never stolen.** Daemons pinned at system
+    /// initialization stay on their home CPU through arbitrary wakeup
+    /// schedules while shared work is stolen around them, and their
+    /// slots never change binding.
+    #[test]
+    fn dedicated_slots_are_never_stolen(
+        nr_cpus in 2usize..=8,
+        quantum in 1u32..6,
+        seed in any::<u64>(),
+        nr_daemons in 1usize..4,
+        wake_schedule in prop::collection::vec((0usize..4, 0u32..4), 1..10),
+    ) {
+        let nr_vprocs = nr_daemons + 4;
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc: TrafficController<Machine> = TrafficController::new(TcConfig {
+            nr_cpus,
+            nr_vprocs,
+            quantum,
+            sched: SchedMode::WorkStealing { seed },
+        });
+        let events: Vec<_> = (0..nr_daemons).map(|_| tc.alloc_event()).collect();
+        let served = Rc::new(Cell::new(0u32));
+        let mut daemon_vps = Vec::new();
+        for &event in &events {
+            let s = served.clone();
+            daemon_vps.push(tc.add_dedicated(Box::new(FnJob::new(
+                "daemon",
+                move |_e: &mut Effects<'_, Machine>| {
+                    s.set(s.get() + 1);
+                    Step::Block(event)
+                },
+            ))));
+        }
+        // Shared load of uneven lengths so steals actually happen.
+        let c = Rc::new(Cell::new(0u32));
+        for i in 0..4u32 {
+            let mut left = 1 + (i * 13) % 25;
+            let cc = c.clone();
+            tc.spawn(Box::new(FnJob::new("w", move |_e: &mut Effects<'_, Machine>| {
+                cc.set(cc.get() + 1);
+                left -= 1;
+                if left == 0 { Step::Done } else { Step::Continue }
+            })));
+        }
+        for (pick, pre_ticks) in &wake_schedule {
+            for _ in 0..*pre_ticks {
+                tc.tick(&mut m);
+            }
+            tc.wakeup_external(&mut m, events[pick % events.len()]);
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent);
+        prop_assert_eq!(tc.stats().dedicated_migrations, 0);
+        for vp in daemon_vps {
+            prop_assert!(tc.slot_is_dedicated(vp), "dedicated binding must never change");
+        }
+        prop_assert!(served.get() >= nr_daemons as u32);
+    }
+
+    /// **Eventual dispatch under arbitrary steal interleavings.** A
+    /// one-shot consumer per channel, woken at an arbitrary point of an
+    /// arbitrary tick interleaving, on an arbitrary seeded schedule:
+    /// whichever queue the consumer lands on (or is stolen to), it must
+    /// run and complete — no wakeup is lost, nothing is marooned on an
+    /// idle CPU's queue.
+    #[test]
+    fn eventual_dispatch_under_arbitrary_interleavings(
+        nr_cpus in 1usize..=8,
+        nr_vprocs in 2usize..8,
+        quantum in 1u32..6,
+        seed in any::<u64>(),
+        schedule in prop::collection::vec((0usize..8, 0u32..4), 1..8),
+    ) {
+        let n = schedule.len().clamp(1, 6);
+        let mut m = Machine::new(CpuModel::H6180, 2);
+        let mut tc = TrafficController::new(TcConfig {
+            nr_cpus,
+            nr_vprocs,
+            quantum,
+            sched: SchedMode::WorkStealing { seed },
+        });
+        let events: Vec<_> = (0..n).map(|_| tc.alloc_event()).collect();
+        let dones: Vec<Rc<Cell<bool>>> = (0..n).map(|_| Rc::new(Cell::new(false))).collect();
+        let mut pids = Vec::new();
+        for i in 0..n {
+            let event = events[i];
+            let d = dones[i].clone();
+            let mut blocked = false;
+            pids.push(tc.spawn(Box::new(FnJob::new(
+                "consumer",
+                move |_e: &mut Effects<'_, Machine>| {
+                    if !blocked {
+                        blocked = true;
+                        Step::Block(event)
+                    } else {
+                        d.set(true);
+                        Step::Done
+                    }
+                },
+            ))));
+        }
+        let mut sent = vec![false; n];
+        for (pick, pre_ticks) in &schedule {
+            for _ in 0..*pre_ticks {
+                tc.tick(&mut m);
+            }
+            let i = pick % n;
+            if !sent[i] {
+                sent[i] = true;
+                tc.wakeup_external(&mut m, events[i]);
+            }
+        }
+        for (i, was_sent) in sent.iter().enumerate() {
+            if !was_sent {
+                tc.wakeup_external(&mut m, events[i]);
+            }
+        }
+        let out = tc.run_until_quiet(&mut m, 1_000_000);
+        prop_assert!(out.quiescent, "scheduler wedged");
+        for (i, pid) in pids.iter().enumerate() {
+            prop_assert!(tc.process_done(*pid), "consumer {i} never completed");
+            prop_assert!(dones[i].get());
+        }
+        prop_assert_eq!(tc.stats().wakeups_dropped, 0);
+    }
+
+    /// **Bit-reproducible.** The same configuration and seed produce the
+    /// same clock, the same dispatch/steal counts, and the same
+    /// simulated wall time; the lock-order audit stays clean throughout.
+    #[test]
+    fn seeded_schedules_are_reproducible_and_lock_clean(
+        cfg in arb_ws_cfg(),
+        lens in prop::collection::vec(1u32..20, 1..8),
+    ) {
+        let run = || {
+            let mut m = Machine::new(CpuModel::H6180, 2);
+            let mut tc = TrafficController::new(cfg);
+            for len in &lens {
+                let mut left = *len;
+                tc.spawn(Box::new(FnJob::new("w", move |_e: &mut Effects<'_, Machine>| {
+                    left -= 1;
+                    if left == 0 { Step::Done } else { Step::Continue }
+                })));
+            }
+            tc.run_until_quiet(&mut m, 1_000_000);
+            let audit = m.locks.audit();
+            let s = tc.stats();
+            (
+                m.clock.now(),
+                s.dispatches,
+                s.steps,
+                s.steals,
+                s.steal_attempts,
+                s.wall_cycles,
+                audit.violations,
+                audit.cycle.is_none(),
+                audit.edges.len(),
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a.6, 0, "no lock-order violations");
+        prop_assert!(a.7, "acquired-lock graph is acyclic");
+    }
+}

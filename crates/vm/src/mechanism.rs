@@ -16,7 +16,7 @@
 //! (experiment E9 injects faults into the policy and classifies outcomes).
 
 use mks_hw::ast::PageState;
-use mks_hw::{AstIndex, Cycles, FrameId, SegUid};
+use mks_hw::{AstIndex, Cycles, FrameId, LockId, SegUid};
 
 use crate::hierarchy::PageAddr;
 use crate::VmWorld;
@@ -87,6 +87,8 @@ impl std::error::Error for MechError {}
 /// core map. The returned vector is in load order and contains no page
 /// contents.
 pub fn usage_stats(w: &mut VmWorld) -> Vec<PageUsage> {
+    let _pc = w.machine.locks.hold(LockId::PageControl);
+    let _ast = w.machine.locks.hold(LockId::Ast);
     let now = w.machine.clock.now();
     let mut out = Vec::with_capacity(w.resident.len());
     for r in &mut w.resident {
@@ -153,8 +155,10 @@ fn injected_transfer_penalty(w: &mut VmWorld) {
 ///   free; the caller must first make bulk space (see
 ///   [`evict_bulk_to_disk`]). The page remains resident and untouched.
 pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), MechError> {
+    let _pc = w.machine.locks.hold(LockId::PageControl);
     let ridx = resident_index(w, uid, page).ok_or(MechError::NotResident(uid, page))?;
     let astx = w.resident[ridx].astx;
+    let _ast = w.machine.locks.hold(LockId::Ast);
     let entry = w.machine.ast.entry(astx);
     let ptw = *entry.pt.ptw(page);
     let frame = match ptw.state {
@@ -164,6 +168,7 @@ pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), Me
     let addr = PageAddr { uid, page };
     let has_lower_copy = w.bulk.contains(addr) || w.disk.contains(addr);
     if ptw.modified || !has_lower_copy {
+        let _bulk = w.machine.locks.hold(LockId::BulkMap);
         let data = w.machine.mem.export_frame(frame);
         w.bulk.store(addr, data).map_err(|_| MechError::BulkFull)?;
         w.machine
@@ -190,6 +195,8 @@ pub fn evict_to_bulk(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<(), Me
 /// latency of both legs is charged but no frame is occupied (the staging
 /// buffer was a dedicated kernel frame).
 pub fn evict_bulk_to_disk(w: &mut VmWorld, addr: PageAddr) -> Result<(), MechError> {
+    let _pc = w.machine.locks.hold(LockId::PageControl);
+    let _bulk = w.machine.locks.hold(LockId::BulkMap);
     let data = w
         .bulk
         .remove(addr)
@@ -214,6 +221,8 @@ pub fn evict_bulk_to_disk(w: &mut VmWorld, addr: PageAddr) -> Result<(), MechErr
 /// * [`MechError::AlreadyResident`] — double load.
 /// * [`MechError::NoFreeFrame`] — the caller must free a frame first.
 pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, MechError> {
+    let _pc = w.machine.locks.hold(LockId::PageControl);
+    let _ast = w.machine.locks.hold(LockId::Ast);
     let astx = w
         .machine
         .ast
@@ -243,6 +252,7 @@ pub fn load_page(w: &mut VmWorld, uid: SegUid, page: usize) -> Result<FrameId, M
     }
     let addr = PageAddr { uid, page };
     let frame = w.take_free_frame().expect("checked non-empty");
+    let _bulk = w.machine.locks.hold(LockId::BulkMap);
     if let Some(data) = w.bulk.read(addr) {
         w.machine.mem.import_frame(frame, data);
         w.machine

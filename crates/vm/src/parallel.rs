@@ -327,13 +327,14 @@ mod tests {
     use super::*;
     use crate::policy::FifoPolicy;
     use mks_hw::{CpuModel, PAGE_WORDS};
-    use mks_procs::TcConfig;
+    use mks_procs::{SchedMode, TcConfig};
 
     fn system(frames: usize, bulk: usize) -> (VmSystem, TrafficController<VmSystem>) {
         let mut tc = TrafficController::new(TcConfig {
             nr_cpus: 2,
             nr_vprocs: 6,
             quantum: 4,
+            sched: SchedMode::GlobalQueue,
         });
         let world = VmWorld::new(Machine::new(CpuModel::H6180, frames), bulk);
         let pc = ParallelPageControl::new(ParallelConfig::default(), &mut tc);

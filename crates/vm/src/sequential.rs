@@ -16,7 +16,7 @@
 //! synchronously and records how many distinct steps the path took, which is
 //! the complexity metric experiment E5 reports.
 
-use mks_hw::{Cycles, FrameId, SegUid};
+use mks_hw::{Cycles, FrameId, LockId, SegUid};
 
 use crate::mechanism::{self, MechError};
 use crate::policy::ReplacePolicy;
@@ -65,6 +65,10 @@ impl SequentialPageControl {
             .machine
             .trace
             .span(mks_trace::Layer::Vm, "vm.fault_service");
+        // The paper's baseline arm: the *entire* cascade runs under one
+        // global kernel lock; the finer page-control/AST/bulk-map locks
+        // nest beneath it in strictly increasing rank.
+        let _kernel = w.machine.locks.hold(LockId::Kernel);
         let t0 = w.machine.clock.now();
         let mut steps: u32 = 1; // fault entry / lookup
                                 // Make a frame available.
@@ -205,6 +209,33 @@ mod tests {
         assert!(pc.touch(&mut w, uid, 0).unwrap() > 0);
         assert_eq!(pc.touch(&mut w, uid, 0).unwrap(), 0);
         assert_eq!(w.stats().faults, 1);
+    }
+
+    #[test]
+    fn deep_cascade_keeps_the_lock_order_audit_clean() {
+        // The full global-lock cascade touches every lock class the model
+        // knows about page control; the acquisition graph must come out
+        // rank-ordered and acyclic.
+        let mut w = world(1, 1);
+        let mut pc = SequentialPageControl::new(Box::new(FifoPolicy));
+        let uid = seg(&mut w, 1, 3);
+        pc.handle_fault(&mut w, uid, 0).unwrap();
+        pc.handle_fault(&mut w, uid, 1).unwrap();
+        pc.handle_fault(&mut w, uid, 2).unwrap();
+        let audit = w.machine.locks.audit();
+        assert!(
+            audit.clean(),
+            "lock audit dirty: {:?}",
+            audit.violation_notes
+        );
+        assert!(
+            audit.edges.contains(&(LockId::Kernel, LockId::PageControl)),
+            "global-lock arm must nest page control under the kernel lock"
+        );
+        assert!(audit.edges.contains(&(LockId::PageControl, LockId::Ast)));
+        assert!(audit
+            .edges
+            .contains(&(LockId::PageControl, LockId::BulkMap)));
     }
 
     #[test]

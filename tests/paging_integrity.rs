@@ -5,7 +5,7 @@
 //! and disk — and a *fresh* page must always read as zeros (no residue).
 
 use mks_hw::{CpuModel, Machine, SegUid, Word, PAGE_WORDS};
-use mks_procs::{TcConfig, TrafficController};
+use mks_procs::{SchedMode, TcConfig, TrafficController};
 use mks_vm::{
     mechanism, BulkFreerJob, ClockPolicy, CoreFreerJob, FifoPolicy, ParallelConfig,
     ParallelPageControl, SegControl, SequentialPageControl, VmAccess, VmWorld,
@@ -132,6 +132,7 @@ fn parallel_design_preserves_every_word() {
         nr_cpus: 2,
         nr_vprocs: 8,
         quantum: 6,
+        sched: SchedMode::GlobalQueue,
     });
     let world = VmWorld::new(Machine::new(CpuModel::H6180, 4), 6);
     let pc = ParallelPageControl::new(
@@ -385,6 +386,7 @@ fn designs_agree_on_final_image_under_injected_slow_disk() {
         nr_cpus: 2,
         nr_vprocs: 8,
         quantum: 6,
+        sched: SchedMode::GlobalQueue,
     });
     let world = VmWorld::new(Machine::new(CpuModel::H6180, 4), 6);
     world.machine.inject.arm(&plan);
