@@ -1,0 +1,6 @@
+//! E20 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e20_replay`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e20_replay::run());
+}

@@ -1,0 +1,548 @@
+//! E20 — the replayable kernel: every state mutation flows through a
+//! sealed commit log, and folding the log back rebuilds the live
+//! kernel bit-exactly at every commit boundary.
+//!
+//! The paper's certification argument is about *checkable history*:
+//! only the kernel need be considered to certify the system, and E15
+//! pins the first instant of that history (boot determinism). This
+//! experiment extends the pin to the whole run. A recorded workload —
+//! the E15 fault mix under seeded injection plans, and the E16 overload
+//! ladder under admission control — leaves a sealed [`CommitLog`] plus
+//! a [`StateDigest`] at every boundary; replaying the log on a fresh
+//! machine must reproduce every digest field (audit log, metrics,
+//! census, clock, labels, boot hash, chain head) with zero mismatches.
+//! Tampered logs are either rejected with typed errors (raw tampering
+//! breaks the seal chain) or caught by the differential (covert
+//! re-sealing moves the boundary digests); three deliberate
+//! [`ReplayMutation`] arms prove the harness has teeth, mirroring E15's
+//! `SalvageMutation`. The commit-log position rides the existing
+//! read-only `hcs_$metering_get` export, so the gate census stays at
+//! the kernel's 54.
+
+use std::fmt::Write;
+
+use mks_kernel::statemachine::workload::{
+    record_fault_run, record_overload_ladder, RecordedRun, WorkloadSpec,
+};
+use mks_kernel::statemachine::{
+    reduce, replay_differential, restore, snapshot_at, Commit, CommitLog, Genesis, ReplayError,
+    ReplayMutation, TimeTravel,
+};
+use mks_kernel::syslog::AuditEvent;
+use mks_kernel::world::admin_user;
+use mks_kernel::Monitor;
+use mks_trace::Snapshot;
+
+use super::ExperimentOutput;
+use crate::claims::{ClaimResult, ClaimShape};
+use crate::report::{banner, Table};
+
+const QUOTE: &str =
+    "only this kernel need be considered in order to certify the security properties of the system";
+
+/// Seeded fault plans in the pinned sweep (the wide randomized sweep
+/// lives in `tests/replay.rs`; this one regenerates `results/`
+/// byte-identically).
+const FAULT_SEEDS: u64 = 16;
+/// Seeded overload-plan fault runs (admission armed under the plan).
+const OVERLOAD_SEEDS: u64 = 8;
+/// Recorded overload ladders.
+const LADDER_SEEDS: u64 = 3;
+/// Seeds given to each covert mutation arm.
+const MUTATION_SEEDS: u64 = 6;
+
+/// One recorded run's replay verdicts.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload family: `fault`, `overload`, `ladder`.
+    pub family: &'static str,
+    /// The workload seed.
+    pub seed: u64,
+    /// Commits sealed.
+    pub commits: u64,
+    /// Whether the `Crash` site stopped the workload mid-stream.
+    pub crashed: bool,
+    /// `Overload` audit records (admission sheds) the run produced.
+    pub sheds: u64,
+    /// Boundary mismatches between the live run and its replay.
+    pub mismatches: u64,
+    /// Whether the boot-check commit saw divergence.
+    pub boot_divergence: bool,
+    /// Denials whose time-travel join found no provenance commit.
+    pub orphan_denials: u64,
+    /// Boundaries whose gate census left the kernel's 54.
+    pub census_drift: u64,
+}
+
+/// The campaign's observations.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Per-run replay verdicts across all three workload families.
+    pub runs: Vec<RunResult>,
+    /// Snapshot/restore round-trip divergences across sampled prefixes.
+    pub snapshot_divergences: u64,
+    /// Prefixes the snapshot round-trip sampled.
+    pub snapshot_prefixes: u64,
+    /// Raw-tamper categories rejected with the right typed error (of 4:
+    /// truncation, splice, payload rewrite, foreign genesis).
+    pub typed_rejections: u64,
+    /// Covert mutation arms detected on *every* seed given to them
+    /// (of 3: skip-commit, reorder-pair, stale-snapshot).
+    pub arms_detected: u64,
+    /// Per-arm detection counts over [`MUTATION_SEEDS`] seeds.
+    pub arm_hits: [(&'static str, u64); 3],
+    /// Whether the metering gate's JSON carries the commit-log position
+    /// and chain head (the read-only export).
+    pub gate_exports_log: bool,
+    /// The boundary CSV artifact (one sampled run per family).
+    pub boundary_csv: String,
+}
+
+fn sheds_in(run: &RecordedRun) -> u64 {
+    run.sm
+        .world()
+        .log
+        .records()
+        .iter()
+        .filter(|r| matches!(r.event, AuditEvent::Overload { .. }))
+        .count() as u64
+}
+
+fn examine(genesis: &Genesis, family: &'static str, seed: u64, run: &RecordedRun) -> RunResult {
+    let log = &run.sm.world().commits;
+    let mismatches = match replay_differential(genesis, log, &run.boundaries) {
+        Ok(m) => m.len() as u64,
+        // A typed rejection of an honest log counts as total divergence.
+        Err(_) => u64::MAX,
+    };
+    let tt = TimeTravel::new(log, &run.boundaries).expect("recorded artifacts match");
+    let orphan_denials = tt
+        .blame_denials(&run.sm.world().log)
+        .iter()
+        .filter(|(_, commit)| commit.is_none())
+        .count() as u64;
+    let census_drift = run.boundaries.iter().filter(|b| b.census != 54).count() as u64;
+    RunResult {
+        family,
+        seed,
+        commits: log.len(),
+        crashed: run.crashed,
+        sheds: sheds_in(run),
+        mismatches,
+        boot_divergence: run.boot_divergence,
+        orphan_denials,
+        census_drift,
+    }
+}
+
+/// Appends one run's boundary digests to the CSV artifact.
+fn boundary_rows(csv: &mut String, family: &str, seed: u64, run: &RecordedRun) {
+    for b in &run.boundaries {
+        writeln!(
+            csv,
+            "{family},{seed},{},{},{},{:016x},{:016x},{},{},{:016x},{:016x}",
+            b.seq,
+            b.clock,
+            b.audit_records,
+            b.audit_digest,
+            b.metrics_digest,
+            b.census,
+            b.processes,
+            b.label_digest,
+            b.log_digest,
+        )
+        .unwrap();
+    }
+}
+
+/// Snapshot/restore at a spread of prefixes of one recorded log.
+fn snapshot_sweep(genesis: &Genesis, run: &RecordedRun) -> (u64, u64) {
+    let log = &run.sm.world().commits;
+    let mut prefixes = 0u64;
+    let mut divergences = 0u64;
+    let mut cuts = vec![0, 1, log.len()];
+    for k in 1..6 {
+        cuts.push(k * log.len() / 6);
+    }
+    cuts.dedup();
+    for upto in cuts {
+        prefixes += 1;
+        let ok = snapshot_at(genesis, log, upto)
+            .and_then(|snap| restore(&snap).map(|sm| (snap, sm)))
+            .map(|(snap, sm)| {
+                sm.digest() == snap.digest && snap.digest == run.boundaries[upto as usize]
+            })
+            .unwrap_or(false);
+        if !ok {
+            divergences += 1;
+        }
+    }
+    (prefixes, divergences)
+}
+
+/// The four raw-tampering categories, each of which must draw the
+/// *right* typed error out of verification.
+fn typed_rejections(genesis: &Genesis, run: &RecordedRun) -> u64 {
+    let log = &run.sm.world().commits;
+    let mut hits = 0u64;
+
+    let cut = log.prefix(log.len() - 2);
+    if cut.verify().is_ok()
+        && matches!(
+            cut.verify_head(log.len(), log.head()),
+            Err(ReplayError::Truncated { .. })
+        )
+    {
+        hits += 1;
+    }
+
+    let mut entries = log.entries().to_vec();
+    entries.remove(2);
+    if matches!(
+        CommitLog::from_parts(log.base(), entries).verify(),
+        Err(ReplayError::NonMonotonic { .. })
+    ) {
+        hits += 1;
+    }
+
+    let mut entries = log.entries().to_vec();
+    entries[4].commit = Commit::Tick { times: 99 };
+    if matches!(
+        CommitLog::from_parts(log.base(), entries).verify(),
+        Err(ReplayError::ChainMismatch { .. })
+    ) {
+        hits += 1;
+    }
+
+    let foreign = CommitLog::from_parts(log.base() ^ 0xdead, log.entries().to_vec());
+    if matches!(
+        reduce(genesis, &foreign),
+        Err(ReplayError::BaseMismatch { .. })
+    ) {
+        hits += 1;
+    }
+    hits
+}
+
+/// Runs every covert arm over the mutation seeds; an arm counts as
+/// detected only if it is caught on *every* seed.
+fn mutation_arms(genesis: &Genesis) -> [(&'static str, u64); 3] {
+    let mut skip = 0u64;
+    let mut reorder = 0u64;
+    let mut stale = 0u64;
+    for seed in 0..MUTATION_SEEDS {
+        let run = record_fault_run(genesis, &WorkloadSpec::faults(seed));
+        let log = &run.sm.world().commits;
+
+        let (mutated, applied) = ReplayMutation::SkipCommit { nth: log.len() / 2 }.mutate_log(log);
+        let caught = applied
+            && mutated.verify().is_ok()
+            && match replay_differential(genesis, &mutated, &run.boundaries) {
+                Err(ReplayError::Truncated { .. }) => true,
+                Ok(m) => !m.is_empty(),
+                Err(_) => false,
+            };
+        skip += u64::from(caught);
+
+        let caught = (0..log.len() - 1)
+            .find(|&i| ReplayMutation::ReorderPair { first: i }.mutate_log(log).1)
+            .map(|first| {
+                let (mutated, _) = ReplayMutation::ReorderPair { first }.mutate_log(log);
+                mutated.verify().is_ok()
+                    && replay_differential(genesis, &mutated, &run.boundaries)
+                        .map(|m| !m.is_empty())
+                        .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        reorder += u64::from(caught);
+
+        let caught = ReplayMutation::StaleSnapshot {
+            upto: log.len() / 2,
+        }
+        .forge_snapshot(genesis, log)
+        .ok()
+        .flatten()
+        .map(|forged| matches!(restore(&forged), Err(ReplayError::SnapshotStale { .. })))
+        .unwrap_or(false);
+        stale += u64::from(caught);
+    }
+    [
+        ("skip-commit", skip),
+        ("reorder-pair", reorder),
+        ("stale-snapshot", stale),
+    ]
+}
+
+/// The read-only export: a world whose commit log sealed history
+/// answers `hcs_$metering_get` with the log position and chain head
+/// attached to the ordinary metering snapshot. Observation through the
+/// state machine is digest-only, so the JSON is read back through the
+/// monitor the way a user process would: a recorded run's sealed log
+/// grafted onto a live system, then one gate call.
+fn gate_exports_log(genesis: &Genesis) -> bool {
+    let run = record_fault_run(genesis, &WorkloadSpec::faults(1));
+    let mut sys = mks_kernel::world::System::new(mks_kernel::KernelConfig::kernel());
+    sys.world.commits = run.sm.world().commits.clone();
+    let pid = sys
+        .world
+        .create_process(admin_user(), mks_mls::Label::BOTTOM, 4);
+    let Ok(json) = Monitor::metering_snapshot(&mut sys.world, pid) else {
+        return false;
+    };
+    let Ok(snap) = Snapshot::from_json(&json) else {
+        return false;
+    };
+    snap.replay
+        .map(|r| r.commits == sys.world.commits.len() && r.log_digest == sys.world.commits.head())
+        .unwrap_or(false)
+}
+
+/// Runs the campaign: the recorded sweeps, the snapshot round-trips,
+/// the typed rejections, the mutation arms, and the gate export.
+pub fn measure() -> Measurement {
+    let genesis = Genesis::kernel_small();
+    let mut runs = Vec::new();
+    let mut boundary_csv = String::from(
+        "family,seed,boundary,clock,audit_records,audit_digest,metrics_digest,census,processes,label_digest,log_digest\n",
+    );
+
+    let mut snapshot_prefixes = 0u64;
+    let mut snapshot_divergences = 0u64;
+    let mut rejections = 0u64;
+
+    for seed in 0..FAULT_SEEDS {
+        let run = record_fault_run(&genesis, &WorkloadSpec::faults(seed));
+        if seed == 0 {
+            boundary_rows(&mut boundary_csv, "fault", seed, &run);
+            let (p, d) = snapshot_sweep(&genesis, &run);
+            snapshot_prefixes += p;
+            snapshot_divergences += d;
+            rejections = typed_rejections(&genesis, &run);
+        }
+        runs.push(examine(&genesis, "fault", seed, &run));
+    }
+    for seed in 0..OVERLOAD_SEEDS {
+        let run = record_fault_run(&genesis, &WorkloadSpec::overload(seed));
+        if seed == 0 {
+            boundary_rows(&mut boundary_csv, "overload", seed, &run);
+        }
+        runs.push(examine(&genesis, "overload", seed, &run));
+    }
+    for seed in 0..LADDER_SEEDS {
+        let run = record_overload_ladder(&genesis, seed);
+        if seed == 0 {
+            boundary_rows(&mut boundary_csv, "ladder", seed, &run);
+            let (p, d) = snapshot_sweep(&genesis, &run);
+            snapshot_prefixes += p;
+            snapshot_divergences += d;
+        }
+        runs.push(examine(&genesis, "ladder", seed, &run));
+    }
+
+    let arm_hits = mutation_arms(&genesis);
+    let arms_detected = arm_hits
+        .iter()
+        .filter(|(_, hits)| *hits == MUTATION_SEEDS)
+        .count() as u64;
+
+    Measurement {
+        runs,
+        snapshot_divergences,
+        snapshot_prefixes,
+        typed_rejections: rejections,
+        arms_detected,
+        arm_hits,
+        gate_exports_log: gate_exports_log(&genesis),
+        boundary_csv,
+    }
+}
+
+fn total_mismatches(m: &Measurement) -> u64 {
+    m.runs.iter().map(|r| r.mismatches).sum()
+}
+
+fn total<F: Fn(&RunResult) -> u64>(m: &Measurement, f: F) -> u64 {
+    m.runs.iter().map(f).sum()
+}
+
+/// Renders the experiment's report.
+pub fn report(m: &Measurement) -> String {
+    let mut out = banner("E20: the replayable kernel", &format!("\"{QUOTE}\""));
+    let mut t = Table::new(&[
+        "workload",
+        "seed",
+        "commits",
+        "crashed",
+        "sheds",
+        "mismatches",
+        "orphan denials",
+    ]);
+    for r in &m.runs {
+        t.row(&[
+            r.family.to_string(),
+            format!("{:#x}", r.seed),
+            r.commits.to_string(),
+            if r.crashed { "yes".into() } else { "no".into() },
+            r.sheds.to_string(),
+            r.mismatches.to_string(),
+            r.orphan_denials.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "sweep: {} recorded runs, {} commits sealed, {} mid-workload crashes,",
+        m.runs.len(),
+        total(m, |r| r.commits),
+        m.runs.iter().filter(|r| r.crashed).count(),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{} admission sheds, {} boundary mismatches live-vs-replayed.",
+        total(m, |r| r.sheds),
+        total_mismatches(m),
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "snapshot/restore: {} prefixes round-tripped, {} divergence(s).",
+        m.snapshot_prefixes, m.snapshot_divergences
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "raw tampering: {}/4 categories rejected with typed errors.",
+        m.typed_rejections
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "metering gate exports the commit-log digest: {}.",
+        if m.gate_exports_log { "yes" } else { "NO" }
+    )
+    .unwrap();
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "mutation check — the differential must catch a covert re-seal:"
+    )
+    .unwrap();
+    for (arm, hits) in &m.arm_hits {
+        writeln!(out, "  {arm:<15} caught on {hits}/{MUTATION_SEEDS} seeds").unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(
+        out,
+        "Consequence: the kernel's whole history is checkable, not trusted —"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "any state the kernel reaches is the fold of a sealed public log,"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "and a reviewer can rebuild and audit any instant of it bit-exactly."
+    )
+    .unwrap();
+    out
+}
+
+/// The expectations over the campaign.
+pub fn claims(m: &Measurement) -> Vec<ClaimResult> {
+    vec![
+        ClaimResult::new(
+            "E20.differential-clean",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            total_mismatches(m) as f64,
+            "boundary mismatches between live runs and their replays",
+        ),
+        ClaimResult::new(
+            "E20.crash-coverage",
+            "E20",
+            QUOTE,
+            ClaimShape::AtLeast { min: 1.0 },
+            m.runs.iter().filter(|r| r.crashed).count() as f64,
+            "runs the Crash site stopped mid-workload (the differential covers crashed histories)",
+        ),
+        ClaimResult::new(
+            "E20.shed-coverage",
+            "E20",
+            QUOTE,
+            ClaimShape::AtLeast { min: 1.0 },
+            total(m, |r| r.sheds) as f64,
+            "admission sheds inside replayed histories (the differential covers degraded mode)",
+        ),
+        ClaimResult::new(
+            "E20.boot-pinned",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            m.runs.iter().filter(|r| r.boot_divergence).count() as f64,
+            "recorded runs whose boot-check commit saw image divergence",
+        ),
+        ClaimResult::new(
+            "E20.snapshot-roundtrip",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            m.snapshot_divergences as f64,
+            "snapshot/restore round-trip divergences across sampled prefixes",
+        ),
+        ClaimResult::new(
+            "E20.typed-rejection",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 4 },
+            m.typed_rejections as f64,
+            "raw-tamper categories rejected with the right typed error",
+        ),
+        ClaimResult::new(
+            "E20.mutation-arms",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 3 },
+            m.arms_detected as f64,
+            "covert mutation arms caught on every seed",
+        ),
+        ClaimResult::new(
+            "E20.census-pinned",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            total(m, |r| r.census_drift) as f64,
+            "commit boundaries where the gate census left 54",
+        ),
+        ClaimResult::new(
+            "E20.gate-exports-log",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 1 },
+            f64::from(u8::from(m.gate_exports_log)),
+            "metering gate JSON carries the commit-log position and chain head",
+        ),
+        ClaimResult::new(
+            "E20.denials-attributable",
+            "E20",
+            QUOTE,
+            ClaimShape::ExactCount { expect: 0 },
+            total(m, |r| r.orphan_denials) as f64,
+            "audited denials the time-travel join could not blame on a commit",
+        ),
+    ]
+}
+
+/// The full experiment.
+pub fn run() -> ExperimentOutput {
+    let m = measure();
+    let mut out = ExperimentOutput::new(report(&m), claims(&m));
+    out.artifacts
+        .push(("e20_replay_boundaries.csv".into(), m.boundary_csv.clone()));
+    out
+}

@@ -36,6 +36,7 @@ pub mod e17_observatory;
 pub mod e18_scale;
 pub mod e19_parallel;
 pub mod e1_linker_gates;
+pub mod e20_replay;
 pub mod e2_kst_split;
 pub mod e3_entries;
 pub mod e4_ring_calls;
@@ -198,6 +199,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e19_parallel::run,
     },
     Experiment {
+        id: "E20",
+        bin: "exp_e20_replay",
+        title: "the replayable kernel: sealed commit log, differential replay",
+        run: e20_replay::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -288,12 +295,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_twenty_two_experiments() {
-        assert_eq!(REGISTRY.len(), 22);
+    fn registry_covers_all_twenty_three_experiments() {
+        assert_eq!(REGISTRY.len(), 23);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "experiment ids are unique");
+        assert_eq!(ids.len(), 23, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

@@ -53,6 +53,7 @@ pub mod par;
 pub mod penetration;
 pub mod pressure;
 pub mod recovery;
+pub mod statemachine;
 pub mod subsystem;
 pub mod syslog;
 pub mod world;
@@ -67,5 +68,9 @@ pub use pressure::{
     read_pressure, AdmissionControl, PressureConfig, PressureReading, Priority, Resource,
 };
 pub use recovery::{RecoveryOpts, RecoveryOutcome, SalvageMutation};
+pub use statemachine::{
+    Commit, CommitLog, Genesis, KernelStateMachine, MachineSnapshot, Outcome, ReplayError,
+    ReplayMutation, SealedCommit, StateDigest, TimeTravel,
+};
 pub use syslog::{AuditEvent, AuditLog};
 pub use world::{KProcId, KernelWorld, ProcState};

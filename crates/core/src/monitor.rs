@@ -1150,7 +1150,15 @@ impl Monitor {
     /// rewrite the recorder.
     pub fn metering_snapshot(world: &mut KernelWorld, pid: KProcId) -> Result<String, AccessError> {
         Self::call_gate(world, pid, "hcs_", "metering_get")?;
-        Ok(world.vm.machine.trace.snapshot().to_json())
+        let mut snap = world.vm.machine.trace.snapshot();
+        // Commit-log exposure (E20): the same read-only gate carries the
+        // log's length and chain-head digest, so a user ring can check
+        // the kernel's replayable history without a new entry point.
+        snap.replay = Some(mks_trace::ReplaySnapshot {
+            commits: world.commits.len(),
+            log_digest: world.commits.head(),
+        });
+        Ok(snap.to_json())
     }
 
     /// True if the page of `(segno, offset)` is resident for `pid` —

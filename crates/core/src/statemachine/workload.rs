@@ -1,0 +1,389 @@
+//! Recorded workload drivers: the E15 fault workload and the E16
+//! overload ladder, re-expressed as commit streams.
+//!
+//! A driver *chooses* commits (using outcomes of earlier commits — the
+//! directory pool grows only when a create succeeds, the loop stops
+//! when the `Crash` site fires) and records the boundary digest after
+//! each application. Replay never re-runs the driver: it folds the
+//! recorded log, so any hidden input the driver smuggled past the
+//! commit stream shows up as a boundary mismatch. The shapes mirror
+//! `recovery::run_plan` (mixed hierarchy/paging/denial/IPC traffic
+//! under an armed fault plan, then disarm, salvage, boot check) and
+//! E16's ladder (principals per priority class hammering a small
+//! machine under admission control).
+
+use mks_fs::{Acl, AclMode, UserId};
+use mks_hw::{FaultPlan, RingBrackets, SplitMix64};
+use mks_mls::{Compartments, Label, Level};
+
+use crate::pressure::{PressureConfig, Priority};
+use crate::world::admin_user;
+
+use super::{Commit, Genesis, KernelStateMachine, Outcome, StateDigest};
+
+/// Shape of one recorded fault run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkloadSpec {
+    /// Seeds the operation mix (independently of the fault plan).
+    pub seed: u64,
+    /// Operation boundaries attempted before a natural stop.
+    pub ops: u64,
+    /// The fault schedule armed over the workload.
+    pub plan: FaultPlan,
+    /// Arm admission control (mixed priorities) under the plan.
+    pub overload: bool,
+}
+
+impl WorkloadSpec {
+    /// The E15 shape: 32 ops under `FaultPlan::generate(seed)`.
+    pub fn faults(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            ops: 32,
+            plan: FaultPlan::generate(seed),
+            overload: false,
+        }
+    }
+
+    /// The E16-crossover shape: the same mixed workload under an
+    /// exhaustion-heavy plan with admission control armed.
+    pub fn overload(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            ops: 32,
+            plan: FaultPlan::generate_overload(seed),
+            overload: true,
+        }
+    }
+}
+
+/// A live run and the evidence it leaves: the machine (whose world owns
+/// the sealed log), the digest at every commit boundary, and the
+/// workload-level facts the experiment asserts over.
+pub struct RecordedRun {
+    /// The live machine, log included.
+    pub sm: KernelStateMachine,
+    /// `boundaries[0]` = genesis; `boundaries[k]` = after commit `k-1`.
+    pub boundaries: Vec<StateDigest>,
+    /// Whether the `Crash` site stopped the workload mid-stream.
+    pub crashed: bool,
+    /// Workload operations executed before the stop.
+    pub ops_run: u64,
+    /// Problems the salvage commit reported.
+    pub salvage_problems: u64,
+    /// Whether the boot-check commit saw divergence (must be 0).
+    pub boot_divergence: bool,
+}
+
+/// Applies one commit and records the boundary digest.
+struct Recorder {
+    sm: KernelStateMachine,
+    boundaries: Vec<StateDigest>,
+}
+
+impl Recorder {
+    fn new(genesis: &Genesis) -> Recorder {
+        let sm = genesis.build();
+        let boundaries = vec![sm.digest()];
+        Recorder { sm, boundaries }
+    }
+
+    fn commit(&mut self, c: Commit) -> Outcome {
+        let out = self.sm.apply(&c);
+        self.boundaries.push(self.sm.digest());
+        out
+    }
+
+    fn seg(&mut self, c: Commit) -> Option<mks_hw::SegNo> {
+        self.commit(c).seg()
+    }
+
+    fn pid(&mut self, c: Commit) -> crate::world::KProcId {
+        match self.commit(c) {
+            Outcome::Pid(p) => p,
+            other => unreachable!("process creation is infallible: {other:?}"),
+        }
+    }
+}
+
+fn stranger_user() -> UserId {
+    UserId::new("Mallory", "Guest", "a")
+}
+
+/// Records the E15-shaped mixed workload under `spec.plan`: principals
+/// and probe, priming ticks, (optionally) admission arming, then the
+/// seeded six-way operation mix with the `Crash` site consulted at
+/// every boundary, and finally the recovery tail — disarm, salvage,
+/// boot check, and a metering read that exports the log digest.
+pub fn record_fault_run(genesis: &Genesis, spec: &WorkloadSpec) -> RecordedRun {
+    let mut rec = Recorder::new(genesis);
+    let admin = rec.pid(Commit::CreateProcess {
+        user: admin_user(),
+        label: Label::BOTTOM,
+        ring: 4,
+    });
+    let root = rec
+        .seg(Commit::BindRoot { pid: admin })
+        .expect("root binds");
+    let stranger = rec.pid(Commit::CreateProcess {
+        user: stranger_user(),
+        label: Label::BOTTOM,
+        ring: 4,
+    });
+    let sroot = rec
+        .seg(Commit::BindRoot { pid: stranger })
+        .expect("root binds");
+    let probe = rec
+        .seg(Commit::CreateSegment {
+            pid: admin,
+            dir: root,
+            name: "probe".into(),
+            acl: Acl::of("Admin.SysAdmin.a", AclMode::RW),
+            brackets: RingBrackets::new(4, 4, 4),
+            label: Label::BOTTOM,
+        })
+        .expect("probe segment creates on a fresh system");
+    rec.commit(Commit::Tick { times: 4 });
+    if spec.overload {
+        rec.commit(Commit::AdmissionEnable {
+            config: PressureConfig::default(),
+        });
+        rec.commit(Commit::SetPriority {
+            pid: admin,
+            priority: Priority::Interactive,
+        });
+        rec.commit(Commit::SetPriority {
+            pid: stranger,
+            priority: Priority::Background,
+        });
+    }
+    rec.commit(Commit::ArmPlan {
+        plan: spec.plan.clone(),
+    });
+
+    let mut rng = SplitMix64::new(spec.seed ^ 0xd1f7_ac75_0bad_c0de);
+    let mut dirs = vec![root];
+    let mut crashed = false;
+    let mut ops_run = 0u64;
+    let secret = Label::new(Level::SECRET, Compartments::of(&[1]));
+    for i in 0..spec.ops {
+        if rec.commit(Commit::CrashPoll) == Outcome::Fired(true) {
+            crashed = true;
+            break;
+        }
+        ops_run += 1;
+        match rng.below(6) {
+            0 => {
+                let parent = dirs[rng.below(dirs.len() as u64) as usize];
+                let label = if rng.below(2) == 0 {
+                    Label::BOTTOM
+                } else {
+                    secret
+                };
+                if let Some(segno) = rec.seg(Commit::CreateDirectory {
+                    pid: admin,
+                    dir: parent,
+                    name: format!("d{i}"),
+                    label,
+                }) {
+                    dirs.push(segno);
+                }
+            }
+            1 => {
+                let parent = dirs[rng.below(dirs.len() as u64) as usize];
+                rec.commit(Commit::CreateSegment {
+                    pid: admin,
+                    dir: parent,
+                    name: format!("s{i}"),
+                    acl: Acl::of("*.*.*", AclMode::RW),
+                    brackets: RingBrackets::new(4, 4, 4),
+                    label: secret,
+                });
+            }
+            2 => {
+                let offset = rng.below(64);
+                rec.commit(Commit::Write {
+                    pid: admin,
+                    seg: probe,
+                    offset,
+                    value: i + 1,
+                });
+                rec.commit(Commit::Read {
+                    pid: admin,
+                    seg: probe,
+                    offset,
+                });
+            }
+            3 => {
+                rec.commit(Commit::Initiate {
+                    pid: stranger,
+                    dir: sroot,
+                    name: "probe".into(),
+                });
+            }
+            4 => {
+                rec.commit(Commit::Wakeup { daemon: 0 });
+                rec.commit(Commit::Tick { times: 1 });
+            }
+            _ => {
+                rec.commit(Commit::Tick { times: 2 });
+            }
+        }
+    }
+    rec.commit(Commit::Tick { times: 4 });
+    rec.commit(Commit::Disarm);
+    let salvage_problems = match rec.commit(Commit::Salvage) {
+        Outcome::Value(n) => n,
+        _ => 0,
+    };
+    let boot_divergence = rec.commit(Commit::BootCheck) != Outcome::Value(0);
+    rec.commit(Commit::MeteringGet { pid: admin });
+
+    RecordedRun {
+        sm: rec.sm,
+        boundaries: rec.boundaries,
+        crashed,
+        ops_run,
+        salvage_problems,
+        boot_divergence,
+    }
+}
+
+/// Rungs of the recorded overload ladder: principals per rung, all
+/// hammering the same small machine under admission control.
+pub const LADDER_RUNGS: [u32; 4] = [2, 4, 8, 16];
+
+/// Operations each ladder principal issues per rung.
+pub const LADDER_OPS: u64 = 6;
+
+/// Records the E16-shaped overload ladder as commits: admission armed
+/// up front, then for each rung a cohort of principals (priority
+/// classes assigned round-robin, lowest first) creating and hammering
+/// segments while pressure climbs — shed decisions and their audited
+/// `Overload` refusals land in the log like any other deterministic
+/// verdict. Ends with the same recovery tail as the fault runs.
+pub fn record_overload_ladder(genesis: &Genesis, seed: u64) -> RecordedRun {
+    let mut rec = Recorder::new(genesis);
+    let admin = rec.pid(Commit::CreateProcess {
+        user: admin_user(),
+        label: Label::BOTTOM,
+        ring: 4,
+    });
+    let root = rec
+        .seg(Commit::BindRoot { pid: admin })
+        .expect("root binds");
+    rec.commit(Commit::Tick { times: 4 });
+    // Tight soft caps make the small machine's exhaustion visible to the
+    // gauges early (the E16 recipe): the probe population crosses the
+    // AST cap and the audit log crosses its headroom cap as the rungs
+    // climb, so the later cohorts run into the shed thresholds.
+    rec.commit(Commit::AdmissionEnable {
+        config: PressureConfig {
+            ast_soft_cap: 24,
+            audit_cap: 512,
+            ..PressureConfig::default()
+        },
+    });
+    rec.commit(Commit::SetPriority {
+        pid: admin,
+        priority: Priority::System,
+    });
+    // The ladder arms the exhaustion noise of the overload schedule but
+    // strips its `Crash` events: every rung must complete so the
+    // differential covers the full shed progression. Crash-mid-shed is
+    // the `WorkloadSpec::overload` fault runs' job.
+    let plan = FaultPlan::from_events(
+        FaultPlan::generate_overload(seed)
+            .events
+            .into_iter()
+            .filter(|e| e.kind != mks_hw::InjectKind::Crash)
+            .collect(),
+    );
+    rec.commit(Commit::ArmPlan { plan });
+
+    let mut rng = SplitMix64::new(seed ^ 0x0e16_1add_e50f_f00d);
+    let mut crashed = false;
+    let mut ops_run = 0u64;
+    'ladder: for (r, rung) in LADDER_RUNGS.iter().enumerate() {
+        // The cohort: per-principal probes created under ROOT by the
+        // System-class administrator (creation is never shed),
+        // world-writable so the principals' own paging traffic is what
+        // admission judges. Each principal acquires its probe through
+        // its *own* root binding — segment numbers are per-process.
+        let mut cohort = Vec::new();
+        for p in 0..*rung {
+            let user = UserId::new(&format!("Load{p}"), &format!("Rung{r}"), "a");
+            let pid = rec.pid(Commit::CreateProcess {
+                user,
+                label: Label::BOTTOM,
+                ring: 4,
+            });
+            let Some(own_root) = rec.seg(Commit::BindRoot { pid }) else {
+                continue;
+            };
+            rec.commit(Commit::SetPriority {
+                pid,
+                priority: Priority::ALL[(p as usize) % Priority::ALL.len()],
+            });
+            let name = format!("p{r}_{p}");
+            rec.commit(Commit::CreateSegment {
+                pid: admin,
+                dir: root,
+                name: name.clone(),
+                acl: Acl::of("*.*.*", AclMode::RW),
+                brackets: RingBrackets::new(4, 4, 4),
+                label: Label::BOTTOM,
+            });
+            let own = rec.commit(Commit::Initiate {
+                pid,
+                dir: own_root,
+                name,
+            });
+            if let Some(probe) = own.seg() {
+                cohort.push((pid, probe));
+            }
+        }
+        for _ in 0..LADDER_OPS {
+            for (pid, probe) in &cohort {
+                if rec.commit(Commit::CrashPoll) == Outcome::Fired(true) {
+                    crashed = true;
+                    break 'ladder;
+                }
+                ops_run += 1;
+                // Page-spanning traffic: frame and bulk saturation climb
+                // with the rung, pushing the later cohorts into the shed
+                // thresholds exactly as E16's ladder does.
+                let offset = rng.below(4) * mks_hw::PAGE_WORDS as u64 + rng.below(64);
+                rec.commit(Commit::Write {
+                    pid: *pid,
+                    seg: *probe,
+                    offset,
+                    value: ops_run,
+                });
+                rec.commit(Commit::Read {
+                    pid: *pid,
+                    seg: *probe,
+                    offset,
+                });
+            }
+            rec.commit(Commit::Tick { times: 1 });
+        }
+    }
+    rec.commit(Commit::Tick { times: 4 });
+    rec.commit(Commit::Disarm);
+    let salvage_problems = match rec.commit(Commit::Salvage) {
+        Outcome::Value(n) => n,
+        _ => 0,
+    };
+    let boot_divergence = rec.commit(Commit::BootCheck) != Outcome::Value(0);
+    rec.commit(Commit::MeteringGet { pid: admin });
+
+    RecordedRun {
+        sm: rec.sm,
+        boundaries: rec.boundaries,
+        crashed,
+        ops_run,
+        salvage_problems,
+        boot_divergence,
+    }
+}

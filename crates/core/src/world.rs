@@ -28,6 +28,7 @@ use crate::config::KernelConfig;
 use crate::flaws::FlawRegistry;
 use crate::gatetable::GateTable;
 use crate::pressure::AdmissionControl;
+use crate::statemachine::CommitLog;
 use crate::syslog::{AuditEvent, AuditLog};
 
 /// Kernel process identifier (distinct from the traffic controller's
@@ -91,6 +92,11 @@ pub struct KernelWorld {
     /// classes, and the admission decision log. Disabled by default —
     /// and then a strict no-op on every kernel path.
     pub admission: AdmissionControl,
+    /// The sealed commit log (E20). Empty and rooted at 0 on a plain
+    /// system; `statemachine::Genesis::build` re-roots it, and every
+    /// `KernelStateMachine::apply` seals into it. Read-only here: the
+    /// metering gate exports its head digest.
+    pub commits: CommitLog,
     procs: HashMap<KProcId, ProcState>,
     next_pid: u32,
 }
@@ -179,6 +185,7 @@ impl System {
             flaws: FlawRegistry::new(),
             log: AuditLog::new(),
             admission: AdmissionControl::disabled(),
+            commits: CommitLog::new(),
             procs: HashMap::new(),
             next_pid: 1,
         };
@@ -232,6 +239,14 @@ impl KernelWorld {
     /// Mutably borrows a process record.
     pub fn proc_mut(&mut self, pid: KProcId) -> &mut ProcState {
         self.procs.get_mut(&pid).expect("unknown kernel process")
+    }
+
+    /// True when `pid` names a live process record. The replay
+    /// dispatcher uses this to refuse (rather than panic on) commits
+    /// whose acting process does not exist — a log under replay is
+    /// external data, so a dangling pid must be a typed verdict.
+    pub fn has_proc(&self, pid: KProcId) -> bool {
+        self.procs.contains_key(&pid)
     }
 
     /// Destroys a process record, returning it.

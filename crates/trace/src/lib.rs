@@ -58,8 +58,8 @@ pub use ring::TraceRing;
 pub use sampler::{SamplePolicy, Sampler};
 pub use sketch::{HeavyHitter, TopK};
 pub use snapshot::{
-    HistogramSnapshot, LayerSnapshot, ObservatorySnapshot, QuantileSnapshot, RingSnapshot,
-    SamplerSnapshot, Snapshot,
+    HistogramSnapshot, LayerSnapshot, ObservatorySnapshot, QuantileSnapshot, ReplaySnapshot,
+    RingSnapshot, SamplerSnapshot, Snapshot,
 };
 pub use span::{LayerTotals, SpanId, SpanNode};
 
@@ -262,6 +262,7 @@ impl FlightRecorder {
             },
             sampler: SamplerSnapshot::capture(&self.sampler),
             observatory: ObservatorySnapshot::capture(&self.observatory),
+            replay: None,
         }
     }
 }

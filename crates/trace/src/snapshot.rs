@@ -217,6 +217,17 @@ pub struct RingSnapshot {
     pub next_seq: u64,
 }
 
+/// Commit-log exposure riding the metering gate: the kernel attaches
+/// it at capture time, so raw recorder snapshots carry `None` and the
+/// digest never feeds back into itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplaySnapshot {
+    /// Commits sealed into the log so far.
+    pub commits: u64,
+    /// Chain digest over the whole log (genesis-seeded).
+    pub log_digest: u64,
+}
+
 /// A complete, immutable reading of the flight recorder.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Snapshot {
@@ -237,6 +248,8 @@ pub struct Snapshot {
     pub sampler: SamplerSnapshot,
     /// Audit analytics and surveillance alerts.
     pub observatory: ObservatorySnapshot,
+    /// Commit-log head, when the kernel attached one at capture time.
+    pub replay: Option<ReplaySnapshot>,
 }
 
 impl Snapshot {
@@ -370,7 +383,7 @@ impl Snapshot {
                 Value::Obj(fields)
             })
             .collect();
-        Value::Obj(vec![
+        let mut fields = vec![
             ("at".to_string(), Value::Num(u128::from(self.at))),
             ("counters".to_string(), Value::Arr(counters)),
             ("histograms".to_string(), Value::Arr(histograms)),
@@ -423,8 +436,20 @@ impl Snapshot {
                 "observatory".to_string(),
                 observatory_to_value(&self.observatory),
             ),
-        ])
-        .emit()
+        ];
+        if let Some(r) = self.replay {
+            fields.push((
+                "replay".to_string(),
+                Value::Obj(vec![
+                    ("commits".to_string(), Value::Num(u128::from(r.commits))),
+                    (
+                        "log_digest".to_string(),
+                        Value::Num(u128::from(r.log_digest)),
+                    ),
+                ]),
+            ));
+        }
+        Value::Obj(fields).emit()
     }
 
     /// Parses a snapshot back from its JSON rendering.
@@ -546,6 +571,13 @@ impl Snapshot {
         let sampler = v.get("sampler").ok_or("missing sampler")?;
         let observatory =
             observatory_from_value(v.get("observatory").ok_or("missing observatory")?)?;
+        let replay = match v.get("replay") {
+            Some(r) => Some(ReplaySnapshot {
+                commits: field_u64(r, "commits")?,
+                log_digest: field_u64(r, "log_digest")?,
+            }),
+            None => None,
+        };
         Ok(Snapshot {
             at,
             counters,
@@ -566,6 +598,7 @@ impl Snapshot {
                 forced: field_u64(sampler, "forced")?,
             },
             observatory,
+            replay,
         })
     }
 }

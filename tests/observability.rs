@@ -70,7 +70,19 @@ fn snapshot_round_trips_through_the_bench_report() {
     let json = Monitor::metering_snapshot(&mut sys.world, admin).expect("user-callable gate");
     let parsed = Snapshot::from_json(&json).expect("valid JSON");
     assert_eq!(parsed.to_json(), json, "parse ∘ emit is the identity");
-    assert_eq!(parsed, sys.world.vm.machine.trace.snapshot());
+    // The gate decorates the trace snapshot with exactly one extra
+    // section: the commit-log position (E20). Everything else is the
+    // flight recorder's own snapshot, untouched.
+    let replay = parsed
+        .replay
+        .expect("the gate exports the commit-log digest");
+    assert_eq!(replay.commits, sys.world.commits.len());
+    assert_eq!(replay.log_digest, sys.world.commits.head());
+    let bare = Snapshot {
+        replay: None,
+        ..parsed.clone()
+    };
+    assert_eq!(bare, sys.world.vm.machine.trace.snapshot());
     let table = layer_breakdown_from_json(&json).expect("report accepts the snapshot");
     let rendered = table.render();
     for layer in ["hw", "monitor", "vm"] {
