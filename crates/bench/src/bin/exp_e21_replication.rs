@@ -1,0 +1,6 @@
+//! E21 — thin printing wrapper; the measurement logic lives in
+//! [`mks_bench::experiments::e21_replication`].
+
+fn main() {
+    mks_bench::experiments::emit(&mks_bench::experiments::e21_replication::run());
+}

@@ -37,6 +37,7 @@ pub mod e18_scale;
 pub mod e19_parallel;
 pub mod e1_linker_gates;
 pub mod e20_replay;
+pub mod e21_replication;
 pub mod e2_kst_split;
 pub mod e3_entries;
 pub mod e4_ring_calls;
@@ -205,6 +206,12 @@ pub const REGISTRY: &[Experiment] = &[
         run: e20_replay::run,
     },
     Experiment {
+        id: "E21",
+        bin: "exp_e21_replication",
+        title: "the replicated kernel: failover over the commit log",
+        run: e21_replication::run,
+    },
+    Experiment {
         id: "A1",
         bin: "exp_a1_watermarks",
         title: "free-frame watermark sweep for the freeing process",
@@ -295,12 +302,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_all_twenty_three_experiments() {
-        assert_eq!(REGISTRY.len(), 23);
+    fn registry_covers_all_twenty_four_experiments() {
+        assert_eq!(REGISTRY.len(), 24);
         let mut ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 23, "experiment ids are unique");
+        assert_eq!(ids.len(), 24, "experiment ids are unique");
         for e in REGISTRY {
             assert!(e.bin.starts_with("exp_"), "{} bin name", e.id);
         }

@@ -197,6 +197,61 @@ fn dump_dir(
     Ok(())
 }
 
+/// A uid-independent digest of the subtree rooted at `dir`: sorted
+/// paths, branch kind, label, ACL entries, segment length and every
+/// nonzero page's contents. Ring brackets and quotas are *excluded* —
+/// the tape format does not carry them (restore rebuilds user-ring
+/// brackets and default quotas), so this digest captures exactly the
+/// equivalence a dump/restore cycle preserves. Two worlds with equal
+/// hierarchy digests hold the same protected information under the
+/// same labels and ACLs, whatever uids and residency they use.
+pub fn hierarchy_digest(fs: &FileSystem, vm: &mut VmWorld, dir: SegUid) -> u64 {
+    let mut canon = String::new();
+    digest_dir(fs, vm, dir, "", &mut canon);
+    crate::statemachine::fnv64(canon.as_bytes())
+}
+
+fn digest_dir(fs: &FileSystem, vm: &mut VmWorld, dir: SegUid, prefix: &str, out: &mut String) {
+    let mut names = fs.child_names(dir);
+    names.sort();
+    for name in names {
+        let branch = fs.peek_branch(dir, &name).expect("listed name exists");
+        let path = format!("{prefix}>{name}");
+        match &branch.kind {
+            BranchKind::Directory { .. } => {
+                out.push_str(&format!("D {path} {}\n", encode_label(&branch.label)));
+                digest_dir(fs, vm, branch.uid, &path, out);
+            }
+            BranchKind::Segment { acl, len_words, .. } => {
+                out.push_str(&format!(
+                    "S {path} {} {} {}\n",
+                    encode_label(&branch.label),
+                    len_words,
+                    encode_acl(acl)
+                ));
+                let uid = branch.uid;
+                SegControl::activate(vm, uid, (*len_words).max(PAGE_WORDS));
+                let pages = len_words.div_ceil(PAGE_WORDS);
+                for p in 0..pages.max(1) {
+                    let Some(frame) = ensure_resident(vm, uid, p) else {
+                        continue;
+                    };
+                    let mut cells = String::new();
+                    for off in 0..PAGE_WORDS {
+                        let w = vm.machine.mem.read(frame, off).raw();
+                        if w != 0 {
+                            cells.push_str(&format!("{off}:{w:x} "));
+                        }
+                    }
+                    if !cells.is_empty() {
+                        out.push_str(&format!("P {path} {p} {cells}\n"));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Restores a dump into `fs`/`vm` under `target` (usually the root), as
 /// `owner`. Returns the number of objects created.
 pub fn restore(
@@ -405,6 +460,88 @@ mod tests {
         let mut tape = TapeDim::mounted(vec![]); // write ring out
         let err = dump(&fs, &mut vm, FileSystem::ROOT, &mut tape).unwrap_err();
         assert_eq!(err, BackupError::Tape("write ring out"));
+    }
+
+    /// Satellite check: the tape path (`dump`/`restore` into a fresh
+    /// world) and the replay path (`MachineSnapshot` restore) must
+    /// agree on the hierarchy digest — two entirely different recovery
+    /// mechanisms converging on the same protected information.
+    #[test]
+    fn tape_restore_and_snapshot_restore_agree_on_hierarchy_digest() {
+        use crate::statemachine::{
+            restore as machine_restore, snapshot_at, Commit, Genesis, Outcome,
+        };
+        use mks_mls::Level;
+
+        let genesis = Genesis::kernel_small();
+        let mut sm = genesis.build();
+        let admin_pid = match sm.apply(&Commit::CreateProcess {
+            user: admin(),
+            label: Label::BOTTOM,
+            ring: 4,
+        }) {
+            Outcome::Pid(p) => p,
+            out => panic!("admin creation returned {out:?}"),
+        };
+        let root = sm
+            .apply(&Commit::BindRoot { pid: admin_pid })
+            .seg()
+            .expect("root binds");
+        let d1 = sm
+            .apply(&Commit::CreateDirectory {
+                pid: admin_pid,
+                dir: root,
+                name: "archive".into(),
+                label: Label::BOTTOM,
+            })
+            .seg()
+            .expect("directory creates");
+        let s1 = sm
+            .apply(&Commit::CreateSegment {
+                pid: admin_pid,
+                dir: d1,
+                name: "ledger".into(),
+                acl: Acl::of("Admin.SysAdmin.a", AclMode::RW),
+                brackets: RingBrackets::new(4, 4, 4),
+                label: Label::new(Level::CONFIDENTIAL, Compartments::NONE),
+            })
+            .seg()
+            .expect("segment creates");
+        for off in [0u64, 7, 63] {
+            sm.apply(&Commit::Write {
+                pid: admin_pid,
+                seg: s1,
+                offset: off,
+                value: 0x5a5a + off,
+            });
+        }
+        sm.apply(&Commit::Tick { times: 3 });
+
+        // Replay path: snapshot the full log and restore a twin.
+        let log = sm.world().commits.clone();
+        let snap = snapshot_at(&genesis, &log, log.len()).expect("snapshot covers the log");
+        let mut twin = machine_restore(&snap).expect("snapshot restores");
+
+        // Tape path: dump the live hierarchy, restore into a fresh
+        // world that never saw the commit log.
+        let mut tape = TapeDim::new();
+        let w = sm.world_mut();
+        dump(&w.fs, &mut w.vm, FileSystem::ROOT, &mut tape).expect("dump succeeds");
+        tape.submit(DeviceOp::Control { order: "rewind" });
+        let mut fs2 = FileSystem::new(&admin());
+        let mut vm2 = VmWorld::new(Machine::new(CpuModel::H6180, 8), 32);
+        restore(&mut fs2, &mut vm2, FileSystem::ROOT, &mut tape, &admin())
+            .expect("tape restores into a fresh world");
+
+        let live = hierarchy_digest(&w.fs, &mut w.vm, FileSystem::ROOT);
+        let tw = twin.world_mut();
+        let via_snapshot = hierarchy_digest(&tw.fs, &mut tw.vm, FileSystem::ROOT);
+        let via_tape = hierarchy_digest(&fs2, &mut vm2, FileSystem::ROOT);
+        assert_eq!(live, via_snapshot, "replay rebuilds the same hierarchy");
+        assert_eq!(
+            live, via_tape,
+            "tape round-trip rebuilds the same hierarchy"
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod par;
 pub mod penetration;
 pub mod pressure;
 pub mod recovery;
+pub mod replicate;
 pub mod statemachine;
 pub mod subsystem;
 pub mod syslog;
@@ -68,6 +69,7 @@ pub use pressure::{
     read_pressure, AdmissionControl, PressureConfig, PressureReading, Priority, Resource,
 };
 pub use recovery::{RecoveryOpts, RecoveryOutcome, SalvageMutation};
+pub use replicate::{Cluster, DriveReport, ReplConfig, ReplError, ReplEvent, Role};
 pub use statemachine::{
     Commit, CommitLog, Genesis, KernelStateMachine, MachineSnapshot, Outcome, ReplayError,
     ReplayMutation, SealedCommit, StateDigest, TimeTravel,

@@ -1158,6 +1158,9 @@ impl Monitor {
             commits: world.commits.len(),
             log_digest: world.commits.head(),
         });
+        // Replication exposure (E21): when this kernel is a replica, the
+        // gate also carries its role, epoch, lag and link-health gauges.
+        snap.repl = world.repl_status.clone();
         Ok(snap.to_json())
     }
 

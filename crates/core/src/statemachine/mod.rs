@@ -24,6 +24,7 @@
 pub mod commit;
 pub mod replay;
 pub mod timetravel;
+pub mod wire;
 pub mod workload;
 
 pub use commit::{fnv64, Commit, CommitLog, ReplayError, SealedCommit};
@@ -31,6 +32,7 @@ pub use replay::{
     reduce, replay_differential, restore, snapshot_at, MachineSnapshot, Mismatch, ReplayMutation,
 };
 pub use timetravel::TimeTravel;
+pub use wire::{decode_commit_log, decode_snapshot, encode_commit_log, encode_snapshot, WireError};
 pub use workload::{record_fault_run, record_overload_ladder, RecordedRun, WorkloadSpec};
 
 use mks_hw::{CpuModel, InjectKind, Word};
@@ -326,6 +328,23 @@ impl KernelStateMachine {
                 Outcome::Value(u64::from(diverged))
             }
         }
+    }
+
+    /// Publishes this replica's replication status into the world, where
+    /// the metering gate exports it read-only (E21). Observational only:
+    /// the raw trace snapshot folded into [`StateDigest::metrics_digest`]
+    /// never carries it, so publishing different vantage points on
+    /// different replicas cannot make their digests diverge.
+    pub fn set_repl_status(&mut self, status: Option<mks_trace::ReplSnapshot>) {
+        self.world_mut().repl_status = status;
+    }
+
+    /// Crate-internal mutable world access, for the legacy backup tape
+    /// and the dump/restore differential tests. Deliberately not public:
+    /// every external mutation must flow through
+    /// [`KernelStateMachine::apply`] so the log stays the whole truth.
+    pub(crate) fn world_mut(&mut self) -> &mut KernelWorld {
+        &mut self.sys.world
     }
 
     /// A whole-kernel state digest at the current commit boundary.

@@ -97,6 +97,12 @@ pub struct KernelWorld {
     /// `KernelStateMachine::apply` seals into it. Read-only here: the
     /// metering gate exports its head digest.
     pub commits: CommitLog,
+    /// Replication status (E21): a replica's own view of its role, epoch
+    /// and lag, published by `replicate::Cluster` each tick and exported
+    /// read-only by the metering gate. `None` on an unreplicated kernel.
+    /// Observational only — never folded into the state digest, so
+    /// replicas with different vantage points still digest equal.
+    pub repl_status: Option<mks_trace::ReplSnapshot>,
     procs: HashMap<KProcId, ProcState>,
     next_pid: u32,
 }
@@ -186,6 +192,7 @@ impl System {
             log: AuditLog::new(),
             admission: AdmissionControl::disabled(),
             commits: CommitLog::new(),
+            repl_status: None,
             procs: HashMap::new(),
             next_pid: 1,
         };

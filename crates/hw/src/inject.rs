@@ -26,6 +26,13 @@
 //! | [`InjectKind::AstExhaust`]   | `mks-vm`    | AST activation in the pager           |
 //! | [`InjectKind::QuotaStorm`]   | `mks-kernel`| quota charge in the monitor           |
 //! | [`InjectKind::AuditFlood`]   | `mks-kernel`| audit-log append (burst of records)   |
+//! | [`InjectKind::ReplDrop`]     | `mks-kernel`| replication frame send (link)         |
+//! | [`InjectKind::ReplDup`]      | `mks-kernel`| replication frame send (link)         |
+//! | [`InjectKind::ReplReorder`]  | `mks-kernel`| replication frame send (link)         |
+//! | [`InjectKind::ReplDelay`]    | `mks-kernel`| replication frame send (link)         |
+//! | [`InjectKind::ReplPartition`]| `mks-kernel`| replication link partition window     |
+//! | [`InjectKind::ReplPrimaryCrash`] | `mks-kernel`| client commit boundary in the cluster |
+//! | [`InjectKind::ReplBackupStall`]  | `mks-kernel`| replica inbox drain in the cluster    |
 //!
 //! A site calls [`InjectorHandle::fires`] every time it is reached; the
 //! injector counts hits per kind and fires exactly the hits a plan's
@@ -88,10 +95,33 @@ pub enum InjectKind {
     /// (`mks-kernel::syslog`), consuming audit headroom and driving the
     /// audit-pressure gauge up.
     AuditFlood = 10,
+    /// A replication frame is dropped in flight on the simulated link
+    /// (`mks-kernel::replicate`). Models a lossy network.
+    ReplDrop = 11,
+    /// A replication frame is delivered twice (`mks-kernel::replicate`).
+    /// Models retransmission by a confused lower layer.
+    ReplDup = 12,
+    /// A replication frame is held back so later frames overtake it
+    /// (`mks-kernel::replicate`). Models reordering.
+    ReplReorder = 13,
+    /// A replication frame takes extra, deterministic link latency
+    /// (`mks-kernel::replicate`). Data still arrives intact.
+    ReplDelay = 14,
+    /// One replica is partitioned off the link for a detail-derived
+    /// window: every frame to or from it is dropped
+    /// (`mks-kernel::replicate`).
+    ReplPartition = 15,
+    /// The primary replica is killed at a client commit boundary; the
+    /// detail chooses the restart delay and whether it restarts with its
+    /// log intact or amnesiac (`mks-kernel::replicate`).
+    ReplPrimaryCrash = 16,
+    /// A backup replica stops draining its inbox for a detail-derived
+    /// window (`mks-kernel::replicate`). Models a stalled process.
+    ReplBackupStall = 17,
 }
 
 /// Number of distinct [`InjectKind`]s (site classes).
-pub const NR_INJECT_KINDS: usize = 11;
+pub const NR_INJECT_KINDS: usize = 18;
 
 /// Number of the original (pre-exhaustion) kinds. [`FaultPlan::generate`]
 /// draws only from these so that every seeded corruption plan stays
@@ -114,6 +144,27 @@ impl InjectKind {
         InjectKind::AstExhaust,
         InjectKind::QuotaStorm,
         InjectKind::AuditFlood,
+        InjectKind::ReplDrop,
+        InjectKind::ReplDup,
+        InjectKind::ReplReorder,
+        InjectKind::ReplDelay,
+        InjectKind::ReplPartition,
+        InjectKind::ReplPrimaryCrash,
+        InjectKind::ReplBackupStall,
+    ];
+
+    /// The seven replication fault kinds, in discriminant order — the draw
+    /// set of [`FaultPlan::generate_replication`]. These sites live in the
+    /// `mks-kernel::replicate` link and cluster, not in the single-machine
+    /// stack, so they never perturb the legacy sweeps.
+    pub const REPLICATION: [InjectKind; 7] = [
+        InjectKind::ReplDrop,
+        InjectKind::ReplDup,
+        InjectKind::ReplReorder,
+        InjectKind::ReplDelay,
+        InjectKind::ReplPartition,
+        InjectKind::ReplPrimaryCrash,
+        InjectKind::ReplBackupStall,
     ];
 
     /// The original seven corruption kinds, in discriminant order — the
@@ -153,6 +204,13 @@ impl InjectKind {
             InjectKind::AstExhaust => "ast-exhaust",
             InjectKind::QuotaStorm => "quota-storm",
             InjectKind::AuditFlood => "audit-flood",
+            InjectKind::ReplDrop => "repl-drop",
+            InjectKind::ReplDup => "repl-dup",
+            InjectKind::ReplReorder => "repl-reorder",
+            InjectKind::ReplDelay => "repl-delay",
+            InjectKind::ReplPartition => "repl-partition",
+            InjectKind::ReplPrimaryCrash => "repl-primary-crash",
+            InjectKind::ReplBackupStall => "repl-backup-stall",
         }
     }
 
@@ -171,6 +229,13 @@ impl InjectKind {
             InjectKind::AstExhaust => "AstExhaust",
             InjectKind::QuotaStorm => "QuotaStorm",
             InjectKind::AuditFlood => "AuditFlood",
+            InjectKind::ReplDrop => "ReplDrop",
+            InjectKind::ReplDup => "ReplDup",
+            InjectKind::ReplReorder => "ReplReorder",
+            InjectKind::ReplDelay => "ReplDelay",
+            InjectKind::ReplPartition => "ReplPartition",
+            InjectKind::ReplPrimaryCrash => "ReplPrimaryCrash",
+            InjectKind::ReplBackupStall => "ReplBackupStall",
         }
     }
 
@@ -207,6 +272,11 @@ pub struct FaultPlan {
 /// of this horizon is actually reachable.
 const HIT_HORIZON: u64 = 48;
 
+/// Hit horizon for replication plans. Link sites (frame send, partition
+/// consult) are hit once or more per cluster tick, so a replicated
+/// workload reaches far deeper hit counts than the single-machine sites.
+const REPL_HIT_HORIZON: u64 = 160;
+
 impl FaultPlan {
     /// Generates the plan for `seed`: 2–10 events, kinds uniform over
     /// [`InjectKind::LEGACY`], hit indices below a small horizon, details
@@ -242,6 +312,29 @@ impl FaultPlan {
         for _ in 0..count {
             let kind = InjectKind::OVERLOAD[rng.below(InjectKind::OVERLOAD.len() as u64) as usize];
             let nth = rng.below(HIT_HORIZON);
+            let detail = rng.next_u64();
+            if !events.iter().any(|e| e.kind == kind && e.nth == nth) {
+                events.push(FaultEvent { kind, nth, detail });
+            }
+        }
+        events.sort_by_key(|e| (e.kind, e.nth));
+        FaultPlan { seed, events }
+    }
+
+    /// Generates a *replication* plan for `seed`: 3–12 events drawn from
+    /// [`InjectKind::REPLICATION`] (hostile-link and replica-process
+    /// faults), with hit indices below a wider horizon because link sites
+    /// are consulted every cluster tick. Pure: same seed, same plan.
+    /// Disjoint from [`FaultPlan::generate`] and
+    /// [`FaultPlan::generate_overload`] by draw set and xor constant.
+    pub fn generate_replication(seed: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed ^ 0x8f1b_bcdc_ca62_c1d6);
+        let count = 3 + rng.below(10);
+        let mut events: Vec<FaultEvent> = Vec::new();
+        for _ in 0..count {
+            let kind =
+                InjectKind::REPLICATION[rng.below(InjectKind::REPLICATION.len() as u64) as usize];
+            let nth = rng.below(REPL_HIT_HORIZON);
             let detail = rng.next_u64();
             if !events.iter().any(|e| e.kind == kind && e.nth == nth) {
                 events.push(FaultEvent { kind, nth, detail });
@@ -518,6 +611,33 @@ mod tests {
             }
         }
         assert_eq!(kinds.len(), InjectKind::OVERLOAD.len(), "{kinds:?}");
+    }
+
+    #[test]
+    fn replication_generation_is_pure_and_draws_every_link_kind() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let p = FaultPlan::generate_replication(seed);
+            assert_eq!(p, FaultPlan::generate_replication(seed));
+            for e in p.events {
+                assert!(InjectKind::REPLICATION.contains(&e.kind));
+                kinds.insert(e.kind);
+            }
+        }
+        assert_eq!(kinds.len(), InjectKind::REPLICATION.len(), "{kinds:?}");
+    }
+
+    #[test]
+    fn legacy_and_overload_draw_sets_exclude_replication_kinds() {
+        for k in InjectKind::REPLICATION {
+            assert!(!InjectKind::LEGACY.contains(&k));
+            assert!(!InjectKind::OVERLOAD.contains(&k));
+        }
+        for seed in 0..200 {
+            for e in FaultPlan::generate_overload(seed).events {
+                assert!(!InjectKind::REPLICATION.contains(&e.kind));
+            }
+        }
     }
 
     #[test]

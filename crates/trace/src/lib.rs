@@ -58,8 +58,8 @@ pub use ring::TraceRing;
 pub use sampler::{SamplePolicy, Sampler};
 pub use sketch::{HeavyHitter, TopK};
 pub use snapshot::{
-    HistogramSnapshot, LayerSnapshot, ObservatorySnapshot, QuantileSnapshot, ReplaySnapshot,
-    RingSnapshot, SamplerSnapshot, Snapshot,
+    HistogramSnapshot, LayerSnapshot, ObservatorySnapshot, QuantileSnapshot, ReplSnapshot,
+    ReplaySnapshot, RingSnapshot, SamplerSnapshot, Snapshot,
 };
 pub use span::{LayerTotals, SpanId, SpanNode};
 
@@ -263,6 +263,7 @@ impl FlightRecorder {
             sampler: SamplerSnapshot::capture(&self.sampler),
             observatory: ObservatorySnapshot::capture(&self.observatory),
             replay: None,
+            repl: None,
         }
     }
 }

@@ -228,6 +228,31 @@ pub struct ReplaySnapshot {
     pub log_digest: u64,
 }
 
+/// Replication status riding the metering gate: the kernel attaches a
+/// replica's view at capture time, so raw recorder snapshots carry
+/// `None` and replica digests stay vantage-independent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplSnapshot {
+    /// The replica's role: `"primary"`, `"backup"`, or `"down"`.
+    pub role: String,
+    /// The replica's current epoch (fencing term).
+    pub epoch: u64,
+    /// Commits in the replica's local log.
+    pub commits: u64,
+    /// Commits known majority-acknowledged cluster-wide.
+    pub acked: u64,
+    /// How many commits this replica trails the cluster's longest log.
+    pub lag: u64,
+    /// Heartbeat intervals this replica has seen pass in silence.
+    pub heartbeat_misses: u64,
+    /// Append frames re-sent under backoff (primary vantage).
+    pub resends: u64,
+    /// Stale-epoch frames this replica refused (fencing events).
+    pub fenced: u64,
+    /// Snapshot catch-up migrations this replica completed.
+    pub catchups: u64,
+}
+
 /// A complete, immutable reading of the flight recorder.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Snapshot {
@@ -250,6 +275,9 @@ pub struct Snapshot {
     pub observatory: ObservatorySnapshot,
     /// Commit-log head, when the kernel attached one at capture time.
     pub replay: Option<ReplaySnapshot>,
+    /// Replication status, when a replicated kernel attached its
+    /// replica's view at capture time.
+    pub repl: Option<ReplSnapshot>,
 }
 
 impl Snapshot {
@@ -449,6 +477,25 @@ impl Snapshot {
                 ]),
             ));
         }
+        if let Some(r) = &self.repl {
+            fields.push((
+                "repl".to_string(),
+                Value::Obj(vec![
+                    ("role".to_string(), Value::Str(r.role.clone())),
+                    ("epoch".to_string(), Value::Num(u128::from(r.epoch))),
+                    ("commits".to_string(), Value::Num(u128::from(r.commits))),
+                    ("acked".to_string(), Value::Num(u128::from(r.acked))),
+                    ("lag".to_string(), Value::Num(u128::from(r.lag))),
+                    (
+                        "heartbeat_misses".to_string(),
+                        Value::Num(u128::from(r.heartbeat_misses)),
+                    ),
+                    ("resends".to_string(), Value::Num(u128::from(r.resends))),
+                    ("fenced".to_string(), Value::Num(u128::from(r.fenced))),
+                    ("catchups".to_string(), Value::Num(u128::from(r.catchups))),
+                ]),
+            ));
+        }
         Value::Obj(fields).emit()
     }
 
@@ -578,6 +625,24 @@ impl Snapshot {
             }),
             None => None,
         };
+        let repl = match v.get("repl") {
+            Some(r) => Some(ReplSnapshot {
+                role: r
+                    .get("role")
+                    .and_then(Value::as_str)
+                    .ok_or("repl role")?
+                    .to_string(),
+                epoch: field_u64(r, "epoch")?,
+                commits: field_u64(r, "commits")?,
+                acked: field_u64(r, "acked")?,
+                lag: field_u64(r, "lag")?,
+                heartbeat_misses: field_u64(r, "heartbeat_misses")?,
+                resends: field_u64(r, "resends")?,
+                fenced: field_u64(r, "fenced")?,
+                catchups: field_u64(r, "catchups")?,
+            }),
+            None => None,
+        };
         Ok(Snapshot {
             at,
             counters,
@@ -599,6 +664,7 @@ impl Snapshot {
             },
             observatory,
             replay,
+            repl,
         })
     }
 }

@@ -94,7 +94,7 @@ fn gap_claims_carry_their_explanations() {
 
 #[test]
 fn suite_covers_every_experiment_with_unique_claim_ids() {
-    assert_eq!(REGISTRY.len(), 23, "E1-E20 plus A1, A3, A4");
+    assert_eq!(REGISTRY.len(), 24, "E1-E21 plus A1, A3, A4");
     let claims = suite();
     let mut ids = BTreeSet::new();
     for c in claims {

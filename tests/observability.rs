@@ -80,6 +80,7 @@ fn snapshot_round_trips_through_the_bench_report() {
     assert_eq!(replay.log_digest, sys.world.commits.head());
     let bare = Snapshot {
         replay: None,
+        repl: None,
         ..parsed.clone()
     };
     assert_eq!(bare, sys.world.vm.machine.trace.snapshot());
